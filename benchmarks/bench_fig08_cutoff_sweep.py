@@ -1,0 +1,66 @@
+"""Figure 8: stream-cutoff sweep at an overload rate (§6.6).
+
+Paper claims reproduced here (4 Gbit/s in the paper; the harness uses
+the same relative overload point):
+  * For Snort/Libnids a cutoff barely helps: even a cutoff of zero
+    leaves heavy packet loss and ~100 % CPU, because every packet is
+    still brought to user space before its bytes are discarded.
+  * Scap enforces the cutoff in the kernel: small cutoffs eliminate
+    packet loss and collapse CPU usage while retaining most matches
+    (the 10 KB point discards ~97 % of traffic yet keeps ≥80 % of
+    matches in the paper).
+  * Hardware (FDIR) filters further reduce softirq load, extending the
+    loss-free region to larger cutoffs.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig08_cutoff_sweep, format_series, get_scale
+
+
+def _metrics():
+    return [
+        ("drop%", lambda r: r.drop_rate * 100, "6.2f"),
+        ("cpu%", lambda r: r.user_utilization * 100, "6.2f"),
+        ("sirq%", lambda r: r.softirq_load * 100, "5.2f"),
+        ("matched%", lambda r: r.match_rate * 100, "7.2f"),
+        ("discarded%", lambda r: 100 * r.discarded_packets / max(1, r.offered_packets), "7.2f"),
+    ]
+
+
+def test_fig08_cutoff_sweep(benchmark, emit):
+    series = benchmark.pedantic(
+        fig08_cutoff_sweep, args=(get_scale(),), rounds=1, iterations=1
+    )
+    emit(format_series(series, _metrics()), name="fig08_cutoff_sweep")
+
+    cutoffs = series.xs()
+    smallest, largest = cutoffs[0], cutoffs[-1]
+
+    # Baselines: loss and CPU stay high regardless of the cutoff —
+    # even discarding everything (cutoff 0) does not save them.
+    for system in ("libnids", "snort"):
+        assert series.get(system, smallest).drop_rate > 0.10, system
+        assert series.get(system, smallest).user_utilization > 0.85, system
+
+    # Scap: small cutoffs eliminate loss and slash CPU.
+    small_cutoffs = [c for c in cutoffs if c <= 10_240]
+    for cutoff in small_cutoffs:
+        assert series.get("scap", cutoff).drop_rate < 0.01, cutoff
+        assert series.get("scap-fdir", cutoff).drop_rate < 0.01, cutoff
+    unlimited_cpu = series.get("scap", largest).user_utilization
+    ten_kb = series.get("scap", 10_240)
+    assert ten_kb.user_utilization < 0.65 * unlimited_cpu
+    assert series.get("scap", 1_024).user_utilization < 0.3 * unlimited_cpu
+
+    # The 10 KB point: most traffic discarded, most matches retained.
+    data_fraction = ten_kb.delivered_bytes / max(1, ten_kb.offered_bytes)
+    assert data_fraction < 0.30
+    assert ten_kb.match_rate > 0.60
+    assert ten_kb.streams_lost == 0
+
+    # FDIR reduces the software-interrupt load at small cutoffs.
+    assert (
+        series.get("scap-fdir", 10_240).softirq_load
+        < series.get("scap", 10_240).softirq_load
+    )

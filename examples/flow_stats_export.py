@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Flow-statistics export — the paper's §3.3.1 use case.
+
+The application needs *no stream data at all*: setting the cutoff to
+zero lets the kernel discard every payload byte (and, with FDIR
+filters, drop data packets at the NIC before they ever touch main
+memory), while per-flow statistics keep accumulating.  On stream
+termination a NetFlow-style record is exported.
+
+This demonstrates "subzero copy": compare `packets seen by kernel`
+with the total — the rest never crossed the PCIe bus.
+
+Run:  python examples/flow_stats_export.py
+"""
+
+from repro import (
+    SCAP_DEFAULT,
+    SCAP_TCP_FAST,
+    scap_create,
+    scap_dispatch_termination,
+    scap_get_stats,
+    scap_set_cutoff,
+    scap_start_capture,
+)
+from repro.netstack import int_to_ip
+from repro.traffic import campus_mix
+
+
+def main() -> None:
+    trace = campus_mix(flow_count=120, seed=5, max_flow_bytes=4_000_000)
+    print(f"workload: {trace.summary()}\n")
+
+    records = []
+
+    # --- the paper's listing, line by line -----------------------------
+    sc = scap_create(trace, SCAP_DEFAULT, SCAP_TCP_FAST, 0, rate_bps=4e9)
+    scap_set_cutoff(sc, 0)
+
+    def stream_close(sd):
+        records.append(
+            (sd.src_ip, sd.dst_ip, sd.src_port, sd.dst_port,
+             sd.stats.bytes, sd.stats.pkts, sd.stats.start, sd.stats.end)
+        )
+
+    scap_dispatch_termination(sc, stream_close)
+    result = scap_start_capture(sc)
+    # --------------------------------------------------------------------
+
+    records.sort(key=lambda r: -r[4])
+    print("top flows by (estimated) bytes:")
+    for src, dst, sport, dport, nbytes, pkts, start, end in records[:10]:
+        print(
+            f"  {int_to_ip(src)}:{sport:<5} -> {int_to_ip(dst)}:{dport:<5} "
+            f"{nbytes:>9} B {pkts:>5} pkts {max(0.0, end - start) * 1e3:7.2f} ms"
+        )
+
+    stats = scap_get_stats(sc)
+    print(f"\nexported {len(records)} flow records")
+    print(
+        f"packets offered: {result.offered_packets}; "
+        f"reached kernel memory: {stats.pkts_received} "
+        f"({stats.pkts_received / result.offered_packets:.1%}) — "
+        "the rest were dropped by NIC filters (subzero copy)"
+    )
+    print(f"application CPU: {result.user_utilization:.1%} at 4 Gbit/s")
+
+
+if __name__ == "__main__":
+    main()

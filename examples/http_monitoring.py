@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""HTTP transaction monitoring over reassembled streams.
+
+The paper's introduction motivates stream capture with exactly this
+application class: reasoning about "HTTP headers, SQL arguments, email
+messages" requires contiguous stream bytes, not raw packets — a request
+line can straddle any number of TCP segments.
+
+This example extracts every HTTP request/response head from the
+generated web traffic and prints a small access log plus status and
+host breakdowns.
+
+Run:  python examples/http_monitoring.py
+"""
+
+from collections import Counter
+
+from repro.apps import HttpMetadataApp, attach_app
+from repro.core import ScapSocket
+from repro.netstack import int_to_ip
+from repro.traffic import campus_mix
+
+
+def main() -> None:
+    trace = campus_mix(flow_count=150, seed=37)
+    print(f"workload: {trace.summary()}\n")
+
+    app = HttpMetadataApp()
+    socket = ScapSocket(trace, rate_bps=2e9, memory_size=128 << 20)
+    socket.set_filter("tcp")  # HTTP rides on TCP only
+    attach_app(socket, app)
+    result = socket.start_capture(name="http-monitor")
+
+    print("access log (first 8 transactions):")
+    for request in app.requests[:8]:
+        ft = request.five_tuple
+        print(
+            f"  {int_to_ip(ft.src_ip):>15} {request.method:<4} "
+            f"{request.target:<12} {request.version} host={request.host}"
+        )
+
+    statuses = Counter(response.status for response in app.responses)
+    sizes = [
+        response.content_length
+        for response in app.responses
+        if response.content_length is not None
+    ]
+    print(f"\nrequests: {len(app.requests)}  responses: {len(app.responses)}")
+    print("status codes:", dict(statuses))
+    if sizes:
+        print(
+            f"response bodies: min={min(sizes)} B  "
+            f"median={sorted(sizes)[len(sizes) // 2]} B  max={max(sizes)} B"
+        )
+    print(f"parse errors: {app.parse_errors}")
+    print(f"\n{result.row()}")
+
+
+if __name__ == "__main__":
+    main()

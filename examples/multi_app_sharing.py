@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Two monitoring applications sharing one capture — §5.6.
+
+A flow accountant (zero cutoff, wants everything's statistics) and a
+web-only content logger (BPF ``tcp port 80``) attach to the same
+kernel capture.  Stream reassembly runs once in the kernel; each
+application receives only the events its own configuration selects.
+
+Run:  python examples/multi_app_sharing.py
+"""
+
+from repro.core import ScapConfig
+from repro.core.sharing import SharedApplication, SharedCaptureRuntime
+from repro.filters import BPFFilter
+from repro.traffic import campus_mix
+
+
+def main() -> None:
+    trace = campus_mix(flow_count=150, seed=23)
+    print(f"workload: {trace.summary()}\n")
+
+    flows_seen = []
+    accountant = SharedApplication(
+        "flow-accountant", ScapConfig(memory_size=64 << 20)
+    )
+    accountant.callbacks.on_termination = lambda sd: flows_seen.append(
+        sd.stats.captured_bytes
+    )
+
+    web_bytes = [0]
+    web_logger = SharedApplication(
+        "web-logger",
+        ScapConfig(memory_size=64 << 20, bpf=BPFFilter("tcp port 80")),
+    )
+
+    def log_web(sd):
+        web_bytes[0] += sd.data_len
+
+    web_logger.callbacks.on_data = log_web
+
+    shared = SharedCaptureRuntime([accountant, web_logger])
+    results = shared.run(trace, 2e9)
+
+    print("merged kernel-level configuration:")
+    merged = shared.merged_config
+    print(f"  chunk size: {merged.chunk_size}  cutoff: {merged.cutoffs.default}")
+    print(f"  capture filter: union of all application filters\n")
+
+    for result in results:
+        print(f"  {result.row()}")
+
+    total = sum(f.total_bytes for f in trace.flows)
+    web_total = sum(
+        f.total_bytes for f in trace.flows
+        if 80 in (f.five_tuple.src_port, f.five_tuple.dst_port)
+    )
+    print(
+        f"\naccountant saw {len(flows_seen)} stream terminations; "
+        f"web logger captured {web_bytes[0] / 1e6:.2f} MB "
+        f"of {web_total / 1e6:.2f} MB web traffic "
+        f"({total / 1e6:.2f} MB total on the wire)"
+    )
+    print("kernel reassembly ran once — softirq load is shared, not multiplied")
+
+
+if __name__ == "__main__":
+    main()

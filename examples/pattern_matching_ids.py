@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A pattern-matching IDS over reassembled streams — §3.3.2.
+
+Plants synthetic web-attack strings into generated HTTP traffic, then
+searches every reassembled stream with a real Aho–Corasick automaton
+running in the data callback, parallelized over eight worker threads.
+Detection accuracy is scored against the generator's ground truth.
+
+Run:  python examples/pattern_matching_ids.py
+"""
+
+from repro import (
+    scap_create,
+    scap_dispatch_data,
+    scap_set_worker_threads,
+    scap_start_capture,
+)
+from repro.matching import AhoCorasick, StreamMatcher
+from repro.netstack import int_to_ip
+from repro.matching import synthetic_web_attack_patterns
+from repro.traffic import campus_mix
+
+
+def main() -> None:
+    patterns = synthetic_web_attack_patterns(300)
+    trace = campus_mix(
+        flow_count=150, seed=11, patterns=patterns, plant_fraction=0.4
+    )
+    planted = len(trace.planted_matches)
+    print(f"workload: {trace.summary()}")
+    print(f"planted attack occurrences: {planted}\n")
+
+    automaton = AhoCorasick(patterns)
+    matchers = {}
+    alerts = []
+
+    def stream_process(sd):
+        key = (sd.five_tuple, sd.direction)
+        matcher = matchers.get(key)
+        if matcher is None or matcher._offset != sd.data_offset:
+            matcher = StreamMatcher(automaton)
+            matcher._offset = sd.data_offset
+            matchers[key] = matcher
+        for match in matcher.feed(sd.data):
+            alerts.append((sd.five_tuple, match.start, match.pattern))
+
+    sc = scap_create(trace, 512 * 1024 * 1024, rate_bps=1e9)
+    scap_set_worker_threads(sc, 8)
+    scap_dispatch_data(sc, stream_process)
+    result = scap_start_capture(sc)
+
+    print(f"{result.row()}\n")
+    print(f"alerts raised: {len(alerts)} / {planted} planted")
+    for ft, offset, pattern in alerts[:8]:
+        print(
+            f"  ALERT {int_to_ip(ft.src_ip)}:{ft.src_port} -> "
+            f"{int_to_ip(ft.dst_ip)}:{ft.dst_port} @+{offset}: {pattern[:32]!r}"
+        )
+    if len(alerts) > 8:
+        print(f"  ... and {len(alerts) - 8} more")
+    recall = len({(a[0], a[1]) for a in alerts}) / planted if planted else 1.0
+    print(f"\ndetection recall at 1 Gbit/s: {recall:.1%}")
+
+
+if __name__ == "__main__":
+    main()

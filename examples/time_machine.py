@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A Time-Machine-style stream recorder — §6.6's motivating use case.
+
+Time Machine (Maier et al., SIGCOMM 2008) exploits the heavy-tailed
+nature of traffic: recording only the first N kilobytes of every
+stream retains almost all *flows* (and the interesting bytes) at a
+small fraction of the storage.  With Scap the cutoff is enforced in
+the kernel/NIC, so the recorder's CPU cost shrinks along with the
+storage.
+
+This example records the first 10 KB of every stream direction into an
+in-memory store, then reports the storage reduction and per-port
+breakdown.
+
+Run:  python examples/time_machine.py
+"""
+
+from collections import defaultdict
+
+from repro import scap_create, scap_dispatch_data, scap_set_cutoff, scap_start_capture
+from repro.traffic import campus_mix
+
+CUTOFF = 10 * 1024
+
+
+def main() -> None:
+    trace = campus_mix(flow_count=200, seed=19, max_flow_bytes=8_000_000)
+    total_payload = sum(f.total_bytes for f in trace.flows)
+    print(f"workload: {trace.summary()}")
+    print(f"total stream payload on the wire: {total_payload / 1e6:.2f} MB\n")
+
+    store = defaultdict(bytearray)  # (five_tuple, direction) -> bytes
+
+    def record(sd):
+        store[(sd.five_tuple, sd.direction)].extend(sd.data)
+
+    sc = scap_create(trace, 256 << 20, rate_bps=4e9)
+    scap_set_cutoff(sc, CUTOFF)
+    scap_dispatch_data(sc, record)
+    result = scap_start_capture(sc, )
+
+    recorded = sum(len(buffer) for buffer in store.values())
+    print(f"{result.row()}\n")
+    print(f"recorded {recorded / 1e6:6.2f} MB with a {CUTOFF // 1024} KB cutoff")
+    print(f"         {total_payload / 1e6:6.2f} MB would have been stored without one")
+    print(f"storage reduction: {1 - recorded / total_payload:.1%}")
+    print(f"streams retained:  {len(store)} (every stream keeps its head)\n")
+
+    by_port = defaultdict(int)
+    for (five_tuple, _), buffer in store.items():
+        port = min(five_tuple.src_port, five_tuple.dst_port)
+        by_port[port] += len(buffer)
+    print("recorded bytes by server port:")
+    for port, nbytes in sorted(by_port.items(), key=lambda kv: -kv[1])[:8]:
+        print(f"  port {port:<6} {nbytes / 1e3:9.1f} kB")
+    print(
+        f"\nCPU while recording at 4 Gbit/s: {result.user_utilization:.1%} "
+        f"(softirq {result.softirq_load:.1%}); packets discarded early: "
+        f"{result.discarded_packets}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Scap reproduction: stream-oriented network traffic capture and analysis.
+
+A faithful, fully simulated reimplementation of *Scap: Stream-Oriented
+Network Traffic Capture and Analysis for High-Speed Networks*
+(Papadogiannakis, Polychronakis, Markatos -- IMC 2013), together with
+every substrate the paper's evaluation depends on: a packet/netstack
+layer, a campus-like traffic generator, a simulated 82599-class NIC
+(RSS + Flow Director), a virtual-time host model, the Libnids /
+Stream5 / YAF baselines, Aho-Corasick matching, and the Section 7
+queueing analysis.
+
+Quickstart::
+
+    from repro import scap_create, scap_dispatch_data, scap_start_capture
+    from repro.traffic import campus_mix
+
+    trace = campus_mix(flow_count=100)
+    sc = scap_create(trace, rate_bps=1e9)
+    scap_dispatch_data(sc, lambda sd: print(sd.five_tuple, sd.data_len))
+    scap_start_capture(sc)
+"""
+
+from .core import (
+    SCAP_DEFAULT,
+    SCAP_TCP_FAST,
+    SCAP_TCP_STRICT,
+    SCAP_UNLIMITED_CUTOFF,
+    ReassemblyPolicy,
+    ScapConfig,
+    ScapRuntime,
+    ScapSocket,
+    StreamDescriptor,
+    StreamError,
+    StreamStatus,
+    register_device,
+    scap_add_cutoff_class,
+    scap_add_cutoff_direction,
+    scap_close,
+    scap_create,
+    scap_discard_stream,
+    scap_dispatch_creation,
+    scap_dispatch_data,
+    scap_dispatch_termination,
+    scap_get_stats,
+    scap_keep_stream_chunk,
+    scap_next_stream_packet,
+    scap_set_cutoff,
+    scap_set_filter,
+    scap_set_parameter,
+    scap_set_stream_cutoff,
+    scap_set_stream_parameter,
+    scap_set_stream_priority,
+    scap_set_worker_threads,
+    scap_start_capture,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SCAP_DEFAULT",
+    "SCAP_TCP_FAST",
+    "SCAP_TCP_STRICT",
+    "SCAP_UNLIMITED_CUTOFF",
+    "ReassemblyPolicy",
+    "ScapConfig",
+    "ScapRuntime",
+    "ScapSocket",
+    "StreamDescriptor",
+    "StreamError",
+    "StreamStatus",
+    "register_device",
+    "scap_create",
+    "scap_set_filter",
+    "scap_set_cutoff",
+    "scap_add_cutoff_direction",
+    "scap_add_cutoff_class",
+    "scap_set_worker_threads",
+    "scap_set_parameter",
+    "scap_dispatch_creation",
+    "scap_dispatch_data",
+    "scap_dispatch_termination",
+    "scap_start_capture",
+    "scap_discard_stream",
+    "scap_set_stream_cutoff",
+    "scap_set_stream_priority",
+    "scap_set_stream_parameter",
+    "scap_keep_stream_chunk",
+    "scap_next_stream_packet",
+    "scap_get_stats",
+    "scap_close",
+]

@@ -1,0 +1,16 @@
+"""Analytic models from §7: M/M/1/N and priority birth–death chains."""
+
+from .markov import BirthDeathChain, birth_death_stationary
+from .mm1n import (
+    mm1n_loss_probability,
+    multi_class_loss_probabilities,
+    two_class_loss_probabilities,
+)
+
+__all__ = [
+    "BirthDeathChain",
+    "birth_death_stationary",
+    "mm1n_loss_probability",
+    "multi_class_loss_probabilities",
+    "two_class_loss_probabilities",
+]

@@ -1,0 +1,79 @@
+"""Exact birth–death Markov chain solver.
+
+Cross-validates the closed forms in :mod:`repro.analysis.mm1n` and
+supports arbitrary state-dependent rates (e.g. modelling PPL bands of
+unequal width, or service rates that degrade under load).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["birth_death_stationary", "BirthDeathChain"]
+
+
+def birth_death_stationary(
+    birth_rates: Sequence[float], death_rates: Sequence[float]
+) -> np.ndarray:
+    """Stationary distribution of a finite birth–death chain.
+
+    ``birth_rates[k]`` is the rate from state k to k+1 (length n−1 for
+    an n-state chain); ``death_rates[k]`` the rate from k+1 to k.  Uses
+    the detailed-balance product form, normalized, in log space for
+    numerical stability with long chains.
+    """
+    if len(birth_rates) != len(death_rates):
+        raise ValueError("birth and death rate vectors must have equal length")
+    births = np.asarray(birth_rates, dtype=float)
+    deaths = np.asarray(death_rates, dtype=float)
+    if np.any(births < 0) or np.any(deaths <= 0):
+        raise ValueError("rates must be non-negative (deaths strictly positive)")
+    with np.errstate(divide="ignore"):
+        log_ratios = np.log(births) - np.log(deaths)
+    log_weights = np.concatenate([[0.0], np.cumsum(log_ratios)])
+    log_weights -= log_weights.max()
+    weights = np.exp(log_weights)
+    return weights / weights.sum()
+
+
+class BirthDeathChain:
+    """A finite birth–death chain with convenience queries."""
+
+    def __init__(self, birth_rates: Sequence[float], death_rates: Sequence[float]):
+        self.birth_rates = list(birth_rates)
+        self.death_rates = list(death_rates)
+        self.stationary = birth_death_stationary(birth_rates, death_rates)
+
+    @property
+    def state_count(self) -> int:
+        return len(self.stationary)
+
+    def probability_at_or_above(self, state: int) -> float:
+        """P[chain state >= state] under the stationary distribution."""
+        if state <= 0:
+            return 1.0
+        if state >= self.state_count:
+            return 0.0
+        return float(self.stationary[state:].sum())
+
+    def blocking_probability(self) -> float:
+        """Probability of the last (full) state — the loss probability
+        for arrivals admitted everywhere (PASTA)."""
+        return float(self.stationary[-1])
+
+    @classmethod
+    def ppl_chain(
+        cls, rhos: Sequence[float], slots: int, service_rate: float = 1.0
+    ) -> "BirthDeathChain":
+        """Build the §7 PPL chain: ``len(rhos)`` bands of ``slots`` states.
+
+        ``rhos[i]`` is the cumulative load admitted in band ``i`` (see
+        :func:`repro.analysis.mm1n.multi_class_loss_probabilities`).
+        """
+        birth: List[float] = []
+        for rho in rhos:
+            birth.extend([rho * service_rate] * slots)
+        death = [service_rate] * len(birth)
+        return cls(birth, death)

@@ -1,0 +1,20 @@
+"""Reusable monitoring applications, runnable on Scap or the baselines."""
+
+from .base import MonitorApp
+from .delivery import StreamDeliveryApp
+from .flowstats import FlowRecord, FlowStatsApp
+from .httpmeta import HttpMetadataApp, HttpTransaction
+from .patternmatch import PatternMatchApp
+from .scap_adapter import attach_app, attach_app_packet_based
+
+__all__ = [
+    "MonitorApp",
+    "StreamDeliveryApp",
+    "FlowRecord",
+    "FlowStatsApp",
+    "HttpMetadataApp",
+    "HttpTransaction",
+    "PatternMatchApp",
+    "attach_app",
+    "attach_app_packet_based",
+]

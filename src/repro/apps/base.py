@@ -1,0 +1,74 @@
+"""The monitoring-application interface.
+
+The paper evaluates the same applications — flow-statistics export,
+plain stream delivery, pattern matching — on top of Scap *and* on top
+of Libnids/Stream5/YAF.  :class:`MonitorApp` is the common contract:
+functional callbacks (what the application computes, which the
+experiments score) plus cost hooks (the cycles it charges to the user
+stage of whichever capture system hosts it).
+
+Keys are directional five-tuples, so results can be joined with the
+workload's ground truth regardless of the capture system.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..netstack.flows import FiveTuple
+
+__all__ = ["MonitorApp"]
+
+
+class MonitorApp:
+    """Base class: counts delivered data; override to add behaviour."""
+
+    name = "null"
+
+    def __init__(self) -> None:
+        self.delivered_bytes = 0
+        self.streams_with_data: Set[FiveTuple] = set()
+        self.streams_terminated = 0
+
+    def reset(self) -> None:
+        """Clear accumulated results for a fresh run."""
+        self.delivered_bytes = 0
+        self.streams_with_data.clear()
+        self.streams_terminated = 0
+
+    # ------------------------------------------------------------------
+    # Functional callbacks
+    # ------------------------------------------------------------------
+    def on_stream_created(self, five_tuple: FiveTuple) -> None:
+        """A new stream appeared (called once per connection)."""
+
+    def on_stream_data(
+        self,
+        five_tuple: FiveTuple,
+        direction: int,
+        offset: int,
+        data: bytes,
+        had_hole: bool = False,
+    ) -> None:
+        """Reassembled stream bytes were delivered."""
+        self.delivered_bytes += len(data)
+        self.streams_with_data.add(five_tuple)
+
+    def on_stream_terminated(self, five_tuple: FiveTuple, total_bytes: int) -> None:
+        """A stream ended (close/reset/timeout)."""
+        self.streams_terminated += 1
+
+    # ------------------------------------------------------------------
+    # Cost hooks (cycles charged to the hosting capture system)
+    # ------------------------------------------------------------------
+    def creation_cost_cycles(self) -> float:
+        """Cycles this app charges per stream-creation event."""
+        return 0.0
+
+    def data_cost_cycles(self, nbytes: int) -> float:
+        """Cycles this app charges to process ``nbytes`` of stream data."""
+        return 0.0
+
+    def termination_cost_cycles(self) -> float:
+        """Cycles this app charges per stream-termination event."""
+        return 0.0

@@ -1,0 +1,189 @@
+"""Pattern matching over reassembled streams — §3.3.2 and Fig 6.
+
+Two functional modes, identical in result on intact input (a test
+asserts this):
+
+* ``"ac"`` — a real Aho–Corasick :class:`StreamMatcher` per stream
+  direction scans every delivered byte.  Exact, used by tests, examples
+  and small runs.
+* ``"planted"`` — scores against the workload's planted ground truth: a
+  planted occurrence counts as found iff its bytes were delivered at
+  the right stream offset and compare equal.  Because the traffic
+  generator's filler alphabet cannot produce a pattern by accident,
+  this equals the AC result while running at C speed — which keeps the
+  large rate sweeps tractable in pure Python.
+
+In both modes the simulated cost is the same (Aho–Corasick cycles per
+delivered byte); the mode only changes how the *functional* result is
+computed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..kernelsim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..matching.aho_corasick import AhoCorasick, StreamMatcher
+from ..netstack.flows import FiveTuple
+from ..traffic.trace import PlantedMatch
+from .base import MonitorApp
+
+__all__ = ["PatternMatchApp"]
+
+
+class PatternMatchApp(MonitorApp):
+    """Searches streams for a pattern set; counts distinct occurrences."""
+
+    name = "pattern-match"
+
+    def __init__(
+        self,
+        patterns: Sequence[bytes],
+        mode: str = "ac",
+        planted: Optional[Iterable[PlantedMatch]] = None,
+        planted_tuples: Optional[Dict[int, FiveTuple]] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ):
+        super().__init__()
+        if mode not in ("ac", "planted"):
+            raise ValueError(f"unknown mode: {mode!r}")
+        self.mode = mode
+        self._cost = cost_model
+        self.patterns = list(patterns)
+        self.matches_found = 0
+        self._found_keys: Set[Tuple] = set()
+        if mode == "ac":
+            self._automaton = AhoCorasick(self.patterns)
+            self._matchers: Dict[Tuple[FiveTuple, int], StreamMatcher] = {}
+        else:
+            if planted is None or planted_tuples is None:
+                raise ValueError("planted mode needs the ground truth")
+            # Index: directional five-tuple -> [(stream offset, pattern)].
+            self._planted: Dict[FiveTuple, List[Tuple[int, bytes]]] = {}
+            for match in planted:
+                client_tuple = planted_tuples[match.flow_index]
+                directional = (
+                    client_tuple if match.direction == 0 else client_tuple.reversed()
+                )
+                self._planted.setdefault(directional, []).append(
+                    (match.stream_offset, match.pattern)
+                )
+            # Per-stream tail of the previous chunk, so patterns that
+            # straddle a chunk boundary are scored exactly like the
+            # streaming Aho–Corasick matcher would find them.
+            self._max_pattern = max(len(p) for p in self.patterns)
+            self._tails: Dict[FiveTuple, Tuple[int, bytes]] = {}
+
+    def reset(self) -> None:
+        """Clear matches and matcher state for a fresh run."""
+        super().reset()
+        self.matches_found = 0
+        self._found_keys.clear()
+        if self.mode == "ac":
+            self._matchers.clear()
+        else:
+            self._tails.clear()
+
+    # ------------------------------------------------------------------
+    def on_stream_data(
+        self,
+        five_tuple: FiveTuple,
+        direction: int,
+        offset: int,
+        data: bytes,
+        had_hole: bool = False,
+    ) -> None:
+        super().on_stream_data(five_tuple, direction, offset, data, had_hole)
+        if self.mode == "ac":
+            self._scan_ac(five_tuple, direction, offset, data, had_hole)
+        else:
+            self._scan_planted(five_tuple, offset, data, had_hole)
+
+    def _scan_ac(
+        self,
+        five_tuple: FiveTuple,
+        direction: int,
+        offset: int,
+        data: bytes,
+        had_hole: bool = False,
+    ) -> None:
+        key = (five_tuple, direction)
+        matcher = self._matchers.get(key)
+        if matcher is None:
+            matcher = StreamMatcher(self._automaton)
+            matcher._offset = offset  # resume at the chunk's stream offset
+            self._matchers[key] = matcher
+        elif had_hole or matcher._offset != offset:
+            # Chunk overlap or a hole: realign; a hole (or per-packet
+            # delivery) resets the DFA state — matches cannot span it.
+            if not had_hole and offset < matcher._offset:
+                data = data[matcher._offset - offset :]
+            else:
+                matcher._state = 0
+                matcher._offset = offset
+        for match in matcher.feed(data):
+            dedupe_key = (five_tuple, direction, match.start, match.pattern_index)
+            if dedupe_key not in self._found_keys:
+                self._found_keys.add(dedupe_key)
+                self.matches_found += 1
+
+    def _scan_planted(
+        self, five_tuple: FiveTuple, offset: int, data: bytes, had_hole: bool = False
+    ) -> None:
+        planted_here = self._planted.get(five_tuple)
+        if planted_here:
+            # Stitch on the previous chunk's tail when contiguous, so a
+            # boundary-straddling occurrence is still visible.  A hole
+            # (or per-packet delivery) breaks the stitch, exactly as it
+            # resets the streaming matcher's DFA state.
+            tail_end, tail = self._tails.get(five_tuple, (None, b""))
+            if not had_hole and tail_end == offset and tail:
+                data = tail + data
+                offset -= len(tail)
+            end = offset + len(data)
+            for plant_offset, pattern in planted_here:
+                if plant_offset < offset or plant_offset + len(pattern) > end:
+                    continue
+                start = plant_offset - offset
+                if data[start : start + len(pattern)] == pattern:
+                    dedupe_key = (five_tuple, plant_offset, pattern)
+                    if dedupe_key not in self._found_keys:
+                        self._found_keys.add(dedupe_key)
+                        self.matches_found += 1
+            keep = self._max_pattern - 1
+            self._tails[five_tuple] = (end, bytes(data[-keep:]) if keep else b"")
+
+    def on_stream_terminated(self, five_tuple: FiveTuple, total_bytes: int) -> None:
+        super().on_stream_terminated(five_tuple, total_bytes)
+        if self.mode == "ac":
+            self._matchers.pop((five_tuple, 0), None)
+            self._matchers.pop((five_tuple, 1), None)
+
+    # ------------------------------------------------------------------
+    def data_cost_cycles(self, nbytes: int) -> float:
+        """Aho-Corasick scanning cost for ``nbytes`` of stream data."""
+        return (
+            self._cost.pattern_match_per_byte * nbytes
+            + self._cost.pattern_match_per_chunk
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_trace(
+        cls,
+        trace,
+        patterns: Sequence[bytes],
+        mode: str = "planted",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> "PatternMatchApp":
+        """Build an app wired to ``trace``'s planted ground truth."""
+        if mode == "ac":
+            return cls(patterns, mode="ac", cost_model=cost_model)
+        planted_tuples = {flow.index: flow.five_tuple for flow in trace.flows}
+        return cls(
+            patterns,
+            mode="planted",
+            planted=trace.planted_matches,
+            planted_tuples=planted_tuples,
+            cost_model=cost_model,
+        )

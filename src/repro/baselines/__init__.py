@@ -1,0 +1,23 @@
+"""Baseline capture systems: libpcap path, Libnids, Stream5, YAF."""
+
+from .engine import EngineCounters, UserStreamEngine
+from .libnids import LIBNIDS_DEFAULT_MAX_STREAMS, LibnidsEngine
+from .libpcap import DEFAULT_RING_BYTES, PcapCapture
+from .stream5 import STREAM5_DEFAULT_MAX_STREAMS, Stream5Engine
+from .system import PcapBasedSystem
+from .yaf import YAF_SNAPLEN, YAFEngine, YafFlowRecord
+
+__all__ = [
+    "EngineCounters",
+    "UserStreamEngine",
+    "LIBNIDS_DEFAULT_MAX_STREAMS",
+    "LibnidsEngine",
+    "DEFAULT_RING_BYTES",
+    "PcapCapture",
+    "STREAM5_DEFAULT_MAX_STREAMS",
+    "Stream5Engine",
+    "PcapBasedSystem",
+    "YAF_SNAPLEN",
+    "YAFEngine",
+    "YafFlowRecord",
+]

@@ -1,0 +1,262 @@
+"""User-level stream reassembly engine — the Libnids/Stream5 substrate.
+
+Libnids and Snort's Stream5 both reassemble TCP at user level on top of
+libpcap: every captured packet is looked up in a user-space flow table
+and its payload copied *again* from the packet ring into a per-stream
+buffer.  This class implements that architecture once, with the knobs
+that distinguish the two tools (flow-table limit, target-based policy,
+mid-stream pickup, per-packet overhead).  Functional work is real — the
+same reassembly engine Scap uses in the kernel, just running in the
+user stage and charged user-stage costs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.base import MonitorApp
+from ..kernelsim.cache import LocalityProfile
+from ..kernelsim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..netstack.flows import CLIENT_TO_SERVER, FiveTuple
+from ..netstack.fragments import IPFragmentReassembler
+from ..netstack.packet import Packet
+from ..core.constants import SCAP_TCP_STRICT, ReassemblyPolicy
+from ..core.reassembly import TCPDirectionReassembler
+
+__all__ = ["UserStreamEngine", "EngineCounters"]
+
+
+@dataclass
+class EngineCounters:
+    packets_handled: int = 0
+    packets_ignored: int = 0  # untracked flow (no SYN seen / table full)
+    streams_tracked: int = 0
+    streams_rejected_table_full: int = 0
+    streams_terminated: int = 0
+    delivered_bytes: int = 0
+    discarded_cutoff_bytes: int = 0
+
+
+@dataclass
+class _UserFlow:
+    client_tuple: FiveTuple
+    last_access: float = 0.0
+    established: bool = False
+    syn_seen: bool = False
+    fin_seen: List[bool] = field(default_factory=lambda: [False, False])
+    closing: bool = False
+    reassemblers: Dict[int, TCPDirectionReassembler] = field(default_factory=dict)
+    delivered: List[int] = field(default_factory=lambda: [0, 0])
+    cutoff_hit: List[bool] = field(default_factory=lambda: [False, False])
+
+    def direction_of(self, five_tuple: FiveTuple) -> int:
+        return CLIENT_TO_SERVER if five_tuple == self.client_tuple else 1
+
+    def tuple_for(self, direction: int) -> FiveTuple:
+        return self.client_tuple if direction == CLIENT_TO_SERVER else self.client_tuple.reversed()
+
+
+class UserStreamEngine:
+    """Flow tracking + TCP reassembly in user space."""
+
+    name = "user-engine"
+
+    def __init__(
+        self,
+        app: MonitorApp,
+        cost_model: Optional[CostModel] = None,
+        locality: Optional[LocalityProfile] = None,
+        max_streams: int = 1_000_000,
+        mode: int = SCAP_TCP_STRICT,
+        policy: str = ReassemblyPolicy.LINUX,
+        require_syn: bool = True,
+        extra_cycles_per_packet: float = 0.0,
+        extra_locality_misses: bool = False,
+        inactivity_timeout: float = 10.0,
+        cutoff: Optional[int] = None,
+    ):
+        self.app = app
+        self.cost = cost_model or DEFAULT_COST_MODEL
+        self.locality = locality or LocalityProfile()
+        self.max_streams = max_streams
+        self.mode = mode
+        self.policy = policy
+        self.require_syn = require_syn
+        self.extra_cycles = extra_cycles_per_packet
+        self.extra_misses = extra_locality_misses
+        self.inactivity_timeout = inactivity_timeout
+        self.cutoff = cutoff
+        self.counters = EngineCounters()
+        self._flows: "OrderedDict[FiveTuple, _UserFlow]" = OrderedDict()
+        self._fragments = IPFragmentReassembler()
+        self._last_sweep = 0.0
+
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> float:
+        """Process one captured packet; return user-stage cycles."""
+        now = packet.timestamp
+        self.counters.packets_handled += 1
+        cycles = self.cost.hash_lookup
+        self._sweep(now)
+
+        if packet.ip is not None and packet.ip.is_fragment:
+            whole = self._fragments.push(packet)
+            cycles += self.cost.user_reassembly_per_segment
+            if whole is None:
+                return cycles
+            packet = whole
+
+        five_tuple = packet.five_tuple
+        if five_tuple is None:
+            return cycles
+        if packet.tcp is not None:
+            cycles += self._handle_tcp(packet, five_tuple, now)
+        elif packet.udp is not None:
+            cycles += self._handle_udp(packet, five_tuple, now)
+        cycles += self.extra_cycles
+        misses = self.locality.pfpacket_user_misses(
+            len(packet.payload), reassembles=True, extra=self.extra_misses
+        )
+        cycles += self.cost.miss_cost(misses)
+        return cycles
+
+    # ------------------------------------------------------------------
+    def _lookup(self, five_tuple: FiveTuple, now: float, create: bool) -> Optional[_UserFlow]:
+        key = five_tuple.canonical()
+        flow = self._flows.get(key)
+        if flow is not None:
+            flow.last_access = now
+            self._flows.move_to_end(key)
+            return flow
+        if not create:
+            return None
+        if len(self._flows) >= self.max_streams:
+            # Unlike Scap, the table is a fixed-size structure: new
+            # connections simply cannot be stored (§6.4).
+            self.counters.streams_rejected_table_full += 1
+            return None
+        flow = _UserFlow(client_tuple=five_tuple, last_access=now)
+        self._flows[key] = flow
+        self.counters.streams_tracked += 1
+        self.app.on_stream_created(five_tuple)
+        return flow
+
+    def _handle_tcp(self, packet: Packet, five_tuple: FiveTuple, now: float) -> float:
+        tcp = packet.tcp
+        assert tcp is not None
+        cycles = 0.0
+        if tcp.syn and not tcp.ack_flag:
+            flow = self._lookup(five_tuple, now, create=True)
+            if flow is not None:
+                flow.syn_seen = True
+                self._reassembler(flow, flow.direction_of(five_tuple)).set_isn(tcp.seq)
+            return cycles
+        flow = self._lookup(five_tuple, now, create=not self.require_syn)
+        if flow is None:
+            self.counters.packets_ignored += 1
+            return cycles
+        direction = flow.direction_of(five_tuple)
+        if tcp.syn and tcp.ack_flag:
+            self._reassembler(flow, direction).set_isn(tcp.seq)
+            if flow.syn_seen:
+                flow.established = True
+            return cycles
+        if tcp.rst:
+            self._terminate(flow, now)
+            return cycles
+        if packet.payload:
+            cycles += self.cost.user_reassembly_per_segment
+            # Every captured byte is copied from the packet ring into
+            # the flow's reassembly buffer, delivered or not — the
+            # extra user-level copy Scap's in-kernel placement avoids.
+            cycles += self.cost.user_reassembly_per_byte * len(packet.payload)
+            delivered = self._reassembler(flow, direction).on_segment(
+                tcp.seq, packet.payload
+            )
+            for piece in delivered:
+                cycles += self._deliver(flow, direction, piece.data, piece.follows_hole)
+        if tcp.fin:
+            flow.fin_seen[direction] = True
+            if flow.fin_seen[0] and flow.fin_seen[1]:
+                flow.closing = True
+        elif flow.closing and not packet.payload:
+            self._terminate(flow, now)
+        return cycles
+
+    def _handle_udp(self, packet: Packet, five_tuple: FiveTuple, now: float) -> float:
+        flow = self._lookup(five_tuple, now, create=True)
+        if flow is None:
+            self.counters.packets_ignored += 1
+            return 0.0
+        direction = flow.direction_of(five_tuple)
+        return self._deliver(flow, direction, packet.payload, False)
+
+    def _reassembler(self, flow: _UserFlow, direction: int) -> TCPDirectionReassembler:
+        reassembler = flow.reassemblers.get(direction)
+        if reassembler is None:
+            reassembler = TCPDirectionReassembler(mode=self.mode, policy=self.policy)
+            flow.reassemblers[direction] = reassembler
+        return reassembler
+
+    def _deliver(
+        self, flow: _UserFlow, direction: int, data: bytes, had_hole: bool
+    ) -> float:
+        """Copy reassembled bytes to the stream buffer and hand to the app."""
+        if not data:
+            return 0.0
+        if flow.cutoff_hit[direction]:
+            self.counters.discarded_cutoff_bytes += len(data)
+            return 0.0
+        offset = flow.delivered[direction]
+        if self.cutoff is not None:
+            remaining = self.cutoff - offset
+            if remaining <= 0:
+                flow.cutoff_hit[direction] = True
+                self.counters.discarded_cutoff_bytes += len(data)
+                return 0.0
+            if len(data) > remaining:
+                self.counters.discarded_cutoff_bytes += len(data) - remaining
+                data = data[:remaining]
+                flow.cutoff_hit[direction] = True
+        flow.delivered[direction] = offset + len(data)
+        self.counters.delivered_bytes += len(data)
+        cycles = self.app.data_cost_cycles(len(data))
+        self.app.on_stream_data(
+            flow.tuple_for(direction), direction, offset, data, had_hole
+        )
+        return cycles
+
+    # ------------------------------------------------------------------
+    def _terminate(self, flow: _UserFlow, now: float) -> None:
+        key = flow.client_tuple.canonical()
+        self._flows.pop(key, None)
+        for direction, reassembler in list(flow.reassemblers.items()):
+            for piece in reassembler.flush():
+                self._deliver(flow, direction, piece.data, piece.follows_hole)
+        self.counters.streams_terminated += 1
+        self.app.on_stream_terminated(
+            flow.client_tuple, flow.delivered[0] + flow.delivered[1]
+        )
+        self.app.termination_cost_cycles()
+
+    def _sweep(self, now: float) -> None:
+        if now - self._last_sweep < 0.05:
+            return
+        self._last_sweep = now
+        while self._flows:
+            key = next(iter(self._flows))
+            flow = self._flows[key]
+            if now - flow.last_access <= self.inactivity_timeout:
+                break
+            self._terminate(flow, now)
+
+    def drain(self, now: float) -> None:
+        """End of capture: flush everything still tracked."""
+        for flow in list(self._flows.values()):
+            self._terminate(flow, now)
+
+    @property
+    def tracked_streams(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,138 @@
+"""YAF-style flow metering (Inacio & Trammell, LISA 2010).
+
+YAF is a libpcap flow exporter: it captures only the first 96 bytes of
+each packet (enough for headers), keeps per-flow counters in a flow
+table, performs *no* reassembly, and emits an IPFIX-like record when a
+flow ends.  In Fig 3 it outperforms Libnids (nothing to reassemble,
+small snaplen) but still saturates around 4 Gbit/s because every packet
+crosses to user space.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..apps.base import MonitorApp
+from ..kernelsim.cache import LocalityProfile
+from ..kernelsim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..netstack.flows import FiveTuple
+from ..netstack.packet import Packet
+
+__all__ = ["YAFEngine", "YafFlowRecord", "YAF_SNAPLEN"]
+
+YAF_SNAPLEN = 96
+
+
+@dataclass
+class YafFlowRecord:
+    """One exported flow record (the IPFIX-ish output of YAF)."""
+
+    five_tuple: FiveTuple
+    packets: int = 0
+    payload_bytes: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    fin_client: bool = False
+    fin_server: bool = False
+
+
+class YAFEngine:
+    """User-level flow metering over 96-byte snapshots."""
+
+    name = "yaf"
+
+    def __init__(
+        self,
+        app: Optional[MonitorApp] = None,
+        cost_model: Optional[CostModel] = None,
+        locality: Optional[LocalityProfile] = None,
+        max_flows: int = 1_000_000,
+        inactivity_timeout: float = 10.0,
+    ):
+        self.app = app or MonitorApp()
+        self.cost = cost_model or DEFAULT_COST_MODEL
+        self.locality = locality or LocalityProfile()
+        self.max_flows = max_flows
+        self.inactivity_timeout = inactivity_timeout
+        self._flows: "OrderedDict[FiveTuple, YafFlowRecord]" = OrderedDict()
+        self.exported: List[YafFlowRecord] = []
+        self.flows_rejected = 0
+        self._last_sweep = 0.0
+
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> float:
+        """Meter one captured packet; return user-stage cycles."""
+        now = packet.timestamp
+        self._sweep(now)
+        cycles = (
+            self.cost.hash_lookup
+            + self.cost.flow_stats_update
+            + self.cost.yaf_per_packet
+        )
+        five_tuple = packet.five_tuple
+        if five_tuple is None:
+            return cycles
+        key = five_tuple.canonical()
+        record = self._flows.get(key)
+        if record is None:
+            tcp = packet.tcp
+            if (
+                tcp is not None
+                and not tcp.syn
+                and not tcp.fin
+                and not tcp.rst
+                and not packet.payload
+            ):
+                # Trailing pure ACK of a just-exported flow: metering it
+                # would produce a duplicate one-packet record.
+                return cycles
+            if len(self._flows) >= self.max_flows:
+                self.flows_rejected += 1
+                return cycles
+            record = YafFlowRecord(five_tuple=five_tuple, first_seen=now)
+            self._flows[key] = record
+        record.packets += 1
+        record.payload_bytes += len(packet.payload)
+        record.last_seen = now
+        self._flows.move_to_end(key)
+        # The TCP state machine closes the flow on RST or once both
+        # directions have FINed, like yaf's flow table.
+        if packet.tcp is not None:
+            if packet.tcp.fin:
+                if five_tuple == record.five_tuple:
+                    record.fin_client = True
+                else:
+                    record.fin_server = True
+            if packet.tcp.rst or (record.fin_client and record.fin_server):
+                self._export(key, record)
+                cycles += self.cost.flow_export_record
+        misses = self.locality.pfpacket_user_misses(len(packet.payload), reassembles=False)
+        cycles += self.cost.miss_cost(misses)
+        return cycles
+
+    def _export(self, key: FiveTuple, record: YafFlowRecord) -> None:
+        self._flows.pop(key, None)
+        self.exported.append(record)
+        self.app.on_stream_terminated(record.five_tuple, record.payload_bytes)
+
+    def _sweep(self, now: float) -> None:
+        if now - self._last_sweep < 0.05:
+            return
+        self._last_sweep = now
+        while self._flows:
+            key = next(iter(self._flows))
+            record = self._flows[key]
+            if now - record.last_seen <= self.inactivity_timeout:
+                break
+            self._export(key, record)
+
+    def drain(self, now: float) -> None:
+        """End of capture: export every still-tracked flow."""
+        for key in list(self._flows):
+            self._export(key, self._flows[key])
+
+    @property
+    def tracked_streams(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,46 @@
+"""Experiment harness: per-figure scenario runners and result records."""
+
+from .cachestudy import (
+    CacheStudyResult,
+    pfpacket_misses_per_packet,
+    scap_misses_per_packet,
+)
+from .results import RunResult
+from .scenarios import (
+    BenchScale,
+    FigureSeries,
+    fig03_flow_statistics,
+    fig04_stream_delivery,
+    fig05_concurrent_streams,
+    fig06_pattern_matching,
+    fig08_cutoff_sweep,
+    fig09_ppl_priorities,
+    fig10_max_lossfree_rate,
+    fig10_worker_scaling,
+    get_scale,
+    run_baseline,
+    run_scap,
+)
+from .tables import STANDARD_METRICS, format_series
+
+__all__ = [
+    "CacheStudyResult",
+    "pfpacket_misses_per_packet",
+    "scap_misses_per_packet",
+    "RunResult",
+    "BenchScale",
+    "FigureSeries",
+    "fig03_flow_statistics",
+    "fig04_stream_delivery",
+    "fig05_concurrent_streams",
+    "fig06_pattern_matching",
+    "fig08_cutoff_sweep",
+    "fig09_ppl_priorities",
+    "fig10_max_lossfree_rate",
+    "fig10_worker_scaling",
+    "get_scale",
+    "run_baseline",
+    "run_scap",
+    "STANDARD_METRICS",
+    "format_series",
+]

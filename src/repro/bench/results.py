@@ -1,0 +1,5 @@
+"""Re-export of :mod:`repro.results` for harness-local imports."""
+
+from ..results import RunResult
+
+__all__ = ["RunResult"]

@@ -1,0 +1,42 @@
+"""Text tables for the experiment harness output."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..results import RunResult
+from .scenarios import FigureSeries
+
+__all__ = ["format_series", "Metric", "STANDARD_METRICS"]
+
+Metric = Tuple[str, Callable[[RunResult], float], str]
+
+STANDARD_METRICS: Sequence[Metric] = (
+    ("drop%", lambda r: r.drop_rate * 100, "6.2f"),
+    ("cpu%", lambda r: r.user_utilization * 100, "6.2f"),
+    ("sirq%", lambda r: r.softirq_load * 100, "5.2f"),
+)
+
+
+def format_series(
+    series: FigureSeries, metrics: Sequence[Metric] = STANDARD_METRICS
+) -> str:
+    """Render one figure's results: one block per metric, systems as
+    columns, the sweep variable as rows — the same layout as the plots."""
+    lines: List[str] = [f"== {series.figure} ({series.x_label}) =="]
+    for note in series.notes:
+        lines.append(f"   note: {note}")
+    systems = series.systems()
+    for metric_name, metric_fn, fmt in metrics:
+        lines.append(f"-- {metric_name} --")
+        header = f"{series.x_label:>16} " + " ".join(f"{s:>12}" for s in systems)
+        lines.append(header)
+        for x in series.xs():
+            cells = []
+            for system in systems:
+                result = series.results.get((system, x))
+                cells.append(
+                    format(metric_fn(result), fmt).rjust(12) if result else " " * 12
+                )
+            lines.append(f"{x:>16g} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Scap: the stream-capture framework (the paper's contribution)."""
+
+from .api import (
+    ScapSocket,
+    ScapStats,
+    register_device,
+    scap_add_cutoff_class,
+    scap_add_cutoff_direction,
+    scap_close,
+    scap_create,
+    scap_discard_stream,
+    scap_dispatch_creation,
+    scap_dispatch_data,
+    scap_dispatch_termination,
+    scap_get_stats,
+    scap_keep_stream_chunk,
+    scap_next_stream_packet,
+    scap_set_cutoff,
+    scap_set_filter,
+    scap_set_parameter,
+    scap_set_stream_cutoff,
+    scap_set_stream_parameter,
+    scap_set_stream_priority,
+    scap_set_worker_threads,
+    scap_start_capture,
+)
+from .config import DEFAULT_MEMORY_SIZE, ScapConfig
+from .constants import (
+    SCAP_DEFAULT,
+    SCAP_TCP_FAST,
+    SCAP_TCP_STRICT,
+    SCAP_UNLIMITED_CUTOFF,
+    Parameter,
+    ReassemblyPolicy,
+    StreamError,
+    StreamStatus,
+)
+from .cutoff import CutoffPolicy
+from .events import DataReason, Event, EventType
+from .flowtable import FlowTable, StreamPair
+from .kernel_module import KernelCounters, ScapKernelModule
+from .loadbalance import LoadBalancer
+from .memory import Chunk, ChunkAssembler, StreamMemory
+from .packet_delivery import PacketRecord, ScapPacketHeader, next_stream_packet
+from .ppl import PPLDecision, PrioritizedPacketLoss
+from .reassembly import DeliveredData, ReassemblyCounters, TCPDirectionReassembler
+from .runtime import ScapRuntime
+from .sharing import SharedApplication, SharedCaptureRuntime, merge_configs
+from .stream import StreamDescriptor, StreamStats
+from .workers import Callbacks, WorkerPool
+
+__all__ = [
+    "ScapSocket",
+    "ScapStats",
+    "register_device",
+    "scap_create",
+    "scap_set_filter",
+    "scap_set_cutoff",
+    "scap_add_cutoff_direction",
+    "scap_add_cutoff_class",
+    "scap_set_worker_threads",
+    "scap_set_parameter",
+    "scap_dispatch_creation",
+    "scap_dispatch_data",
+    "scap_dispatch_termination",
+    "scap_start_capture",
+    "scap_discard_stream",
+    "scap_set_stream_cutoff",
+    "scap_set_stream_priority",
+    "scap_set_stream_parameter",
+    "scap_keep_stream_chunk",
+    "scap_next_stream_packet",
+    "scap_get_stats",
+    "scap_close",
+    "ScapConfig",
+    "DEFAULT_MEMORY_SIZE",
+    "SCAP_DEFAULT",
+    "SCAP_TCP_FAST",
+    "SCAP_TCP_STRICT",
+    "SCAP_UNLIMITED_CUTOFF",
+    "Parameter",
+    "ReassemblyPolicy",
+    "StreamError",
+    "StreamStatus",
+    "CutoffPolicy",
+    "DataReason",
+    "Event",
+    "EventType",
+    "FlowTable",
+    "StreamPair",
+    "KernelCounters",
+    "ScapKernelModule",
+    "LoadBalancer",
+    "Chunk",
+    "ChunkAssembler",
+    "StreamMemory",
+    "PacketRecord",
+    "ScapPacketHeader",
+    "next_stream_packet",
+    "PPLDecision",
+    "PrioritizedPacketLoss",
+    "DeliveredData",
+    "ReassemblyCounters",
+    "TCPDirectionReassembler",
+    "ScapRuntime",
+    "SharedApplication",
+    "SharedCaptureRuntime",
+    "merge_configs",
+    "StreamDescriptor",
+    "StreamStats",
+    "Callbacks",
+    "WorkerPool",
+]

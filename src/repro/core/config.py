@@ -1,0 +1,61 @@
+"""Scap socket configuration shared by the stub and the kernel module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..filters.bpf import BPFFilter
+from .constants import SCAP_TCP_FAST, ReassemblyPolicy
+from .cutoff import CutoffPolicy
+
+__all__ = ["ScapConfig", "DEFAULT_MEMORY_SIZE"]
+
+DEFAULT_MEMORY_SIZE = 1 << 30  # 1 GB stream buffer, as in the evaluation
+
+
+@dataclass
+class ScapConfig:
+    """Everything configurable through the Scap API (Table 1).
+
+    Defaults mirror §6.1: 1 GB stream memory, 16 KB chunks,
+    ``SCAP_TCP_FAST``, 10 s inactivity timeout.
+    """
+
+    memory_size: int = DEFAULT_MEMORY_SIZE
+    reassembly_mode: int = SCAP_TCP_FAST
+    reassembly_policy: str = ReassemblyPolicy.LINUX
+    need_pkts: bool = False
+
+    chunk_size: int = 16 * 1024
+    overlap_size: int = 0
+    flush_timeout: Optional[float] = None
+    inactivity_timeout: float = 10.0
+
+    # Prioritized packet loss.
+    base_threshold: float = 0.5
+    overload_cutoff: Optional[int] = None
+
+    worker_threads: int = 1
+
+    # Hardware offload.
+    use_fdir: bool = True
+    fdir_initial_timeout: float = 2.0
+
+    event_queue_capacity: int = 1 << 16
+
+    bpf: BPFFilter = field(default_factory=BPFFilter)
+    cutoffs: CutoffPolicy = field(default_factory=CutoffPolicy)
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range parameters."""
+        if self.memory_size <= 0:
+            raise ValueError("memory_size must be positive")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if not 0 <= self.overlap_size < self.chunk_size:
+            raise ValueError("overlap_size must be in [0, chunk_size)")
+        if self.worker_threads < 1:
+            raise ValueError("need at least one worker thread")
+        if self.inactivity_timeout <= 0:
+            raise ValueError("inactivity_timeout must be positive")

@@ -1,0 +1,136 @@
+"""Public constants of the Scap API (Table 1 and §2.3)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SCAP_TCP_STRICT",
+    "SCAP_TCP_FAST",
+    "SCAP_DEFAULT",
+    "SCAP_UNLIMITED_CUTOFF",
+    "ReassemblyPolicy",
+    "StreamStatus",
+    "StreamError",
+    "Parameter",
+]
+
+# Reassembly modes (§2.3).
+SCAP_TCP_STRICT = 1
+SCAP_TCP_FAST = 2
+
+# Default memory size sentinel for scap_create().
+SCAP_DEFAULT = 0
+
+# "No cutoff": deliver the entire stream.
+SCAP_UNLIMITED_CUTOFF = -1
+
+
+class ReassemblyPolicy:
+    """Target-based reassembly policies (§2.3, after Shankar & Paxson).
+
+    When two buffered segments cover the same sequence range with
+    *different* bytes, which copy a stack keeps depends on the OS — and
+    for several stacks it depends on *where the new segment begins*
+    relative to the old one (the Novak–Sturges target-based model that
+    Stream5, and Scap, implement):
+
+    * ``FIRST`` / ``WINDOWS`` / ``SOLARIS`` — the original data always
+      wins.
+    * ``LAST`` — the newest copy always wins.
+    * ``BSD`` — the new segment wins only where it begins *before* the
+      existing one; elsewhere the original is kept.
+    * ``LINUX`` — like BSD, but the new segment also wins when it
+      begins at the same sequence number as the existing one.
+    """
+
+    FIRST = "first"
+    LAST = "last"
+    LINUX = "linux"
+    WINDOWS = "windows"
+    BSD = "bsd"
+    SOLARIS = "solaris"
+
+    _KNOWN = frozenset({FIRST, LAST, LINUX, WINDOWS, BSD, SOLARIS})
+
+    @classmethod
+    def validate(cls, policy: str) -> str:
+        """Return ``policy`` if known; raise ValueError otherwise."""
+        if policy not in cls._KNOWN:
+            raise ValueError(f"unknown reassembly policy: {policy!r}")
+        return policy
+
+    @classmethod
+    def winner(cls, policy: str) -> str:
+        """Backward-compatible coarse mapping (old-wins vs new-wins)."""
+        cls.validate(policy)
+        return cls.LAST if policy == cls.LAST else cls.FIRST
+
+    @classmethod
+    def new_segment_wins(cls, policy: str, old_start: int, new_start: int) -> bool:
+        """Does the new segment's copy win the conflicting overlap?
+
+        ``old_start`` / ``new_start`` are the stream offsets at which
+        the buffered and the arriving segment begin.
+        """
+        if policy in (cls.FIRST, cls.WINDOWS, cls.SOLARIS):
+            return False
+        if policy == cls.LAST:
+            return True
+        if policy == cls.BSD:
+            return new_start < old_start
+        if policy == cls.LINUX:
+            return new_start <= old_start
+        raise ValueError(f"unknown reassembly policy: {policy!r}")
+
+
+class StreamStatus:
+    """Values of ``sd.status``."""
+
+    ACTIVE = "active"
+    CLOSED = "closed"  # FIN handshake completed
+    RESET = "reset"  # RST observed
+    TIMED_OUT = "timed_out"  # inactivity timeout
+    CUTOFF = "cutoff"  # stream cutoff exceeded, monitoring continues
+
+
+class StreamError:
+    """Bit flags of ``sd.error`` (§3.2)."""
+
+    NONE = 0
+    INCOMPLETE_HANDSHAKE = 1 << 0
+    INVALID_SEQUENCE = 1 << 1
+    REASSEMBLY_HOLE = 1 << 2  # FAST mode wrote past a lost segment
+    IP_FRAGMENT_TIMEOUT = 1 << 3
+
+
+class Parameter:
+    """Keys accepted by scap_set_parameter / scap_set_stream_parameter."""
+
+    INACTIVITY_TIMEOUT = "inactivity_timeout"
+    CHUNK_SIZE = "chunk_size"
+    OVERLAP_SIZE = "overlap_size"
+    FLUSH_TIMEOUT = "flush_timeout"
+    BASE_THRESHOLD = "base_threshold"
+    OVERLOAD_CUTOFF = "overload_cutoff"
+    REASSEMBLY_MODE = "reassembly_mode"
+    REASSEMBLY_POLICY = "reassembly_policy"
+
+    GLOBAL_KEYS = frozenset(
+        {
+            INACTIVITY_TIMEOUT,
+            CHUNK_SIZE,
+            OVERLAP_SIZE,
+            FLUSH_TIMEOUT,
+            BASE_THRESHOLD,
+            OVERLOAD_CUTOFF,
+        }
+    )
+    STREAM_KEYS = frozenset(
+        {
+            INACTIVITY_TIMEOUT,
+            CHUNK_SIZE,
+            OVERLAP_SIZE,
+            FLUSH_TIMEOUT,
+            REASSEMBLY_MODE,
+            REASSEMBLY_POLICY,
+        }
+    )

@@ -1,0 +1,49 @@
+"""Scap events: creation, data availability, termination (§5.4).
+
+The kernel module enqueues events on per-core queues; the worker
+thread of the same core pops them and invokes the application's
+registered callbacks.  A data event names the reason it fired — chunk
+full, flush timeout, cutoff reached, or stream termination — because
+the memory manager and the statistics care about the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .memory import Chunk
+    from .stream import StreamDescriptor
+
+__all__ = ["EventType", "DataReason", "Event"]
+
+
+class EventType:
+    """Event kind tags (creation / data / termination)."""
+    STREAM_CREATED = "created"
+    STREAM_DATA = "data"
+    STREAM_TERMINATED = "terminated"
+
+
+class DataReason:
+    """Why a data event fired (chunk full, flush, cutoff, end)."""
+    CHUNK_FULL = "chunk_full"
+    FLUSH_TIMEOUT = "flush_timeout"
+    CUTOFF = "cutoff"
+    TERMINATION = "termination"
+
+
+@dataclass
+class Event:
+    """One queued event, bound to the stream that triggered it."""
+
+    event_type: str
+    stream: "StreamDescriptor"
+    created_at: float
+    chunk: "Chunk | None" = None
+    reason: Optional[str] = None
+
+    @property
+    def data_len(self) -> int:
+        return self.chunk.length if self.chunk is not None else 0

@@ -1,0 +1,179 @@
+"""The kernel module's stream table (§5.2).
+
+A hash table maps the canonical bidirectional five-tuple to a
+:class:`StreamPair` — the two ``stream_t`` directions plus the
+per-direction reassembly and chunking state.  An *access list* (here an
+``OrderedDict``, which is exactly a hash table threaded onto an LRU
+list) keeps streams sorted by last access so inactivity expiration pops
+from the cold end in O(expired), as described in the paper.
+
+There is no hard stream limit: records are allocated on demand.  When
+an optional record budget is exhausted (modeling "no more free
+memory"), the *oldest* stream is evicted to make room — Scap's policy
+of always storing newer streams (§6.4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..netstack.flows import CLIENT_TO_SERVER, SERVER_TO_CLIENT, FiveTuple
+from .memory import ChunkAssembler
+from .reassembly import TCPDirectionReassembler
+from .stream import StreamDescriptor
+
+__all__ = ["StreamPair", "FlowTable"]
+
+
+@dataclass
+class StreamPair:
+    """Both directions of one connection plus their processing state."""
+
+    key: FiveTuple  # canonical
+    client: StreamDescriptor  # direction 0: as seen from the first packet
+    server: StreamDescriptor  # direction 1
+    last_access: float = 0.0
+    core: int = 0
+
+    # TCP connection-state tracking.
+    syn_seen: bool = False
+    synack_seen: bool = False
+    established: bool = False
+    fin_seen: Tuple[bool, bool] = (False, False)
+    #: Both FINs observed; the connection terminates on the final ACK.
+    closing: bool = False
+    closed: bool = False
+
+    reassemblers: Dict[int, TCPDirectionReassembler] = field(default_factory=dict)
+    assemblers: Dict[int, ChunkAssembler] = field(default_factory=dict)
+
+    # FDIR integration (§5.5).
+    nic_filters_installed: bool = False
+    filter_timeout_interval: float = 0.0
+    #: Highest sequence number seen per direction, for estimating flow
+    #: size from FIN/RST when data packets were dropped at the NIC.
+    last_seq: Dict[int, int] = field(default_factory=dict)
+
+    def descriptor(self, direction: int) -> StreamDescriptor:
+        """The stream_t for one direction of the connection."""
+        return self.client if direction == CLIENT_TO_SERVER else self.server
+
+    def direction_of(self, five_tuple: FiveTuple) -> int:
+        """Which direction a directional five-tuple corresponds to."""
+        return CLIENT_TO_SERVER if five_tuple == self.client.five_tuple else SERVER_TO_CLIENT
+
+    @property
+    def both(self) -> Tuple[StreamDescriptor, StreamDescriptor]:
+        return (self.client, self.server)
+
+
+class FlowTable:
+    """Hash table + LRU access list over :class:`StreamPair` records."""
+
+    def __init__(self, max_streams: Optional[int] = None):
+        self._table: "OrderedDict[FiveTuple, StreamPair]" = OrderedDict()
+        self.max_streams = max_streams
+        self.created_total = 0
+        self.evicted_total = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[StreamPair]:
+        return iter(self._table.values())
+
+    # ------------------------------------------------------------------
+    def get(self, five_tuple: FiveTuple) -> Optional[StreamPair]:
+        """Find a pair by either direction's tuple, without touching LRU order."""
+        return self._table.get(five_tuple.canonical())
+
+    def touch(self, pair: StreamPair, now: float) -> None:
+        """Refresh the pair's position in the access list."""
+        pair.last_access = now
+        self._table.move_to_end(pair.key)
+
+    def lookup_or_create(
+        self, five_tuple: FiveTuple, now: float
+    ) -> Tuple[StreamPair, bool, List[StreamPair]]:
+        """Find or create the pair for ``five_tuple``.
+
+        Returns ``(pair, created, evicted)`` where ``evicted`` lists
+        pairs removed to make room (the caller must emit their
+        termination events).
+        """
+        key = five_tuple.canonical()
+        pair = self._table.get(key)
+        if pair is not None:
+            self.touch(pair, now)
+            return pair, False, []
+        evicted: List[StreamPair] = []
+        if self.max_streams is not None:
+            while len(self._table) >= self.max_streams:
+                _, victim = self._table.popitem(last=False)
+                self.evicted_total += 1
+                evicted.append(victim)
+        client = StreamDescriptor(
+            five_tuple=five_tuple,
+            direction=CLIENT_TO_SERVER,
+            protocol=five_tuple.protocol,
+        )
+        server = StreamDescriptor(
+            five_tuple=five_tuple.reversed(),
+            direction=SERVER_TO_CLIENT,
+            protocol=five_tuple.protocol,
+        )
+        client.opposite = server
+        server.opposite = client
+        client.stats.start = server.stats.start = now
+        pair = StreamPair(key=key, client=client, server=server, last_access=now)
+        self._table[key] = pair
+        self.created_total += 1
+        return pair, True, evicted
+
+    def remove(self, pair: StreamPair) -> None:
+        """Drop a pair from the table (stream terminated)."""
+        self._table.pop(pair.key, None)
+
+    # ------------------------------------------------------------------
+    def expire_idle(self, now: float, default_timeout: float) -> List[StreamPair]:
+        """Pop streams idle past their inactivity timeout.
+
+        Scans from the cold end of the access list; stops at the first
+        pair that is not even default-expired, so cost is proportional
+        to the number of expirations.
+        """
+        expired: List[StreamPair] = []
+        requeue: List[StreamPair] = []
+        while self._table:
+            key = next(iter(self._table))
+            pair = self._table[key]
+            idle = now - pair.last_access
+            if idle <= default_timeout:
+                break
+            timeout = default_timeout
+            overrides = [
+                d.inactivity_timeout
+                for d in pair.both
+                if d.inactivity_timeout is not None
+            ]
+            if overrides:
+                timeout = max(overrides)
+            if idle > timeout:
+                del self._table[key]
+                expired.append(pair)
+            else:
+                # Default-expired but stream-timeout still running: move
+                # it off the cold end so the scan can proceed.
+                self._table.move_to_end(key)
+                requeue.append(pair)
+                if len(requeue) > 64:
+                    break
+        return expired
+
+    def drain(self) -> List[StreamPair]:
+        """Remove and return every pair (end of capture)."""
+        pairs = list(self._table.values())
+        self._table.clear()
+        return pairs

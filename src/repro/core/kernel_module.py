@@ -1,0 +1,617 @@
+"""The Scap kernel module (§4, §5).
+
+This is the in-kernel half of Scap, run per packet inside the simulated
+software-interrupt handler of the core the NIC steered the packet to:
+
+* locate/create the ``stream_t`` pair in the flow table;
+* track the TCP state machine (handshake, FIN/RST, inactivity);
+* normalize IP fragments and reassemble TCP in the configured mode and
+  per-stream target policy;
+* enforce the stream cutoff (and install NIC FDIR drop filters when a
+  stream passes it — the subzero-copy path);
+* apply Prioritized Packet Loss against the shared memory pool;
+* write accepted payload into per-stream chunk blocks and emit
+  creation/data/termination events to the per-core queues.
+
+Every operation charges cycles from the cost model; the caller (the
+runtime) turns the accumulated cycles into softirq service time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..kernelsim.cache import LocalityProfile
+from ..kernelsim.costmodel import CostModel
+from ..netstack.fragments import IPFragmentReassembler
+from ..netstack.packet import Packet
+from ..netstack.tcp import TCPFlags, seq_diff
+from ..nic.fdir import FDIR_DROP, FLEX_OFFSET_TCP_FLAGS, FdirFilter
+from ..nic.nic import SimulatedNIC
+from .config import ScapConfig
+from .constants import SCAP_TCP_STRICT, StreamError, StreamStatus
+from .events import DataReason, Event, EventType
+from .flowtable import FlowTable, StreamPair
+from .memory import Chunk, ChunkAssembler, StreamMemory
+from .packet_delivery import PacketRecord
+from .ppl import PrioritizedPacketLoss
+from .reassembly import TCPDirectionReassembler
+from .stream import StreamDescriptor
+
+__all__ = ["ScapKernelModule", "KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Aggregate counters across all cores (experiment bookkeeping)."""
+
+    packets_seen: int = 0  # reached the softirq handler
+    bytes_seen: int = 0
+    filtered_out: int = 0  # failed the socket BPF filter
+    dropped_ppl: int = 0
+    dropped_memory: int = 0  # pool completely full
+    discarded_cutoff_packets: int = 0
+    discarded_cutoff_bytes: int = 0
+    discarded_non_established: int = 0
+    stored_bytes: int = 0
+    events_emitted: int = 0
+    events_dropped: int = 0
+    stray_acks: int = 0
+    fdir_installs: int = 0
+    fdir_removals: int = 0
+    fragment_packets: int = 0
+    # Per-priority accounting for the PPL experiments.
+    packets_by_priority: Dict[int, int] = field(default_factory=dict)
+    ppl_drops_by_priority: Dict[int, int] = field(default_factory=dict)
+
+
+class ScapKernelModule:
+    """Functional + cost model of the kernel half of Scap.
+
+    ``emit_event(core, event, cycles_charged_so_far)`` is provided by
+    the runtime; it is called while still "inside" the softirq so the
+    runtime can deliver the event to the right worker queue once the
+    softirq service completes.
+    """
+
+    def __init__(
+        self,
+        config: ScapConfig,
+        nic: SimulatedNIC,
+        cost_model: CostModel,
+        locality: Optional[LocalityProfile] = None,
+        emit_event: Optional[Callable[[int, Event], None]] = None,
+        max_streams: Optional[int] = None,
+    ):
+        config.validate()
+        self.config = config
+        self.nic = nic
+        self.cost = cost_model
+        self.locality = locality or LocalityProfile()
+        self.emit_event = emit_event or (lambda core, event: None)
+        self.flows = FlowTable(max_streams=max_streams)
+        self.memory = StreamMemory(config.memory_size)
+        self.ppl = PrioritizedPacketLoss(
+            base_threshold=config.base_threshold,
+            overload_cutoff=config.overload_cutoff,
+        )
+        self.counters = KernelCounters()
+        self._fragments = IPFragmentReassembler()
+        self._filter_timeouts: List[Tuple[float, int, FdirFilter, StreamPair]] = []
+        self._filter_seq = 0
+        self._last_sweep = 0.0
+        # Charged cycles for the packet currently being processed.
+        self._cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet, core: int) -> float:
+        """Process one packet on ``core``; return softirq cycles charged."""
+        now = packet.timestamp
+        self._cycles = self.cost.softirq_per_packet
+        self.counters.packets_seen += 1
+        self.counters.bytes_seen += packet.wire_len
+        self._sweep(now, core)
+
+        if not self.config.bpf.matches(packet):
+            # Early in-kernel discard: headers touched, nothing copied.
+            self.counters.filtered_out += 1
+            self._cycles += 40.0
+            return self._cycles
+
+        if packet.ip is not None and packet.ip.is_fragment:
+            self.counters.fragment_packets += 1
+            self._cycles += self.cost.reassembly_per_segment
+            whole = self._fragments.push(packet)
+            if whole is None:
+                return self._cycles
+            packet = whole
+
+        five_tuple = packet.five_tuple
+        if five_tuple is None:
+            return self._cycles  # non-IP frames are ignored by Scap
+
+        self._cycles += self.cost.hash_lookup
+        if (
+            packet.tcp is not None
+            and not packet.payload
+            and not packet.tcp.syn
+            and not packet.tcp.fin
+            and not packet.tcp.rst
+            and self.flows.get(five_tuple) is None
+        ):
+            # A bare ACK for a flow we are not tracking (e.g. the final
+            # ACK of a connection just torn down): no stream state.
+            self.counters.stray_acks += 1
+            return self._cycles
+        pair, created, evicted = self.flows.lookup_or_create(five_tuple, now)
+        for victim in evicted:
+            self._terminate(victim, now, victim.core, StreamStatus.TIMED_OUT)
+        if created:
+            pair.core = core
+            self._cycles += self.cost.stream_update
+            self._emit(core, Event(EventType.STREAM_CREATED, pair.client, now))
+        direction = pair.direction_of(five_tuple)
+        stream = pair.descriptor(direction)
+        self._cycles += self.cost.stream_update
+        self._update_stats(stream, packet, now)
+        self.counters.packets_by_priority[stream.priority] = (
+            self.counters.packets_by_priority.get(stream.priority, 0) + 1
+        )
+
+        if packet.tcp is not None:
+            self._handle_tcp(pair, stream, direction, packet, now, core)
+        elif packet.udp is not None:
+            self._handle_payload(pair, stream, direction, packet.payload, now, core)
+            self._maybe_flush_timeout(pair, stream, direction, now, core)
+        else:
+            # Other IP protocols: no reassembly, each packet delivered
+            # for processing on its own (§2.3).
+            self._handle_payload(pair, stream, direction, packet.payload, now, core)
+            assembler = pair.assemblers.get(direction)
+            if assembler is not None and assembler.pending_bytes:
+                chunk = assembler.flush(now)
+                if chunk is not None:
+                    self._emit_data(core, stream, chunk, DataReason.CHUNK_FULL, now)
+        return self._cycles
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _update_stats(self, stream: StreamDescriptor, packet: Packet, now: float) -> None:
+        stats = stream.stats
+        stats.pkts += 1
+        stats.bytes += len(packet.payload)
+        stats.end = now
+        if stats.start == 0.0:
+            stats.start = now
+
+    # ------------------------------------------------------------------
+    # TCP handling
+    # ------------------------------------------------------------------
+    def _reassembler_for(
+        self, pair: StreamPair, stream: StreamDescriptor, direction: int
+    ) -> TCPDirectionReassembler:
+        reassembler = pair.reassemblers.get(direction)
+        if reassembler is None:
+            mode = stream.reassembly_mode or self.config.reassembly_mode
+            policy = stream.reassembly_policy or self.config.reassembly_policy
+            reassembler = TCPDirectionReassembler(mode=mode, policy=policy)
+            pair.reassemblers[direction] = reassembler
+        return reassembler
+
+    def _handle_tcp(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        packet: Packet,
+        now: float,
+        core: int,
+    ) -> None:
+        tcp = packet.tcp
+        assert tcp is not None
+        pair.last_seq[direction] = tcp.seq
+
+        if tcp.syn and not tcp.ack_flag:
+            pair.syn_seen = True
+            self._reassembler_for(pair, stream, direction).set_isn(tcp.seq)
+            return
+        if tcp.syn and tcp.ack_flag:
+            pair.synack_seen = True
+            self._reassembler_for(pair, stream, direction).set_isn(tcp.seq)
+            if pair.syn_seen:
+                pair.established = True
+                # A zero cutoff is known at establishment: trigger the
+                # cutoff (and the FDIR filters) right away, so no data
+                # packet of this flow is ever brought to memory (§6.2).
+                for peer_direction, peer in enumerate(pair.both):
+                    if (
+                        not peer.cutoff_exceeded
+                        and self.config.cutoffs.effective_cutoff(peer) == 0
+                    ):
+                        self._cutoff_reached(pair, peer, peer_direction, now, core)
+            return
+        if tcp.rst:
+            self._estimate_from_seq(pair, stream, direction, tcp.seq)
+            self._terminate(pair, now, core, StreamStatus.RESET)
+            return
+
+        if packet.payload:
+            self._handle_tcp_payload(pair, stream, direction, packet, now, core)
+
+        if tcp.fin:
+            self._estimate_from_seq(pair, stream, direction, tcp.seq)
+            fin = list(pair.fin_seen)
+            fin[direction] = True
+            pair.fin_seen = (fin[0], fin[1])
+            if pair.fin_seen[0] and pair.fin_seen[1]:
+                # Both sides have FINed: the connection is over.  (The
+                # final ACK, if it still reaches us, is ignored below —
+                # stray ACKs never create flow state.)
+                self._terminate(pair, now, core, StreamStatus.CLOSED)
+                return
+        self._maybe_flush_timeout(pair, stream, direction, now, core)
+
+    def _handle_tcp_payload(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        packet: Packet,
+        now: float,
+        core: int,
+    ) -> None:
+        mode = stream.reassembly_mode or self.config.reassembly_mode
+        if mode == SCAP_TCP_STRICT and not pair.established:
+            # Strict normalization: data from non-established connections
+            # is discarded (protects against stick/snot-style noise).
+            self.counters.discarded_non_established += 1
+            stream.stats.discarded_pkts += 1
+            stream.stats.discarded_bytes += len(packet.payload)
+            return
+
+        reassembler = self._reassembler_for(pair, stream, direction)
+        if not pair.established and not reassembler.anchored:
+            stream.set_error(StreamError.INCOMPLETE_HANDSHAKE)
+
+        if stream.cutoff_exceeded or stream.discarded_by_app:
+            # Data past the cutoff that still reached the kernel (no
+            # FDIR, or filter evicted): discard at once, nearly free.
+            self.counters.discarded_cutoff_packets += 1
+            self.counters.discarded_cutoff_bytes += len(packet.payload)
+            stream.stats.discarded_pkts += 1
+            stream.stats.discarded_bytes += len(packet.payload)
+            if self.config.use_fdir and not pair.nic_filters_installed:
+                self._install_filters(pair, stream, now)
+            return
+
+        # Prioritized packet loss: decide before spending copy cycles.
+        decision = self.ppl.check(
+            self.memory.fraction_used(now), stream.priority, reassembler.next_offset
+        )
+        if decision.drop:
+            self.counters.dropped_ppl += 1
+            self.counters.ppl_drops_by_priority[stream.priority] = (
+                self.counters.ppl_drops_by_priority.get(stream.priority, 0) + 1
+            )
+            stream.stats.dropped_pkts += 1
+            stream.stats.dropped_bytes += len(packet.payload)
+            return
+
+        self._cycles += self.cost.reassembly_per_segment
+        # Compute the packet's stream position before reassembly moves
+        # the expected pointer (needed for per-packet delivery records).
+        record_offset = (
+            reassembler.next_offset + seq_diff(packet.tcp.seq, reassembler.expected_seq)
+            if reassembler.anchored
+            else 0
+        )
+        buffered_before = reassembler.buffered_bytes
+        delivered = reassembler.on_segment(packet.tcp.seq, packet.payload)
+        stored_any = False
+        for piece in delivered:
+            stored = self._store_piece(pair, stream, direction, piece.data, now, core,
+                                       follows_hole=piece.follows_hole)
+            stored_any = stored_any or stored
+        # A record exists only for packets whose bytes were stored in
+        # stream memory right away — the record's payload pointer must
+        # point at real stream data.  (Out-of-order segments awaiting a
+        # hole fill are not individually recorded; their bytes reach the
+        # application through the chunks of the merged piece.)
+        if self.config.need_pkts and stored_any:
+            stream.packet_records.append(
+                PacketRecord(
+                    timestamp=now,
+                    caplen=len(packet.payload),
+                    wire_len=packet.wire_len,
+                    seq=packet.tcp.seq,
+                    tcp_flags=packet.tcp.flags,
+                    payload=packet.payload,
+                    stream_offset=record_offset,
+                )
+            )
+        if delivered:
+            stream.stats.captured_pkts += 1
+
+    # ------------------------------------------------------------------
+    # Payload storage (shared by TCP/UDP/other)
+    # ------------------------------------------------------------------
+    def _assembler_for(
+        self, pair: StreamPair, stream: StreamDescriptor, direction: int
+    ) -> ChunkAssembler:
+        assembler = pair.assemblers.get(direction)
+        if assembler is None:
+            assembler = ChunkAssembler(
+                self.memory,
+                chunk_size=stream.chunk_size or self.config.chunk_size,
+                overlap=stream.overlap_size
+                if stream.overlap_size is not None
+                else self.config.overlap_size,
+            )
+            pair.assemblers[direction] = assembler
+        return assembler
+
+    def _handle_payload(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        payload: bytes,
+        now: float,
+        core: int,
+    ) -> None:
+        """UDP / other protocols: concatenate payloads, no reassembly."""
+        if not payload:
+            return
+        if stream.cutoff_exceeded or stream.discarded_by_app:
+            stream.stats.discarded_pkts += 1
+            stream.stats.discarded_bytes += len(payload)
+            self.counters.discarded_cutoff_packets += 1
+            self.counters.discarded_cutoff_bytes += len(payload)
+            return
+        assembler = self._assembler_for(pair, stream, direction)
+        decision = self.ppl.check(
+            self.memory.fraction_used(now), stream.priority, assembler.stream_offset
+        )
+        if decision.drop:
+            self.counters.dropped_ppl += 1
+            self.counters.ppl_drops_by_priority[stream.priority] = (
+                self.counters.ppl_drops_by_priority.get(stream.priority, 0) + 1
+            )
+            stream.stats.dropped_pkts += 1
+            stream.stats.dropped_bytes += len(payload)
+            return
+        record_offset = assembler.stream_offset
+        stored = self._store_piece(pair, stream, direction, payload, now, core)
+        stream.stats.captured_pkts += 1
+        if stored and self.config.need_pkts:
+            stream.packet_records.append(
+                PacketRecord(
+                    timestamp=now,
+                    caplen=len(payload),
+                    wire_len=len(payload) + 42,
+                    seq=0,
+                    tcp_flags=0,
+                    payload=payload,
+                    stream_offset=record_offset,
+                )
+            )
+
+    def _store_piece(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        data: bytes,
+        now: float,
+        core: int,
+        follows_hole: bool = False,
+    ) -> bool:
+        """Write reassembled bytes into the stream's chunk block."""
+        if not data:
+            return False
+        assembler = self._assembler_for(pair, stream, direction)
+        remaining = self.config.cutoffs.remaining(stream, assembler.stream_offset)
+        truncated = False
+        if remaining is not None and len(data) >= remaining:
+            cut = len(data) - remaining
+            if cut:
+                stream.stats.discarded_bytes += cut
+                self.counters.discarded_cutoff_bytes += cut
+            data = data[:remaining]
+            truncated = True
+        if data:
+            if not self.memory.try_store(now, len(data)):
+                self.counters.dropped_memory += 1
+                # Memory exhaustion is the overload drop of last resort;
+                # account it per priority like a PPL drop so the PPL
+                # experiments see the complete per-class loss.
+                self.counters.ppl_drops_by_priority[stream.priority] = (
+                    self.counters.ppl_drops_by_priority.get(stream.priority, 0) + 1
+                )
+                stream.stats.dropped_pkts += 1
+                stream.stats.dropped_bytes += len(data)
+                return False
+            if follows_hole:
+                stream.set_error(StreamError.REASSEMBLY_HOLE)
+            self._cycles += self.cost.copy_cost(len(data))
+            self._cycles += self.cost.miss_cost(self.locality.scap_kernel_misses(len(data)))
+            self.counters.stored_bytes += len(data)
+            stream.stats.captured_bytes += len(data)
+            for chunk in assembler.append(data, now, had_hole=follows_hole):
+                self._emit_data(core, stream, chunk, DataReason.CHUNK_FULL, now)
+        if truncated:
+            self._cutoff_reached(pair, stream, direction, now, core)
+        return bool(data)
+
+    def _cutoff_reached(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        now: float,
+        core: int,
+    ) -> None:
+        """The stream hit its cutoff: final chunk, FDIR filters (§5.4/5.5)."""
+        stream.cutoff_exceeded = True
+        stream.status = StreamStatus.CUTOFF
+        assembler = pair.assemblers.get(direction)
+        final = assembler.flush(now) if assembler is not None else None
+        if final is not None:
+            self._emit_data(core, stream, final, DataReason.CUTOFF, now)
+        if self.config.use_fdir:
+            self._install_filters(pair, stream, now)
+
+    # ------------------------------------------------------------------
+    # Flush timeouts
+    # ------------------------------------------------------------------
+    def _maybe_flush_timeout(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        now: float,
+        core: int,
+    ) -> None:
+        flush_timeout = (
+            stream.flush_timeout
+            if stream.flush_timeout is not None
+            else self.config.flush_timeout
+        )
+        if flush_timeout is None:
+            return
+        assembler = pair.assemblers.get(direction)
+        if (
+            assembler is not None
+            and assembler.pending_bytes
+            and now - assembler.last_delivery >= flush_timeout
+        ):
+            chunk = assembler.flush(now)
+            if chunk is not None:
+                self._emit_data(core, stream, chunk, DataReason.FLUSH_TIMEOUT, now)
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def _terminate(
+        self, pair: StreamPair, now: float, core: int, status: str
+    ) -> None:
+        """Flush, emit final data + termination events, drop state."""
+        self.flows.remove(pair)
+        for direction, stream in enumerate(pair.both):
+            reassembler = pair.reassemblers.get(direction)
+            if reassembler is not None:
+                for piece in reassembler.flush():
+                    self._store_piece(
+                        pair, stream, direction, piece.data, now, core,
+                        follows_hole=piece.follows_hole,
+                    )
+            assembler = pair.assemblers.get(direction)
+            if assembler is not None:
+                final = assembler.flush(now)
+                if final is not None:
+                    self._emit_data(core, stream, final, DataReason.TERMINATION, now)
+            if stream.status in (StreamStatus.ACTIVE, StreamStatus.CUTOFF):
+                stream.status = status
+            stream.stats.end = now
+        if pair.nic_filters_installed:
+            self._remove_filters(pair, now)
+        self._emit(core, Event(EventType.STREAM_TERMINATED, pair.client, now))
+        self._emit(core, Event(EventType.STREAM_TERMINATED, pair.server, now))
+
+    def expire_and_drain(self, now: float) -> None:
+        """End of capture: time out everything still in the table."""
+        for pair in self.flows.drain():
+            self._terminate(pair, now, pair.core, StreamStatus.TIMED_OUT)
+
+    # ------------------------------------------------------------------
+    # Housekeeping sweep (inactivity + FDIR timeouts)
+    # ------------------------------------------------------------------
+    def _sweep(self, now: float, core: int) -> None:
+        if now - self._last_sweep < 0.01:
+            return
+        self._last_sweep = now
+        for pair in self.flows.expire_idle(now, self.config.inactivity_timeout):
+            self._terminate(pair, now, pair.core, StreamStatus.TIMED_OUT)
+        while self._filter_timeouts and self._filter_timeouts[0][0] <= now:
+            _, _, nic_filter, pair = heapq.heappop(self._filter_timeouts)
+            if self.nic.fdir.remove_filter(nic_filter):
+                self.counters.fdir_removals += 1
+                self._cycles += self.cost.fdir_filter_update
+                pair.nic_filters_installed = False
+
+    # ------------------------------------------------------------------
+    # FDIR filter management (§5.5)
+    # ------------------------------------------------------------------
+    def _install_filters(self, pair: StreamPair, stream: StreamDescriptor, now: float) -> None:
+        """Install the two data-dropping filters for ``stream``'s direction.
+
+        Filters match the stream's directional five-tuple plus the TCP
+        offset/flags word for plain-ACK and ACK|PSH segments; RST/FIN
+        (and SYN) still reach the kernel for termination tracking.
+        """
+        if pair.filter_timeout_interval <= 0:
+            pair.filter_timeout_interval = self.config.fdir_initial_timeout
+        else:
+            # Re-install after a timeout removal: double the interval so
+            # long-lived flows are evicted only O(log) times.
+            pair.filter_timeout_interval *= 2
+        timeout_at = now + pair.filter_timeout_interval
+        for flags in (TCPFlags.ACK, TCPFlags.ACK | TCPFlags.PSH):
+            nic_filter = FdirFilter(
+                five_tuple=stream.five_tuple,
+                action_queue=FDIR_DROP,
+                flex_offset=FLEX_OFFSET_TCP_FLAGS,
+                flex_value=(5 << 12) | flags,
+                timeout_at=timeout_at,
+                timeout_interval=pair.filter_timeout_interval,
+            )
+            self.nic.fdir.add(nic_filter)
+            self._filter_seq += 1
+            heapq.heappush(
+                self._filter_timeouts, (timeout_at, self._filter_seq, nic_filter, pair)
+            )
+            self.counters.fdir_installs += 1
+            self._cycles += self.cost.fdir_filter_update
+        pair.nic_filters_installed = True
+
+    def _remove_filters(self, pair: StreamPair, now: float) -> None:
+        removed = self.nic.fdir.remove_for_stream(pair.key)
+        if removed:
+            self.counters.fdir_removals += removed
+            self._cycles += self.cost.fdir_filter_update * removed
+        pair.nic_filters_installed = False
+
+    def _estimate_from_seq(
+        self, pair: StreamPair, stream: StreamDescriptor, direction: int, seq: int
+    ) -> None:
+        """Recover flow size from FIN/RST sequence numbers (§5.5).
+
+        When data packets were dropped at the NIC the kernel never saw
+        them; the FIN's sequence number still tells us how many bytes
+        the stream carried.
+        """
+        reassembler = pair.reassemblers.get(direction)
+        if reassembler is None or not reassembler.anchored:
+            return
+        estimated = reassembler.next_offset + seq_diff(seq, reassembler.expected_seq)
+        if estimated > stream.stats.bytes:
+            stream.stats.bytes = estimated
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def _emit_data(
+        self, core: int, stream: StreamDescriptor, chunk: Chunk, reason: str, now: float
+    ) -> None:
+        stream.chunks += 1
+        self._emit(core, Event(EventType.STREAM_DATA, stream, now, chunk=chunk, reason=reason))
+
+    def _emit(self, core: int, event: Event) -> None:
+        self._cycles += self.cost.event_create
+        self.counters.events_emitted += 1
+        self.emit_event(core, event)

@@ -1,0 +1,62 @@
+"""Dynamic load balancing across cores (§2.4).
+
+RSS spreads streams statically by hash; short-term imbalance (one core
+handling far more streams than its share) hurts tail performance.  Scap
+detects imbalance when a core holds more than ``threshold`` times its
+fair share of active streams, and redirects *subsequent* new streams
+assigned to that core — via FDIR steering filters — to the core
+currently handling the fewest streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer:
+    """Tracks per-core active stream counts and proposes redirections."""
+
+    def __init__(self, core_count: int, threshold: float = 2.0):
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        self.core_count = core_count
+        self.threshold = threshold
+        self.counts: List[int] = [0] * core_count
+        self.redirections = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def on_stream_created(self, core: int) -> Optional[int]:
+        """Register a new stream on ``core``; return a redirect target.
+
+        Returns the least-loaded core if ``core`` is overloaded (more
+        than ``threshold``× its fair share), else None.  The caller is
+        responsible for installing the FDIR steering filters and for
+        calling :meth:`moved` if it redirects.
+        """
+        self.counts[core] += 1
+        total = self.total
+        if total < self.core_count * 4:
+            return None  # too few streams for "imbalance" to mean anything
+        fair_share = total / self.core_count
+        if self.counts[core] <= self.threshold * fair_share:
+            return None
+        target = min(range(self.core_count), key=lambda index: self.counts[index])
+        if target == core:
+            return None
+        return target
+
+    def moved(self, source: int, target: int) -> None:
+        """Account a stream redirected from ``source`` to ``target``."""
+        self.counts[source] -= 1
+        self.counts[target] += 1
+        self.redirections += 1
+
+    def on_stream_terminated(self, core: int) -> None:
+        """Account a stream ending on ``core``."""
+        if self.counts[core] > 0:
+            self.counts[core] -= 1

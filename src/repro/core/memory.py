@@ -1,0 +1,229 @@
+"""Stream memory management (§5.3).
+
+Reassembled stream data lives in a large buffer shared between the
+kernel module and the user-level stub.  Per stream, data is written
+into contiguous *chunk blocks*; when a block fills up (or a flush
+fires) the chunk is delivered as a data event and a fresh block is
+allocated.  This module provides:
+
+* :class:`Chunk` — one delivered unit of contiguous stream data, with a
+  simulated base address (for the cache-locality experiments) and a
+  lazy ``data`` view (segments are joined only when the application
+  actually reads them).
+* :class:`ChunkAssembler` — per-direction chunking with overlap,
+  flush-timeout, and ``scap_keep_stream_chunk`` support.
+* :class:`StreamMemory` — the shared region: a
+  :class:`~repro.kernelsim.server.MemoryPool` for occupancy/time plus a
+  bump allocator handing out simulated addresses for chunk blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..kernelsim.server import MemoryPool
+
+__all__ = ["Chunk", "ChunkAssembler", "StreamMemory"]
+
+
+class Chunk:
+    """A contiguous piece of one stream direction, ready for delivery."""
+
+    __slots__ = (
+        "segments",
+        "length",
+        "stream_offset",
+        "base_address",
+        "had_hole",
+        "accounted_bytes",
+        "keep",
+        "_joined",
+    )
+
+    def __init__(self, stream_offset: int, base_address: int):
+        self.segments: List[bytes] = []
+        self.length = 0
+        self.stream_offset = stream_offset
+        self.base_address = base_address
+        self.had_hole = False
+        self.accounted_bytes = 0
+        self.keep = False
+        self._joined: Optional[bytes] = None
+
+    def append(self, data: bytes) -> None:
+        """Add one reassembled segment to the chunk."""
+        self.segments.append(data)
+        self.length += len(data)
+        self._joined = None
+
+    @property
+    def data(self) -> bytes:
+        """The chunk contents as one contiguous byte string (lazy join)."""
+        if self._joined is None:
+            self._joined = b"".join(self.segments)
+        return self._joined
+
+    @property
+    def end_offset(self) -> int:
+        return self.stream_offset + self.length
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class StreamMemory:
+    """The shared stream-data region.
+
+    ``pool`` answers "how full are we" (PPL consults it); the bump
+    allocator provides *simulated addresses* so the cache model can
+    distinguish Scap's contiguous per-stream blocks from a PF_PACKET
+    ring's interleaved slots.  Addresses are never reused — physical
+    reuse patterns matter to the cache only through set indices, which
+    a bump allocator distributes uniformly, like a real allocator under
+    churn.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.pool = MemoryPool(capacity_bytes, name="scap-stream-memory")
+        self._next_address = 0
+        self.allocation_failures = 0
+
+    def allocate_block(self, size: int) -> int:
+        """Reserve an address range for a chunk block; return its base."""
+        base = self._next_address
+        self._next_address += size
+        return base
+
+    def try_store(self, now: float, nbytes: int) -> bool:
+        """Account ``nbytes`` of stream data; False if memory is exhausted."""
+        if self.pool.try_allocate(now, nbytes):
+            return True
+        self.allocation_failures += 1
+        return False
+
+    def fraction_used(self, now: float) -> float:
+        """Occupied fraction of the pool at time ``now``."""
+        return self.pool.fraction_used(now)
+
+    def schedule_release(self, release_time: float, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool at ``release_time``."""
+        self.pool.schedule_release(release_time, nbytes)
+
+    def release_now(self, now: float, nbytes: int) -> None:
+        """Immediately return ``nbytes`` (data discarded unprocessed)."""
+        self.pool.release_now(now, nbytes)
+
+
+@dataclass
+class _AssemblerState:
+    chunk: Optional[Chunk] = None
+    stream_offset: int = 0  # next byte offset in the reassembled stream
+    last_delivery: float = 0.0
+    kept: Optional[Chunk] = None  # chunk retained via scap_keep_stream_chunk
+
+
+class ChunkAssembler:
+    """Chunks one stream direction's reassembled bytes for delivery.
+
+    ``overlap`` repeats the last N bytes of the previous chunk at the
+    start of the next one (for patterns spanning chunk boundaries,
+    §3.1); overlapped bytes do not advance the stream offset and are
+    not re-charged to the memory pool.
+    """
+
+    def __init__(self, memory: StreamMemory, chunk_size: int, overlap: int = 0):
+        if chunk_size <= 0:
+            raise ValueError("chunk size must be positive")
+        if overlap < 0 or overlap >= chunk_size:
+            raise ValueError("overlap must be in [0, chunk_size)")
+        self._memory = memory
+        self.chunk_size = chunk_size
+        self.overlap = overlap
+        self._state = _AssemblerState()
+        self._pending_overlap: bytes = b""
+        # Capacity of the chunk being filled: chunk_size of *new* bytes
+        # plus whatever was carried over (kept chunk, overlap tail).
+        self._current_capacity = chunk_size
+
+    # ------------------------------------------------------------------
+    def _new_chunk(self) -> Chunk:
+        state = self._state
+        base = self._memory.allocate_block(self.chunk_size)
+        chunk = Chunk(stream_offset=state.stream_offset, base_address=base)
+        kept_length = 0
+        if self._pending_overlap:
+            # The overlap tail is copied into the new block, so it
+            # consumes part of the block's chunk_size capacity.
+            chunk.append(self._pending_overlap)
+            chunk.stream_offset -= len(self._pending_overlap)
+            self._pending_overlap = b""
+        if state.kept is not None:
+            kept = state.kept
+            state.kept = None
+            # Prepend the kept chunk's data; it is already accounted.
+            chunk.segments = list(kept.segments) + chunk.segments
+            chunk.length += kept.length
+            chunk.stream_offset = kept.stream_offset
+            chunk._joined = None
+            kept_length = kept.length
+        # A kept chunk's bytes extend the capacity: the next delivery is
+        # one *larger* chunk of previous + new data (§3.2).
+        self._current_capacity = self.chunk_size + kept_length
+        return chunk
+
+    def _finish_chunk(self, now: float) -> Chunk:
+        state = self._state
+        chunk = state.chunk
+        assert chunk is not None
+        state.chunk = None
+        state.last_delivery = now
+        if self.overlap:
+            tail = chunk.data[-self.overlap :]
+            self._pending_overlap = tail
+        return chunk
+
+    def append(self, data: bytes, now: float, had_hole: bool = False) -> List[Chunk]:
+        """Add reassembled bytes; return chunks that became full."""
+        completed: List[Chunk] = []
+        state = self._state
+        offset = 0
+        while offset < len(data):
+            if state.chunk is None:
+                state.chunk = self._new_chunk()
+            chunk = state.chunk
+            room = self._current_capacity - chunk.length
+            piece = data[offset : offset + room]
+            chunk.append(piece)
+            chunk.accounted_bytes += len(piece)
+            if had_hole:
+                chunk.had_hole = True
+            state.stream_offset += len(piece)
+            offset += len(piece)
+            if chunk.length >= self._current_capacity:
+                completed.append(self._finish_chunk(now))
+        return completed
+
+    def flush(self, now: float) -> Optional[Chunk]:
+        """Deliver the partial chunk, if any (flush timeout / termination)."""
+        state = self._state
+        if state.chunk is None or state.chunk.length == 0:
+            return None
+        return self._finish_chunk(now)
+
+    def keep(self, chunk: Chunk) -> None:
+        """Retain ``chunk`` so the next delivery includes its data."""
+        chunk.keep = True
+        self._state.kept = chunk
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._state.chunk.length if self._state.chunk is not None else 0
+
+    @property
+    def stream_offset(self) -> int:
+        return self._state.stream_offset
+
+    @property
+    def last_delivery(self) -> float:
+        return self._state.last_delivery

@@ -1,0 +1,61 @@
+"""Per-packet delivery alongside streams (§3.2, §5.7, §6.5.3).
+
+When a socket is created with ``need_pkts``, the kernel module keeps a
+record per captured packet — header metadata plus a reference into the
+stream data — so ``scap_next_stream_packet`` can hand the application
+the original packets *in captured order* (including duplicates and
+reordered segments), grouped by stream thanks to chunk-based delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .stream import StreamDescriptor
+
+__all__ = ["PacketRecord", "ScapPacketHeader", "next_stream_packet"]
+
+
+@dataclass
+class PacketRecord:
+    """Metadata for one captured packet of a stream."""
+
+    timestamp: float
+    caplen: int
+    wire_len: int
+    seq: int
+    tcp_flags: int
+    payload: bytes  # reference into stream memory (no copy)
+    #: Byte offset of this packet's payload within the reassembled stream.
+    stream_offset: int = 0
+
+
+@dataclass
+class ScapPacketHeader:
+    """The ``struct scap_pkthdr`` filled in by scap_next_stream_packet."""
+
+    timestamp: float = 0.0
+    caplen: int = 0
+    wire_len: int = 0
+
+
+def next_stream_packet(
+    stream: StreamDescriptor, header: Optional[ScapPacketHeader] = None
+) -> Optional[bytes]:
+    """Return the next packet payload of ``stream``, or None when done.
+
+    Iterates the stream's packet records in capture order.  The cursor
+    lives on the descriptor (``user`` is untouched), so applications can
+    interleave calls across streams.
+    """
+    cursor = getattr(stream, "_packet_cursor", 0)
+    if cursor >= len(stream.packet_records):
+        return None
+    record = stream.packet_records[cursor]
+    stream._packet_cursor = cursor + 1  # type: ignore[attr-defined]
+    if header is not None:
+        header.timestamp = record.timestamp
+        header.caplen = record.caplen
+        header.wire_len = record.wire_len
+    return record.payload

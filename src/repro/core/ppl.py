@@ -1,0 +1,92 @@
+"""Prioritized Packet Loss (§2.2, analyzed in §7).
+
+Under overload the stream-memory pool fills; instead of dropping
+whatever arrives next (what a full PF_PACKET ring does), PPL drops by
+priority.  The memory *above* ``base_threshold`` is divided into one
+band per priority level by equally spaced watermarks:
+
+    watermark(p) = base + (p + 1) * (1 - base) / n      p = 0 .. n-1
+
+A packet of priority ``p`` (higher value = more important) is dropped
+outright when used memory exceeds ``watermark(p)``; in the band just
+below its watermark, the optional ``overload_cutoff`` applies — packets
+beyond that many bytes into their stream are dropped, which is what
+gives new and short streams preferential treatment under pressure.
+Below ``base_threshold`` nothing is ever dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["PrioritizedPacketLoss", "PPLDecision"]
+
+
+@dataclass
+class PPLDecision:
+    """Outcome of one PPL check."""
+
+    drop: bool
+    reason: Optional[str] = None  # "watermark" | "overload_cutoff"
+
+
+class PrioritizedPacketLoss:
+    """The PPL drop policy.
+
+    ``priority_levels`` is the number of levels currently in use; the
+    kernel module raises it automatically when an application assigns a
+    new, higher priority to a stream.
+    """
+
+    def __init__(
+        self,
+        base_threshold: float = 0.5,
+        overload_cutoff: Optional[int] = None,
+        priority_levels: int = 1,
+    ):
+        if not 0.0 <= base_threshold < 1.0:
+            raise ValueError("base_threshold must be in [0, 1)")
+        if priority_levels < 1:
+            raise ValueError("need at least one priority level")
+        self.base_threshold = base_threshold
+        self.overload_cutoff = overload_cutoff
+        self.priority_levels = priority_levels
+        self.dropped_by_priority: Dict[int, int] = {}
+        self.checked = 0
+
+    def ensure_level(self, priority: int) -> None:
+        """Grow the number of levels to cover ``priority``."""
+        if priority + 1 > self.priority_levels:
+            self.priority_levels = priority + 1
+
+    def watermark(self, priority: int) -> float:
+        """The memory fraction above which ``priority`` packets drop."""
+        priority = min(max(priority, 0), self.priority_levels - 1)
+        band = (1.0 - self.base_threshold) / self.priority_levels
+        return self.base_threshold + (priority + 1) * band
+
+    def check(
+        self, fraction_used: float, priority: int, stream_offset: int
+    ) -> PPLDecision:
+        """Decide whether to drop a packet of ``priority`` whose payload
+        would land at byte ``stream_offset`` of its stream."""
+        self.checked += 1
+        if fraction_used <= self.base_threshold:
+            return PPLDecision(drop=False)
+        mark = self.watermark(priority)
+        band = (1.0 - self.base_threshold) / self.priority_levels
+        if fraction_used > mark:
+            self._count(priority)
+            return PPLDecision(drop=True, reason="watermark")
+        if (
+            self.overload_cutoff is not None
+            and fraction_used > mark - band
+            and stream_offset >= self.overload_cutoff
+        ):
+            self._count(priority)
+            return PPLDecision(drop=True, reason="overload_cutoff")
+        return PPLDecision(drop=False)
+
+    def _count(self, priority: int) -> None:
+        self.dropped_by_priority[priority] = self.dropped_by_priority.get(priority, 0) + 1

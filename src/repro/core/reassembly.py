@@ -1,0 +1,259 @@
+"""TCP stream reassembly (§2.3, §5.2).
+
+One :class:`TCPDirectionReassembler` tracks a single direction of a TCP
+connection.  It normalizes the segment stream — duplicates dropped,
+out-of-order segments buffered, overlapping retransmissions resolved by
+the stream's target-based *policy* — and emits bytes in stream order.
+
+Two modes, as in the paper:
+
+* ``SCAP_TCP_STRICT`` — bytes are only released in-sequence; holes
+  (lost segments) stall delivery until they are filled, and data after
+  an unfilled hole is delivered only at stream end, flagged.
+* ``SCAP_TCP_FAST`` — best-effort: the engine follows strict semantics
+  (retransmissions, reordering, overlaps) while it can, but when the
+  out-of-order buffer exceeds a bound it *skips* the hole, delivers
+  what it has, and flags the chunk (``had_hole``) instead of waiting —
+  the property that makes Scap resilient to packet loss under overload.
+
+Sequence numbers are converted to absolute stream offsets on entry
+(wrap-safe via :func:`~repro.netstack.tcp.seq_diff`), so all interval
+arithmetic below is plain integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..netstack.tcp import seq_add, seq_diff
+from .constants import SCAP_TCP_FAST, SCAP_TCP_STRICT, ReassemblyPolicy
+
+__all__ = ["DeliveredData", "TCPDirectionReassembler", "ReassemblyCounters"]
+
+
+@dataclass
+class DeliveredData:
+    """In-order bytes released by the reassembler.
+
+    ``follows_hole`` marks data delivered immediately after a skipped
+    hole (FAST mode), so the chunk it lands in can be flagged.
+    """
+
+    data: bytes
+    follows_hole: bool = False
+
+
+@dataclass
+class ReassemblyCounters:
+    """Normalization statistics for one direction."""
+
+    segments: int = 0
+    delivered_bytes: int = 0
+    duplicate_bytes: int = 0
+    conflicting_bytes: int = 0  # overlap bytes that differed between copies
+    out_of_order_segments: int = 0
+    holes_skipped: int = 0
+    stalled_bytes_dropped: int = 0  # strict mode: bytes after a hole at EOF
+
+
+@dataclass
+class _Interval:
+    start: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.data)
+
+
+class TCPDirectionReassembler:
+    """Reassembles one direction of a TCP stream."""
+
+    def __init__(
+        self,
+        mode: int = SCAP_TCP_FAST,
+        policy: str = ReassemblyPolicy.LINUX,
+        fast_hole_bytes: int = 65536,
+        fast_hole_segments: int = 64,
+    ):
+        if mode not in (SCAP_TCP_STRICT, SCAP_TCP_FAST):
+            raise ValueError(f"unknown reassembly mode: {mode}")
+        self.mode = mode
+        self.policy = ReassemblyPolicy.validate(policy)
+        self._fast_hole_bytes = fast_hole_bytes
+        self._fast_hole_segments = fast_hole_segments
+        self._expected_seq: Optional[int] = None  # wire seq of next expected byte
+        self._expected_offset = 0  # absolute stream offset of next expected byte
+        self._intervals: List[_Interval] = []  # sorted, non-overlapping OOO data
+        self._buffered_bytes = 0
+        self.counters = ReassemblyCounters()
+        self.mid_stream = False
+
+    # ------------------------------------------------------------------
+    def set_isn(self, isn: int) -> None:
+        """Anchor the stream at SYN: first data byte is ``isn + 1``."""
+        self._expected_seq = seq_add(isn, 1)
+        self._expected_offset = 0
+
+    @property
+    def anchored(self) -> bool:
+        return self._expected_seq is not None
+
+    @property
+    def next_offset(self) -> int:
+        """Stream offset of the next in-order byte to be delivered."""
+        return self._expected_offset
+
+    @property
+    def expected_seq(self) -> Optional[int]:
+        """Wire sequence number of the next expected byte (None before SYN)."""
+        return self._expected_seq
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._buffered_bytes
+
+    # ------------------------------------------------------------------
+    def on_segment(self, seq: int, payload: bytes) -> List[DeliveredData]:
+        """Feed one data segment; return any bytes released in order."""
+        if not payload:
+            return []
+        self.counters.segments += 1
+        if self._expected_seq is None:
+            # Mid-stream pickup (no SYN observed): anchor here.
+            self._expected_seq = seq
+            self._expected_offset = 0
+            self.mid_stream = True
+        offset = self._expected_offset + seq_diff(seq, self._expected_seq)
+        end = offset + len(payload)
+
+        if end <= self._expected_offset:
+            # Entirely old: pure retransmission of delivered data.
+            self.counters.duplicate_bytes += len(payload)
+            return []
+        if offset < self._expected_offset:
+            # Partially old: the delivered prefix cannot be rewritten.
+            trim = self._expected_offset - offset
+            self.counters.duplicate_bytes += trim
+            payload = payload[trim:]
+            offset = self._expected_offset
+
+        delivered: List[DeliveredData] = []
+        if offset == self._expected_offset:
+            delivered.append(DeliveredData(self._advance(payload)))
+            delivered.extend(self._drain_contiguous())
+        else:
+            self.counters.out_of_order_segments += 1
+            self._insert_interval(offset, payload)
+            if self.mode == SCAP_TCP_FAST and self._hole_pressure():
+                delivered.extend(self._skip_hole())
+        return delivered
+
+    def flush(self, skip_holes: Optional[bool] = None) -> List[DeliveredData]:
+        """Release remaining data at stream end.
+
+        FAST mode (or ``skip_holes=True``) drains everything, flagging
+        post-hole data; STRICT drops non-contiguous remainders and
+        counts them in ``stalled_bytes_dropped``.
+        """
+        if skip_holes is None:
+            skip_holes = self.mode == SCAP_TCP_FAST
+        delivered: List[DeliveredData] = []
+        if skip_holes:
+            while self._intervals:
+                delivered.extend(self._skip_hole())
+        else:
+            self.counters.stalled_bytes_dropped += self._buffered_bytes
+            self._intervals.clear()
+            self._buffered_bytes = 0
+        return delivered
+
+    # ------------------------------------------------------------------
+    def _advance(self, data: bytes) -> bytes:
+        self._expected_offset += len(data)
+        self._expected_seq = seq_add(self._expected_seq, len(data))
+        self.counters.delivered_bytes += len(data)
+        return data
+
+    def _drain_contiguous(self) -> List[DeliveredData]:
+        delivered: List[DeliveredData] = []
+        while self._intervals and self._intervals[0].start <= self._expected_offset:
+            interval = self._intervals.pop(0)
+            self._buffered_bytes -= len(interval.data)
+            skip = self._expected_offset - interval.start
+            if skip >= len(interval.data):
+                self.counters.duplicate_bytes += len(interval.data)
+                continue
+            if skip:
+                self.counters.duplicate_bytes += skip
+            delivered.append(DeliveredData(self._advance(bytes(interval.data[skip:]))))
+        return delivered
+
+    def _hole_pressure(self) -> bool:
+        return (
+            self._buffered_bytes > self._fast_hole_bytes
+            or len(self._intervals) > self._fast_hole_segments
+        )
+
+    def _skip_hole(self) -> List[DeliveredData]:
+        """Advance past the first hole and release what follows it."""
+        if not self._intervals:
+            return []
+        first = self._intervals[0]
+        assert first.start > self._expected_offset
+        self.counters.holes_skipped += 1
+        self._expected_seq = seq_add(
+            self._expected_seq, first.start - self._expected_offset
+        )
+        self._expected_offset = first.start
+        delivered = self._drain_contiguous()
+        if delivered:
+            delivered[0].follows_hole = True
+        return delivered
+
+    # ------------------------------------------------------------------
+    def _insert_interval(self, start: int, payload: bytes) -> None:
+        """Insert out-of-order data, resolving overlaps per policy."""
+        new = _Interval(start, bytearray(payload))
+        merged: List[_Interval] = []
+        for existing in self._intervals:
+            if existing.end <= new.start or existing.start >= new.end:
+                merged.append(existing)
+                continue
+            # Overlap: compare the conflicting region, keep per policy.
+            overlap_start = max(existing.start, new.start)
+            overlap_end = min(existing.end, new.end)
+            exist_slice = existing.data[
+                overlap_start - existing.start : overlap_end - existing.start
+            ]
+            new_slice = new.data[overlap_start - new.start : overlap_end - new.start]
+            if exist_slice != new_slice:
+                self.counters.conflicting_bytes += overlap_end - overlap_start
+            if not ReassemblyPolicy.new_segment_wins(
+                self.policy, existing.start, new.start
+            ):
+                # Existing bytes win: copy them into the new interval.
+                new.data[overlap_start - new.start : overlap_end - new.start] = exist_slice
+            self.counters.duplicate_bytes += overlap_end - overlap_start
+            self._buffered_bytes -= len(existing.data)
+            # Fold non-overlapping leftovers of the existing interval
+            # into the new one so intervals stay non-overlapping.
+            if existing.start < new.start:
+                prefix = existing.data[: new.start - existing.start]
+                new.data = prefix + new.data
+                new.start = existing.start
+            if existing.end > new.end:
+                suffix = existing.data[new.end - existing.start :]
+                new.data = new.data + suffix
+        merged.append(new)
+        merged.sort(key=lambda interval: interval.start)
+        # Coalesce intervals that became contiguous.
+        coalesced: List[_Interval] = []
+        for interval in merged:
+            if coalesced and coalesced[-1].end == interval.start:
+                coalesced[-1].data += interval.data
+            else:
+                coalesced.append(interval)
+        self._intervals = coalesced
+        self._buffered_bytes = sum(len(interval.data) for interval in self._intervals)

@@ -1,0 +1,192 @@
+"""The Scap runtime: NIC + kernel module + workers, driven by a replay.
+
+This composes the whole monitoring sensor for one Scap socket:
+
+* the :class:`~repro.nic.nic.SimulatedNIC` classifies each packet
+  (FDIR drop/steer first, then RSS) at zero host cost;
+* the per-core softirq :class:`~repro.kernelsim.server.QueueServer`
+  charges the kernel module's cycles and bounds the RX ring;
+* events created by the kernel become work for the
+  :class:`~repro.core.workers.WorkerPool`;
+* optional dynamic load balancing redirects streams from overloaded
+  cores via FDIR steering filters.
+
+``run(workload, rate)`` replays a workload at a target bit-rate and
+reduces everything to a :class:`~repro.bench.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..results import RunResult
+from ..kernelsim.cache import LocalityProfile
+from ..kernelsim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..kernelsim.host import Host
+from ..netstack.packet import Packet
+from ..nic.fdir import FdirFilter
+from ..nic.nic import SimulatedNIC
+from ..nic.rss import SYMMETRIC_RSS_KEY
+from .config import ScapConfig
+from .events import Event, EventType
+from .kernel_module import ScapKernelModule
+from .loadbalance import LoadBalancer
+from .workers import Callbacks, WorkerPool
+
+__all__ = ["ScapRuntime"]
+
+
+class ScapRuntime:
+    """One Scap socket's full capture pipeline on the simulated host."""
+
+    def __init__(
+        self,
+        config: Optional[ScapConfig] = None,
+        core_count: int = 8,
+        cost_model: Optional[CostModel] = None,
+        locality: Optional[LocalityProfile] = None,
+        rss_key: bytes = SYMMETRIC_RSS_KEY,
+        fdir_capacity: int = 8192,
+        max_streams: Optional[int] = None,
+        enable_load_balancing: bool = False,
+    ):
+        self.config = config or ScapConfig()
+        self.config.validate()
+        self.cost = cost_model or DEFAULT_COST_MODEL
+        self.locality = locality or LocalityProfile()
+        self.host = Host(core_count, self.cost)
+        self.nic = SimulatedNIC(
+            queue_count=core_count, rss_key=rss_key, fdir_capacity=fdir_capacity
+        )
+        self.callbacks = Callbacks()
+        self.kernel = ScapKernelModule(
+            self.config,
+            self.nic,
+            self.cost,
+            locality=self.locality,
+            emit_event=self._collect_event,
+            max_streams=max_streams,
+        )
+        self.workers = WorkerPool(
+            worker_count=self.config.worker_threads,
+            cost_model=self.cost,
+            locality=self.locality,
+            event_queue_capacity=self.config.event_queue_capacity,
+            memory=self.kernel.memory,
+            callbacks=self.callbacks,
+        )
+        self.balancer = (
+            LoadBalancer(core_count) if enable_load_balancing else None
+        )
+        self._pending_events: List[Tuple[int, Event]] = []
+        self.ring_drops = 0
+        self.packets_offered = 0
+        self.bytes_offered = 0
+
+    # ------------------------------------------------------------------
+    def _collect_event(self, core: int, event: Event) -> None:
+        self._pending_events.append((core, event))
+        if self.balancer is not None:
+            if event.event_type == EventType.STREAM_CREATED:
+                target = self.balancer.on_stream_created(core)
+                if target is not None:
+                    self._redirect_stream(event, core, target)
+            elif event.event_type == EventType.STREAM_TERMINATED:
+                # Termination fires once per direction; balance on client.
+                if event.stream.direction == 0:
+                    self.balancer.on_stream_terminated(core)
+
+    def _redirect_stream(self, event: Event, source: int, target: int) -> None:
+        """Install FDIR steering filters moving a new stream to ``target``."""
+        five_tuple = event.stream.five_tuple
+        for directional in (five_tuple, five_tuple.reversed()):
+            self.nic.fdir.add(
+                FdirFilter(
+                    five_tuple=directional,
+                    action_queue=target,
+                    timeout_at=event.created_at + self.config.inactivity_timeout,
+                )
+            )
+        pair = self.kernel.flows.get(five_tuple)
+        if pair is not None:
+            pair.core = target
+        self.balancer.moved(source, target)
+
+    # ------------------------------------------------------------------
+    def process_packet(self, packet: Packet) -> None:
+        """Run one packet through NIC → softirq → kernel → workers."""
+        self.packets_offered += 1
+        self.bytes_offered += packet.wire_len
+        queue = self.nic.classify(packet)
+        if queue is None:
+            return  # dropped in hardware: subzero copy
+        server = self.host.softirq[queue]
+        now = packet.timestamp
+        if not server.would_accept(now, 1):
+            server.reject()
+            self.ring_drops += 1
+            return
+        self._pending_events.clear()
+        cycles = self.kernel.handle_packet(packet, queue)
+        kernel_finish = server.push(now, 1, self.cost.seconds(cycles))
+        for core, event in self._pending_events:
+            self.workers.dispatch(core, event, kernel_finish)
+        self._pending_events.clear()
+
+    def finalize(self, end_time: float) -> None:
+        """Drain remaining flows at end of capture."""
+        self._pending_events.clear()
+        self.kernel.expire_and_drain(end_time)
+        for core, event in self._pending_events:
+            self.workers.dispatch(core, event, end_time)
+        self._pending_events.clear()
+
+    # ------------------------------------------------------------------
+    def run(self, workload, rate_bps: float, name: str = "scap") -> RunResult:
+        """Replay ``workload`` at ``rate_bps`` through this runtime."""
+        last_time = 0.0
+        for packet in workload.replay(rate_bps):
+            self.process_packet(packet)
+            last_time = packet.timestamp
+        self.finalize(last_time + self.config.inactivity_timeout + 1.0)
+        return self.result(rate_bps, name=name)
+
+    def result(self, rate_bps: float, name: str = "scap") -> RunResult:
+        """Reduce all counters to a RunResult for this run."""
+        duration = (
+            self.bytes_offered * 8 / rate_bps if rate_bps > 0 else 0.0
+        )
+        counters = self.kernel.counters
+        dropped = self.ring_drops + counters.dropped_ppl + counters.dropped_memory
+        discarded = (
+            self.nic.stats.dropped_at_nic
+            + counters.discarded_cutoff_packets
+            + counters.filtered_out
+            + counters.discarded_non_established
+        )
+        result = RunResult(
+            system=name,
+            rate_bps=rate_bps,
+            duration=duration,
+            offered_packets=self.packets_offered,
+            offered_bytes=self.bytes_offered,
+            dropped_packets=dropped,
+            discarded_packets=discarded,
+            nic_filter_drops=self.nic.stats.dropped_at_nic,
+            delivered_bytes=self.workers.bytes_delivered,
+            delivered_events=self.workers.events_processed,
+            user_utilization=self.workers.utilization(duration),
+            softirq_load=self.host.softirq_load(duration),
+            streams_created=self.kernel.flows.created_total,
+            packets_by_priority=dict(counters.packets_by_priority),
+            drops_by_priority=dict(counters.ppl_drops_by_priority),
+            memory_peak_fraction=self.kernel.memory.pool.peak_used
+            / self.kernel.memory.pool.capacity,
+        )
+        result.extra["events_dropped"] = float(
+            self.workers.events_dropped + counters.events_dropped
+        )
+        result.extra["fdir_installs"] = float(counters.fdir_installs)
+        result.extra["stored_bytes"] = float(counters.stored_bytes)
+        result.extra["packets_to_memory"] = float(counters.packets_seen)
+        return result

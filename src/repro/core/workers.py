@@ -1,0 +1,176 @@
+"""Worker threads: per-core user-level stream processing (§2.4, §4.2).
+
+The stub creates one worker thread per configured core; each polls the
+event queue its kernel counterpart fills and invokes the application's
+callbacks.  Here each worker is a :class:`QueueServer` whose service
+time per event is the stub dispatch cost plus whatever the registered
+application charges; the functional callback runs when the event is
+dispatched, and chunk memory is scheduled for release at the worker's
+virtual completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..kernelsim.cache import LocalityProfile
+from ..kernelsim.costmodel import CostModel
+from ..kernelsim.server import QueueServer
+from .events import Event, EventType
+from .memory import StreamMemory
+
+__all__ = ["Callbacks", "WorkerPool"]
+
+
+@dataclass
+class Callbacks:
+    """Application callbacks + cost hooks registered on a socket.
+
+    The ``*_cost`` hooks return the application's own processing cycles
+    for an event (the stub's fixed costs are added on top); they let
+    example applications and benchmarks express how expensive their
+    per-event work is in the simulated cost domain, while the plain
+    callbacks do the *functional* work (real pattern matching, real
+    statistics) whose results the experiments score.
+    """
+
+    on_creation: Optional[Callable] = None
+    on_data: Optional[Callable] = None
+    on_termination: Optional[Callable] = None
+    creation_cost: Optional[Callable[[Event], float]] = None
+    data_cost: Optional[Callable[[Event], float]] = None
+    termination_cost: Optional[Callable[[Event], float]] = None
+
+
+class WorkerPool:
+    """The user-level worker threads of one Scap socket."""
+
+    def __init__(
+        self,
+        worker_count: int,
+        cost_model: CostModel,
+        locality: LocalityProfile,
+        event_queue_capacity: int,
+        memory: StreamMemory,
+        callbacks: Callbacks,
+    ):
+        if worker_count < 1:
+            raise ValueError("need at least one worker thread")
+        self.cost = cost_model
+        self.locality = locality
+        self.memory = memory
+        self.callbacks = callbacks
+        self.servers: List[QueueServer] = [
+            QueueServer(event_queue_capacity, name=f"worker-{index}")
+            for index in range(worker_count)
+        ]
+        self.events_processed = 0
+        self.events_dropped = 0
+        self.bytes_delivered = 0
+        #: Set while a data callback runs, so API calls made from inside
+        #: the callback (keep_stream_chunk, discard_stream) can find it.
+        self.current_event: Optional[Event] = None
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.servers)
+
+    def worker_for_event(self, core: int, event: Event) -> int:
+        """Pick the worker that owns this event's connection.
+
+        With one worker per core (the normal configuration) this is the
+        kernel thread's own core, preserving the paper's same-core
+        affinity.  With fewer workers than cores, connections are
+        spread round-robin so no worker inherits two cores' load while
+        another sits idle.
+        """
+        worker_count = len(self.servers)
+        if worker_count == 1:
+            return 0
+        stream = event.stream
+        connection_id = (
+            stream.opposite.stream_id
+            if stream.direction and stream.opposite is not None
+            else stream.stream_id
+        )
+        # Descriptors are created in pairs, so client ids share parity;
+        # halve before the modulo to get a true round-robin.
+        return (connection_id >> 1) % worker_count
+
+    # ------------------------------------------------------------------
+    def dispatch(self, core: int, event: Event, ready_time: float) -> None:
+        """Queue ``event`` (made ready by the kernel at ``ready_time``)."""
+        server = self.servers[self.worker_for_event(core, event)]
+        if not server.would_accept(ready_time, 1):
+            server.reject()
+            self.events_dropped += 1
+            if event.chunk is not None:
+                # The data will never be consumed; reclaim immediately.
+                self.memory.release_now(ready_time, event.chunk.accounted_bytes)
+            return
+        cycles = self._service_cycles(event)
+        service = self.cost.seconds(cycles)
+        finish = server.push(ready_time, 1, service)
+        self._run_callback(event, service)
+        if event.chunk is not None and not event.chunk.keep:
+            self.memory.schedule_release(finish, event.chunk.accounted_bytes)
+        self.events_processed += 1
+
+    def _service_cycles(self, event: Event) -> float:
+        cycles = self.cost.scap_event_dispatch + self.cost.user_wakeup_cost()
+        callbacks = self.callbacks
+        if event.event_type == EventType.STREAM_DATA:
+            length = event.data_len
+            cycles += self.cost.scap_per_byte_touch * length
+            cycles += self.cost.miss_cost(self.locality.scap_user_misses(length))
+            if callbacks.data_cost is not None:
+                cycles += callbacks.data_cost(event)
+        elif event.event_type == EventType.STREAM_CREATED:
+            if callbacks.creation_cost is not None:
+                cycles += callbacks.creation_cost(event)
+        else:
+            if callbacks.termination_cost is not None:
+                cycles += callbacks.termination_cost(event)
+        return cycles
+
+    def _run_callback(self, event: Event, service: float) -> None:
+        stream = event.stream
+        stream.processing_time += service
+        callbacks = self.callbacks
+        self.current_event = event
+        try:
+            if event.event_type == EventType.STREAM_DATA:
+                chunk = event.chunk
+                assert chunk is not None
+                stream.data = chunk.data
+                stream.data_len = chunk.length
+                stream.data_offset = chunk.stream_offset
+                stream.data_had_hole = chunk.had_hole
+                self.bytes_delivered += chunk.length
+                if callbacks.on_data is not None:
+                    callbacks.on_data(stream)
+                stream.data = b""
+                stream.data_len = 0
+                stream.data_had_hole = False
+            elif event.event_type == EventType.STREAM_CREATED:
+                if callbacks.on_creation is not None:
+                    callbacks.on_creation(stream)
+            else:
+                if callbacks.on_termination is not None:
+                    callbacks.on_termination(stream)
+        finally:
+            self.current_event = None
+
+    # ------------------------------------------------------------------
+    def busy_seconds(self) -> float:
+        """Total busy time across all worker threads."""
+        return sum(server.busy_seconds for server in self.servers)
+
+    def utilization(self, duration: float) -> float:
+        """Mean busy fraction across workers."""
+        if duration <= 0 or not self.servers:
+            return 0.0
+        return min(
+            1.0, self.busy_seconds() / (duration * len(self.servers))
+        )

@@ -1,0 +1,18 @@
+"""Multi-pattern matching: Aho–Corasick automaton and pattern sets."""
+
+from .aho_corasick import AhoCorasick, Match, StreamMatcher
+from .patterns import load_patterns, save_patterns, synthetic_web_attack_patterns
+from .snort_rules import SnortRule, extract_contents, parse_rule, parse_rules
+
+__all__ = [
+    "AhoCorasick",
+    "Match",
+    "StreamMatcher",
+    "load_patterns",
+    "save_patterns",
+    "synthetic_web_attack_patterns",
+    "SnortRule",
+    "extract_contents",
+    "parse_rule",
+    "parse_rules",
+]

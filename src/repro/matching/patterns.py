@@ -1,0 +1,97 @@
+"""Pattern sets for the detection experiments.
+
+The paper extracts 2,120 strings from the ``content`` fields of the VRT
+Snort "web attack" rules.  That rule set is proprietary-ish and not
+shipped here, so :func:`synthetic_web_attack_patterns` generates a
+structurally similar set: URL/shell-style byte strings of comparable
+length statistics.  Every pattern contains uppercase and punctuation
+characters that the traffic generator's filler alphabet (lowercase +
+whitespace) can never produce, so planted occurrences are the only
+occurrences — ground truth is exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = ["synthetic_web_attack_patterns", "load_patterns", "save_patterns"]
+
+_STEMS = (
+    b"/cgi-bin/",
+    b"/scripts/..%255c",
+    b"cmd.exe?/c+",
+    b"/etc/passwd",
+    b"<script>alert(",
+    b"UNION+SELECT+",
+    b"xp_cmdshell",
+    b"../..//../",
+    b"%u9090%u6858",
+    b"wget%20http://",
+    b"id=1;DROP%20TABLE",
+    b"Content-Type:%00",
+    b"/awstats.pl?configdir=",
+    b"/phpmyadmin/main.php",
+    b"PHPSESSID=INJECT",
+)
+
+_SUFFIX_ALPHABET = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_%/=+.?-"
+
+
+def synthetic_web_attack_patterns(
+    count: int = 2120, seed: int = 99, min_len: int = 6, max_len: int = 40
+) -> List[bytes]:
+    """Generate ``count`` distinct web-attack-like byte patterns."""
+    rng = random.Random(seed)
+    patterns: List[bytes] = []
+    seen = set()
+    while len(patterns) < count:
+        stem = rng.choice(_STEMS)
+        suffix_len = rng.randrange(4, max(5, max_len - len(stem)))
+        suffix = bytes(rng.choice(_SUFFIX_ALPHABET) for _ in range(suffix_len))
+        pattern = (stem + suffix)[:max_len]
+        if len(pattern) < min_len or pattern in seen:
+            continue
+        seen.add(pattern)
+        patterns.append(pattern)
+    return patterns
+
+
+def save_patterns(path: str, patterns: Sequence[bytes]) -> None:
+    """Write one pattern per line, escaped so newlines round-trip."""
+    with open(path, "wb") as handle:
+        for pattern in patterns:
+            handle.write(pattern.replace(b"\\", b"\\\\").replace(b"\n", b"\\n") + b"\n")
+
+
+def _unescape(line: bytes) -> bytes:
+    """Invert the save_patterns escaping with a left-to-right scan
+    (a naive chained replace would corrupt literal backslash-n)."""
+    out = bytearray()
+    index = 0
+    while index < len(line):
+        byte = line[index]
+        if byte == ord("\\") and index + 1 < len(line):
+            nxt = line[index + 1]
+            if nxt == ord("n"):
+                out.append(ord("\n"))
+                index += 2
+                continue
+            if nxt == ord("\\"):
+                out.append(ord("\\"))
+                index += 2
+                continue
+        out.append(byte)
+        index += 1
+    return bytes(out)
+
+
+def load_patterns(path: str) -> List[bytes]:
+    """Read patterns written by :func:`save_patterns`."""
+    patterns: List[bytes] = []
+    with open(path, "rb") as handle:
+        for line in handle:
+            line = line.rstrip(b"\n")
+            if line:
+                patterns.append(_unescape(line))
+    return patterns

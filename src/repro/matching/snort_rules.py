@@ -1,0 +1,164 @@
+"""Extracting match patterns from Snort rule files.
+
+The paper built its pattern set by extracting the ``content`` fields of
+the 2,120 VRT "web attack" rules (§6.5).  This module does the same
+extraction from any Snort-syntax rule file: it parses rule options,
+collects every ``content:"..."`` value (handling Snort's escaping and
+``|41 42 43|`` hex notation), and optionally honours the ``nocase``
+modifier by lower-casing the pattern.
+
+It is a parser for the *option* syntax that matters to pattern
+extraction — not a full rule-semantics engine (no PCRE, no flowbits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["SnortRule", "parse_rule", "parse_rules", "extract_contents"]
+
+
+class SnortRuleError(ValueError):
+    """Raised for malformed rule syntax."""
+
+
+@dataclass
+class SnortRule:
+    """One parsed rule: the header string plus its option list."""
+
+    action: str
+    header: str
+    options: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+
+    @property
+    def message(self) -> str:
+        for name, value in self.options:
+            if name == "msg" and value is not None:
+                return value
+        return ""
+
+    def contents(self) -> List[bytes]:
+        """All content patterns, with nocase applied where specified."""
+        patterns: List[bytes] = []
+        pending: Optional[bytes] = None
+        for name, value in self.options:
+            if name == "content" and value is not None:
+                if pending is not None:
+                    patterns.append(pending)
+                pending = _decode_content(value)
+            elif name == "nocase" and pending is not None:
+                pending = pending.lower()
+        if pending is not None:
+            patterns.append(pending)
+        return patterns
+
+
+def _decode_content(text: str) -> bytes:
+    """Decode a Snort content string: escapes and |hex| runs."""
+    out = bytearray()
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "|":
+            end = text.find("|", index + 1)
+            if end < 0:
+                raise SnortRuleError(f"unterminated hex block in {text!r}")
+            hex_body = text[index + 1 : end].split()
+            for token in hex_body:
+                if len(token) != 2:
+                    raise SnortRuleError(f"bad hex byte {token!r} in {text!r}")
+                out.append(int(token, 16))
+            index = end + 1
+        elif char == "\\":
+            if index + 1 >= len(text):
+                raise SnortRuleError(f"dangling escape in {text!r}")
+            out.append(ord(text[index + 1]))
+            index += 2
+        else:
+            out.append(ord(char))
+            index += 1
+    return bytes(out)
+
+
+def _split_options(body: str) -> List[Tuple[str, Optional[str]]]:
+    """Split the ``( ... )`` option body on unquoted semicolons."""
+    options: List[Tuple[str, Optional[str]]] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\" and in_quotes:
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == ";" and not in_quotes:
+            piece = "".join(current).strip()
+            if piece:
+                options.append(_parse_option(piece))
+            current = []
+            continue
+        current.append(char)
+    trailing = "".join(current).strip()
+    if trailing:
+        options.append(_parse_option(trailing))
+    if in_quotes:
+        raise SnortRuleError(f"unterminated quote in options: {body!r}")
+    return options
+
+
+def _parse_option(piece: str) -> Tuple[str, Optional[str]]:
+    name, separator, value = piece.partition(":")
+    name = name.strip()
+    if not separator:
+        return name, None
+    value = value.strip()
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        value = value[1:-1]
+    return name, value
+
+
+def parse_rule(line: str) -> SnortRule:
+    """Parse one rule line."""
+    line = line.strip()
+    open_paren = line.find("(")
+    if open_paren < 0 or not line.endswith(")"):
+        raise SnortRuleError(f"rule has no option body: {line!r}")
+    header = line[:open_paren].strip()
+    if not header:
+        raise SnortRuleError("rule has no header")
+    action = header.split()[0]
+    options = _split_options(line[open_paren + 1 : -1])
+    return SnortRule(action=action, header=header, options=options)
+
+
+def parse_rules(lines: Iterable[str]) -> List[SnortRule]:
+    """Parse a rule file: skips blanks and ``#`` comments."""
+    rules: List[SnortRule] = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped))
+    return rules
+
+
+def extract_contents(lines: Iterable[str], min_len: int = 1) -> List[bytes]:
+    """All content patterns from a rule file, deduplicated, in order —
+    the §6.5 extraction."""
+    seen = set()
+    patterns: List[bytes] = []
+    for rule in parse_rules(lines):
+        for pattern in rule.contents():
+            if len(pattern) >= min_len and pattern not in seen:
+                seen.add(pattern)
+                patterns.append(pattern)
+    return patterns

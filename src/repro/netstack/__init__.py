@@ -1,0 +1,41 @@
+"""Packet-level substrate: headers, flows, fragmentation, pcap I/O."""
+
+from .addresses import int_to_ip, ip_to_int
+from .ethernet import EtherType, EthernetHeader
+from .flows import CLIENT_TO_SERVER, SERVER_TO_CLIENT, Direction, FiveTuple, flow_key
+from .fragments import IPFragmentReassembler, fragment_packet
+from .ip import IPProtocol, IPv4Header
+from .packet import Packet, make_tcp_packet, make_udp_packet
+from .pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from .tcp import TCPFlags, TCPHeader, seq_add, seq_diff, seq_lt, seq_lte
+from .udp import UDPHeader
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "EtherType",
+    "EthernetHeader",
+    "Direction",
+    "FiveTuple",
+    "flow_key",
+    "CLIENT_TO_SERVER",
+    "SERVER_TO_CLIENT",
+    "IPFragmentReassembler",
+    "fragment_packet",
+    "IPProtocol",
+    "IPv4Header",
+    "Packet",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "TCPFlags",
+    "TCPHeader",
+    "seq_add",
+    "seq_diff",
+    "seq_lt",
+    "seq_lte",
+    "UDPHeader",
+]

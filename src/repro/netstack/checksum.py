@@ -1,0 +1,41 @@
+"""Internet checksum (RFC 1071) helpers.
+
+The ones'-complement checksum is used by the IPv4 header and, combined
+with a pseudo-header, by TCP and UDP.  The implementation folds 16-bit
+words with end-around carry, matching the canonical C implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["ones_complement_sum", "internet_checksum", "pseudo_header"]
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """Return the 16-bit ones'-complement sum of ``data``.
+
+    ``initial`` allows chaining partial sums (e.g. pseudo-header first,
+    then the transport segment).  Odd-length input is padded with a zero
+    byte, as RFC 1071 specifies.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = initial
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back into the low 16 bits.  Two folds suffice for any
+    # input length that fits in memory.
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """Return the internet checksum (complement of the folded sum)."""
+    return (~ones_complement_sum(data, initial)) & 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    """Build the IPv4 pseudo-header used by TCP/UDP checksums."""
+    return struct.pack("!IIBBH", src_ip, dst_ip, 0, protocol, length)

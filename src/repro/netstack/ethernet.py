@@ -1,0 +1,59 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .addresses import BROADCAST_MAC, bytes_to_mac
+
+__all__ = ["EtherType", "EthernetHeader", "ETHERNET_HEADER_LEN"]
+
+ETHERNET_HEADER_LEN = 14
+
+
+class EtherType:
+    """Well-known EtherType values."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """An Ethernet II header (no VLAN tag, no FCS).
+
+    MAC addresses are stored as raw 6-byte strings; the monitoring data
+    path never interprets them beyond copying, so raw bytes are both the
+    fastest and the most faithful representation.
+    """
+
+    dst_mac: bytes = BROADCAST_MAC
+    src_mac: bytes = BROADCAST_MAC
+    ethertype: int = EtherType.IPV4
+
+    def __post_init__(self) -> None:
+        if len(self.dst_mac) != 6 or len(self.src_mac) != 6:
+            raise ValueError("MAC addresses are exactly 6 bytes")
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype}")
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 14-byte wire format."""
+        return self.dst_mac + self.src_mac + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "EthernetHeader":
+        """Parse the first 14 bytes of ``data`` as an Ethernet header."""
+        if len(data) < ETHERNET_HEADER_LEN:
+            raise ValueError("truncated Ethernet header")
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        return cls(dst_mac=bytes(data[0:6]), src_mac=bytes(data[6:12]), ethertype=ethertype)
+
+    def __str__(self) -> str:
+        return (
+            f"eth {bytes_to_mac(self.src_mac)} > {bytes_to_mac(self.dst_mac)} "
+            f"type=0x{self.ethertype:04x}"
+        )

@@ -1,0 +1,64 @@
+"""Flow identity: five-tuples, canonical bidirectional keys, directions.
+
+A *five-tuple* identifies one direction of a conversation; a *flow key*
+is the canonical (order-independent) form shared by both directions, so
+a single hash-table entry can track a bidirectional TCP connection the
+way the Scap kernel module does.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .addresses import int_to_ip
+
+__all__ = ["FiveTuple", "Direction", "flow_key", "CLIENT_TO_SERVER", "SERVER_TO_CLIENT"]
+
+CLIENT_TO_SERVER = 0
+SERVER_TO_CLIENT = 1
+
+
+class Direction:
+    """Direction constants relative to the connection initiator."""
+
+    CLIENT_TO_SERVER = CLIENT_TO_SERVER
+    SERVER_TO_CLIENT = SERVER_TO_CLIENT
+
+    @staticmethod
+    def opposite(direction: int) -> int:
+        return 1 - direction
+
+
+class FiveTuple(NamedTuple):
+    """One direction of a conversation: (src ip, src port, dst ip, dst port, proto)."""
+
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FiveTuple":
+        """The same conversation seen from the other endpoint."""
+        return FiveTuple(self.dst_ip, self.dst_port, self.src_ip, self.src_port, self.protocol)
+
+    def canonical(self) -> "FiveTuple":
+        """Order-independent form: the lexicographically smaller endpoint first."""
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port):
+            return self
+        return self.reversed()
+
+    @property
+    def is_canonical(self) -> bool:
+        return (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port)
+
+    def __str__(self) -> str:
+        return (
+            f"{int_to_ip(self.src_ip)}:{self.src_port} > "
+            f"{int_to_ip(self.dst_ip)}:{self.dst_port}/{self.protocol}"
+        )
+
+
+def flow_key(five_tuple: FiveTuple) -> FiveTuple:
+    """Return the canonical bidirectional key for ``five_tuple``."""
+    return five_tuple.canonical()

@@ -1,0 +1,180 @@
+"""IPv4 fragmentation: splitting packets and reassembling datagrams.
+
+Scap's strict reassembly mode normalizes IP fragmentation before TCP
+processing (evasion attacks split TCP segments across IP fragments).
+The generator uses :func:`fragment_packet` to emit evasive traffic and
+the capture paths use :class:`IPFragmentReassembler` to rebuild it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ip import IPv4Header
+from .packet import Packet
+from .tcp import TCPHeader
+from .udp import UDPHeader
+
+__all__ = ["fragment_packet", "IPFragmentReassembler"]
+
+_FRAGMENT_UNIT = 8
+
+
+def fragment_packet(packet: Packet, fragment_size: int) -> "list[Packet]":
+    """Split a TCP/UDP packet into IP fragments of ``fragment_size`` bytes.
+
+    ``fragment_size`` is rounded down to a multiple of 8 (the wire
+    requires fragment offsets in 8-byte units) and covers the IP payload
+    — i.e. transport header plus data.  Returns ``[packet]`` unchanged
+    when no split is needed.
+    """
+    if packet.ip is None:
+        raise ValueError("cannot fragment a non-IP packet")
+    fragment_size = max(_FRAGMENT_UNIT, (fragment_size // _FRAGMENT_UNIT) * _FRAGMENT_UNIT)
+    if packet.tcp is not None:
+        transport = packet.tcp.to_bytes(packet.ip.src_ip, packet.ip.dst_ip, packet.payload)
+    elif packet.udp is not None:
+        transport = packet.udp.to_bytes(packet.ip.src_ip, packet.ip.dst_ip, packet.payload)
+    else:
+        transport = b""
+    ip_payload = transport + packet.payload
+    if len(ip_payload) <= fragment_size:
+        return [packet]
+
+    fragments: List[Packet] = []
+    offset = 0
+    while offset < len(ip_payload):
+        piece = ip_payload[offset : offset + fragment_size]
+        more = offset + len(piece) < len(ip_payload)
+        ip = IPv4Header(
+            src_ip=packet.ip.src_ip,
+            dst_ip=packet.ip.dst_ip,
+            protocol=packet.ip.protocol,
+            total_length=20 + len(piece),
+            identification=packet.ip.identification,
+            more_fragments=more,
+            fragment_offset=offset // _FRAGMENT_UNIT,
+            ttl=packet.ip.ttl,
+        )
+        fragments.append(
+            Packet(
+                eth=packet.eth,
+                ip=ip,
+                payload=piece,
+                timestamp=packet.timestamp,
+            )
+        )
+        offset += len(piece)
+    return fragments
+
+
+@dataclass
+class _PartialDatagram:
+    pieces: Dict[int, bytes] = field(default_factory=dict)
+    total_len: Optional[int] = None
+    first_seen: float = 0.0
+
+
+class IPFragmentReassembler:
+    """Reassembles IPv4 fragments into whole datagrams.
+
+    Incomplete datagrams are expired after ``timeout`` virtual seconds,
+    mirroring the kernel's ipfrag timer; ``expired_count`` reports how
+    many were abandoned (a normalization statistic).
+    """
+
+    def __init__(self, timeout: float = 30.0):
+        self._timeout = timeout
+        self._partial: Dict[Tuple[int, int, int, int], _PartialDatagram] = {}
+        self.expired_count = 0
+
+    def push(self, packet: Packet) -> "Packet | None":
+        """Feed one packet; return a complete packet when one finishes.
+
+        Non-fragments pass straight through.  Returns None while a
+        datagram is still incomplete.
+        """
+        self._expire(packet.timestamp)
+        if packet.ip is None or not packet.ip.is_fragment:
+            return packet
+        key = (
+            packet.ip.src_ip,
+            packet.ip.dst_ip,
+            packet.ip.protocol,
+            packet.ip.identification,
+        )
+        partial = self._partial.get(key)
+        if partial is None:
+            partial = _PartialDatagram(first_seen=packet.timestamp)
+            self._partial[key] = partial
+        byte_offset = packet.ip.fragment_offset * _FRAGMENT_UNIT
+        partial.pieces[byte_offset] = packet.payload
+        if not packet.ip.more_fragments:
+            partial.total_len = byte_offset + len(packet.payload)
+        return self._try_complete(key, partial, packet)
+
+    def _try_complete(
+        self,
+        key: Tuple[int, int, int, int],
+        partial: _PartialDatagram,
+        last_packet: Packet,
+    ) -> "Packet | None":
+        if partial.total_len is None:
+            return None
+        data = bytearray(partial.total_len)
+        covered = 0
+        for offset in sorted(partial.pieces):
+            piece = partial.pieces[offset]
+            if offset > covered:
+                return None  # hole remains
+            end = offset + len(piece)
+            data[offset:end] = piece
+            covered = max(covered, end)
+        if covered < partial.total_len:
+            return None
+        del self._partial[key]
+        return self._rebuild(bytes(data), last_packet)
+
+    @staticmethod
+    def _rebuild(ip_payload: bytes, template: Packet) -> Packet:
+        assert template.ip is not None
+        ip = IPv4Header(
+            src_ip=template.ip.src_ip,
+            dst_ip=template.ip.dst_ip,
+            protocol=template.ip.protocol,
+            total_length=20 + len(ip_payload),
+            identification=template.ip.identification,
+            ttl=template.ip.ttl,
+        )
+        tcp = udp = None
+        payload = ip_payload
+        if template.ip.protocol == 6:
+            tcp, data_offset = TCPHeader.parse(ip_payload)
+            payload = ip_payload[data_offset:]
+        elif template.ip.protocol == 17:
+            udp = UDPHeader.parse(ip_payload)
+            payload = ip_payload[8:]
+        return Packet(
+            eth=template.eth,
+            ip=ip,
+            tcp=tcp,
+            udp=udp,
+            payload=payload,
+            timestamp=template.timestamp,
+        )
+
+    def _expire(self, now: float) -> None:
+        stale = [
+            key
+            for key, partial in self._partial.items()
+            if now - partial.first_seen > self._timeout
+        ]
+        for key in stale:
+            del self._partial[key]
+            self.expired_count += 1
+
+    @property
+    def pending_count(self) -> int:
+        """Number of datagrams still awaiting fragments."""
+        return len(self._partial)

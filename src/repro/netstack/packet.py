@@ -1,0 +1,229 @@
+"""The packet model used throughout the simulator.
+
+A :class:`Packet` is a parsed representation — Ethernet + IPv4 +
+TCP/UDP headers plus the transport payload — together with capture
+metadata (timestamp, wire length).  Keeping packets parsed avoids
+re-parsing in every pipeline stage; ``to_bytes``/``parse`` provide the
+wire form for pcap I/O and for tests that must exercise real parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ethernet import ETHERNET_HEADER_LEN, EtherType, EthernetHeader
+from .flows import FiveTuple
+from .ip import IPV4_MIN_HEADER_LEN, IPProtocol, IPv4Header
+from .tcp import TCPFlags, TCPHeader
+from .udp import UDP_HEADER_LEN, UDPHeader
+
+__all__ = ["Packet", "make_tcp_packet", "make_udp_packet"]
+
+
+@dataclass
+class Packet:
+    """A captured packet: headers, payload, and capture metadata.
+
+    ``timestamp`` is in virtual seconds.  ``wire_len`` is the on-wire
+    frame length used for traffic-rate arithmetic; it defaults to the
+    serialized length but replayers may override it (e.g. for snaplen
+    experiments where only part of the frame was captured).
+    """
+
+    eth: EthernetHeader
+    ip: "IPv4Header | None" = None
+    tcp: "TCPHeader | None" = None
+    udp: "UDPHeader | None" = None
+    payload: bytes = b""
+    timestamp: float = 0.0
+    wire_len: int = 0
+    #: 802.1Q VLAN id when the frame carried a tag (None otherwise).
+    vlan_id: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.wire_len == 0:
+            self.wire_len = self.header_len + len(self.payload)
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def header_len(self) -> int:
+        """Total length of all headers present."""
+        length = ETHERNET_HEADER_LEN
+        if self.vlan_id is not None:
+            length += 4
+        if self.ip is not None:
+            length += IPV4_MIN_HEADER_LEN
+        if self.tcp is not None:
+            length += self.tcp.header_len
+        elif self.udp is not None:
+            length += UDP_HEADER_LEN
+        return length
+
+    @property
+    def is_ip(self) -> bool:
+        return self.ip is not None
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.tcp is not None
+
+    @property
+    def is_udp(self) -> bool:
+        return self.udp is not None
+
+    @property
+    def src_port(self) -> int:
+        if self.tcp is not None:
+            return self.tcp.src_port
+        if self.udp is not None:
+            return self.udp.src_port
+        return 0
+
+    @property
+    def dst_port(self) -> int:
+        if self.tcp is not None:
+            return self.tcp.dst_port
+        if self.udp is not None:
+            return self.udp.dst_port
+        return 0
+
+    @property
+    def five_tuple(self) -> "FiveTuple | None":
+        """The packet's directional five-tuple, or None for non-IP frames."""
+        if self.ip is None:
+            return None
+        return FiveTuple(
+            self.ip.src_ip, self.src_port, self.ip.dst_ip, self.dst_port, self.ip.protocol
+        )
+
+    @property
+    def tcp_flags(self) -> int:
+        return self.tcp.flags if self.tcp is not None else 0
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the full wire frame (headers recompute checksums)."""
+        import struct as _struct
+
+        if self.vlan_id is not None:
+            # 802.1Q: the Ethernet type becomes 0x8100 followed by the
+            # TCI and the encapsulated ethertype.
+            inner_type = EtherType.IPV4 if self.ip is not None else self.eth.ethertype
+            eth = EthernetHeader(self.eth.dst_mac, self.eth.src_mac, EtherType.VLAN)
+            parts = [
+                eth.to_bytes(),
+                _struct.pack("!HH", self.vlan_id & 0x0FFF, inner_type),
+            ]
+        else:
+            parts = [self.eth.to_bytes()]
+        if self.ip is not None:
+            parts.append(self.ip.to_bytes())
+            if self.tcp is not None:
+                parts.append(self.tcp.to_bytes(self.ip.src_ip, self.ip.dst_ip, self.payload))
+            elif self.udp is not None:
+                parts.append(self.udp.to_bytes(self.ip.src_ip, self.ip.dst_ip, self.payload))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def parse(cls, data: bytes, timestamp: float = 0.0, wire_len: int = 0) -> "Packet":
+        """Parse a wire frame into a Packet.
+
+        Non-IPv4 frames keep only the Ethernet header and opaque payload.
+        IP fragments with nonzero offset carry no parsed transport header.
+        """
+        eth = EthernetHeader.parse(data)
+        offset = ETHERNET_HEADER_LEN
+        vlan_id = None
+        ethertype = eth.ethertype
+        if ethertype == EtherType.VLAN:
+            import struct as _struct
+
+            if len(data) < offset + 4:
+                raise ValueError("truncated 802.1Q tag")
+            tci, ethertype = _struct.unpack_from("!HH", data, offset)
+            vlan_id = tci & 0x0FFF
+            offset += 4
+            eth = EthernetHeader(eth.dst_mac, eth.src_mac, ethertype)
+        if ethertype != EtherType.IPV4:
+            return cls(
+                eth=eth,
+                payload=bytes(data[offset:]),
+                timestamp=timestamp,
+                wire_len=wire_len or len(data),
+                vlan_id=vlan_id,
+            )
+        ip = IPv4Header.parse(data[offset:])
+        offset += ip.header_len
+        ip_start = offset - ip.header_len
+        end = min(len(data), ip_start + ip.total_length)
+        tcp = udp = None
+        if ip.fragment_offset == 0 and ip.protocol == IPProtocol.TCP:
+            tcp, data_offset = TCPHeader.parse(data[offset:end])
+            offset += data_offset
+        elif ip.fragment_offset == 0 and ip.protocol == IPProtocol.UDP:
+            udp = UDPHeader.parse(data[offset:end])
+            offset += UDP_HEADER_LEN
+        return cls(
+            eth=eth,
+            ip=ip,
+            tcp=tcp,
+            udp=udp,
+            payload=bytes(data[offset:end]),
+            timestamp=timestamp,
+            wire_len=wire_len or len(data),
+            vlan_id=vlan_id,
+        )
+
+    def __str__(self) -> str:
+        if self.tcp is not None and self.ip is not None:
+            return f"[{self.timestamp:.6f}] {self.ip} {self.tcp} len={len(self.payload)}"
+        if self.udp is not None and self.ip is not None:
+            return f"[{self.timestamp:.6f}] {self.ip} {self.udp} len={len(self.payload)}"
+        if self.ip is not None:
+            return f"[{self.timestamp:.6f}] {self.ip} len={len(self.payload)}"
+        return f"[{self.timestamp:.6f}] {self.eth} len={len(self.payload)}"
+
+
+def make_tcp_packet(
+    src_ip: int,
+    src_port: int,
+    dst_ip: int,
+    dst_port: int,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = TCPFlags.ACK,
+    payload: bytes = b"",
+    timestamp: float = 0.0,
+    window: int = 65535,
+    options: "list[tuple[int, bytes]] | None" = None,
+) -> Packet:
+    """Convenience constructor for a TCP/IPv4/Ethernet packet."""
+    tcp = TCPHeader(
+        src_port=src_port, dst_port=dst_port, seq=seq, ack=ack, flags=flags,
+        window=window, options=options,
+    )
+    total = IPV4_MIN_HEADER_LEN + tcp.header_len + len(payload)
+    ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip, protocol=IPProtocol.TCP, total_length=total)
+    return Packet(eth=EthernetHeader(), ip=ip, tcp=tcp, payload=payload, timestamp=timestamp)
+
+
+def make_udp_packet(
+    src_ip: int,
+    src_port: int,
+    dst_ip: int,
+    dst_port: int,
+    payload: bytes = b"",
+    timestamp: float = 0.0,
+) -> Packet:
+    """Convenience constructor for a UDP/IPv4/Ethernet packet."""
+    udp = UDPHeader(
+        src_port=src_port, dst_port=dst_port, length=UDP_HEADER_LEN + len(payload)
+    )
+    total = IPV4_MIN_HEADER_LEN + UDP_HEADER_LEN + len(payload)
+    ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip, protocol=IPProtocol.UDP, total_length=total)
+    return Packet(eth=EthernetHeader(), ip=ip, udp=udp, payload=payload, timestamp=timestamp)

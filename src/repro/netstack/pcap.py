@@ -1,0 +1,145 @@
+"""Classic libpcap file format (magic 0xa1b2c3d4) reader and writer.
+
+Implemented from the format specification so generated traces can be
+exchanged with tcpdump/wireshark, and external pcaps can feed the
+simulator.  Both byte orders and both timestamp resolutions
+(micro/nanosecond, magic 0xa1b23c4d) are supported on read; writes use
+the native microsecond little-endian form.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+from .packet import Packet
+
+__all__ = ["PcapWriter", "PcapReader", "write_pcap", "read_pcap", "LINKTYPE_ETHERNET"]
+
+LINKTYPE_ETHERNET = 1
+
+_MAGIC_USEC = 0xA1B2C3D4
+_MAGIC_NSEC = 0xA1B23C4D
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass
+class _Format:
+    endian: str
+    nanosecond: bool
+
+
+class PcapWriter:
+    """Streams packets into a pcap file.
+
+    Use as a context manager::
+
+        with PcapWriter(path) as writer:
+            for packet in trace:
+                writer.write(packet)
+    """
+
+    def __init__(self, path: str, snaplen: int = 65535):
+        self._file: BinaryIO = open(path, "wb")
+        self._snaplen = snaplen
+        self._file.write(
+            _GLOBAL_HEADER.pack(_MAGIC_USEC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET)
+        )
+
+    def write(self, packet: Packet) -> None:
+        """Append one packet; frames longer than snaplen are truncated."""
+        frame = packet.to_bytes()
+        captured = frame[: self._snaplen]
+        seconds = int(packet.timestamp)
+        microseconds = int(round((packet.timestamp - seconds) * 1_000_000))
+        if microseconds >= 1_000_000:
+            seconds += 1
+            microseconds -= 1_000_000
+        self._file.write(
+            _RECORD_HEADER.pack(seconds, microseconds, len(captured), len(frame))
+        )
+        self._file.write(captured)
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterates packets out of a pcap file."""
+
+    def __init__(self, path: str):
+        self._file: BinaryIO = open(path, "rb")
+        header = self._file.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            self._file.close()
+            raise ValueError("truncated pcap global header")
+        self._format = self._detect_format(header)
+        fields = struct.unpack(self._format.endian + "IHHiIII", header)
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+        if self.linktype != LINKTYPE_ETHERNET:
+            self._file.close()
+            raise ValueError(f"unsupported linktype: {self.linktype}")
+        self._record = struct.Struct(self._format.endian + "IIII")
+
+    @staticmethod
+    def _detect_format(header: bytes) -> _Format:
+        (magic_le,) = struct.unpack_from("<I", header, 0)
+        (magic_be,) = struct.unpack_from(">I", header, 0)
+        if magic_le == _MAGIC_USEC:
+            return _Format("<", False)
+        if magic_le == _MAGIC_NSEC:
+            return _Format("<", True)
+        if magic_be == _MAGIC_USEC:
+            return _Format(">", False)
+        if magic_be == _MAGIC_NSEC:
+            return _Format(">", True)
+        raise ValueError(f"not a pcap file (magic 0x{magic_le:08x})")
+
+    def __iter__(self) -> Iterator[Packet]:
+        divisor = 1e9 if self._format.nanosecond else 1e6
+        while True:
+            record = self._file.read(self._record.size)
+            if len(record) < self._record.size:
+                return
+            seconds, fraction, caplen, wire_len = self._record.unpack(record)
+            frame = self._file.read(caplen)
+            if len(frame) < caplen:
+                return
+            timestamp = seconds + fraction / divisor
+            yield Packet.parse(frame, timestamp=timestamp, wire_len=wire_len)
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_pcap(path: str, packets: Iterable[Packet], snaplen: int = 65535) -> int:
+    """Write ``packets`` to ``path``; return the number written."""
+    count = 0
+    with PcapWriter(path, snaplen=snaplen) as writer:
+        for packet in packets:
+            writer.write(packet)
+            count += 1
+    return count
+
+
+def read_pcap(path: str) -> "list[Packet]":
+    """Read all packets from ``path`` into a list."""
+    with PcapReader(path) as reader:
+        return list(reader)

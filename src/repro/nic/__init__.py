@@ -1,0 +1,25 @@
+"""Simulated NIC: RSS, Flow Director filters, queue steering."""
+
+from .fdir import (
+    FDIR_DROP,
+    FLEX_OFFSET_TCP_FLAGS,
+    FdirFilter,
+    FlowDirectorTable,
+    tcp_flags_word,
+)
+from .nic import NICStats, SimulatedNIC
+from .rss import MICROSOFT_RSS_KEY, SYMMETRIC_RSS_KEY, RSSHasher, toeplitz_hash
+
+__all__ = [
+    "FDIR_DROP",
+    "FLEX_OFFSET_TCP_FLAGS",
+    "FdirFilter",
+    "FlowDirectorTable",
+    "tcp_flags_word",
+    "NICStats",
+    "SimulatedNIC",
+    "MICROSOFT_RSS_KEY",
+    "SYMMETRIC_RSS_KEY",
+    "RSSHasher",
+    "toeplitz_hash",
+]

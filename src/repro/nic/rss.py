@@ -1,0 +1,99 @@
+"""Receive-Side Scaling: the Toeplitz hash and queue selection.
+
+The NIC spreads incoming packets over hardware RX queues by hashing the
+packet 5-tuple fields with the Toeplitz function.  With the standard
+Microsoft key the two directions of one TCP connection usually hash to
+*different* queues; Woo and Park showed that a key built from one
+repeating 16-bit pattern makes the hash symmetric, so Scap configures
+the NIC with such a key and both directions land on the same core
+(§4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import struct
+from ..netstack.flows import FiveTuple
+from ..netstack.ip import IPProtocol
+
+__all__ = [
+    "toeplitz_hash",
+    "MICROSOFT_RSS_KEY",
+    "SYMMETRIC_RSS_KEY",
+    "RSSHasher",
+]
+
+# The de-facto standard verification key from the Microsoft RSS spec.
+MICROSOFT_RSS_KEY = bytes(
+    [
+        0x6D, 0x5A, 0x56, 0xDA, 0x25, 0x5B, 0x0E, 0xC2,
+        0x41, 0x67, 0x25, 0x3D, 0x43, 0xA3, 0x8F, 0xB0,
+        0xD0, 0xCA, 0x2B, 0xCB, 0xAE, 0x7B, 0x30, 0xB4,
+        0x77, 0xCB, 0x2D, 0xA3, 0x80, 0x30, 0xF2, 0x0C,
+        0x6A, 0x42, 0xB7, 0x3B, 0xBE, 0xAC, 0x01, 0xFA,
+    ]
+)
+
+# Repeating 0x6d5a pattern: hash(src,dst) == hash(dst,src) for the
+# 4-tuple input layout, per Woo & Park (2012).
+SYMMETRIC_RSS_KEY = bytes([0x6D, 0x5A] * 20)
+
+
+def toeplitz_hash(key: bytes, data: bytes) -> int:
+    """The Toeplitz hash as specified for RSS.
+
+    For each set bit of ``data`` (MSB first), XOR in the 32-bit window
+    of ``key`` starting at that bit position.
+    """
+    if len(key) < len(data) + 4:
+        raise ValueError("RSS key too short for input")
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    result = 0
+    bit_index = 0
+    for byte in data:
+        for bit in range(7, -1, -1):
+            if byte & (1 << bit):
+                shift = key_bits - 32 - bit_index
+                result ^= (key_int >> shift) & 0xFFFFFFFF
+            bit_index += 1
+    return result
+
+
+class RSSHasher:
+    """Maps packets to RX queues via the Toeplitz hash of the 4-tuple.
+
+    TCP and UDP use the (src ip, dst ip, src port, dst port) input; other
+    IP protocols hash only the address pair.  Results are memoised per
+    five-tuple — real hardware computes the hash per packet, but it is a
+    pure function, so caching is behaviour-preserving.
+    """
+
+    def __init__(self, queue_count: int, key: bytes = SYMMETRIC_RSS_KEY):
+        if queue_count < 1:
+            raise ValueError("need at least one RSS queue")
+        self.queue_count = queue_count
+        self.key = key
+        self._cache: dict = {}
+
+    def hash_value(self, five_tuple: FiveTuple) -> int:
+        """The 32-bit Toeplitz hash for ``five_tuple`` (memoised)."""
+        cached = self._cache.get(five_tuple)
+        if cached is not None:
+            return cached
+        if five_tuple.protocol in (IPProtocol.TCP, IPProtocol.UDP):
+            data = struct.pack(
+                "!IIHH",
+                five_tuple.src_ip,
+                five_tuple.dst_ip,
+                five_tuple.src_port,
+                five_tuple.dst_port,
+            )
+        else:
+            data = struct.pack("!II", five_tuple.src_ip, five_tuple.dst_ip)
+        value = toeplitz_hash(self.key, data)
+        self._cache[five_tuple] = value
+        return value
+
+    def queue_for(self, five_tuple: FiveTuple) -> int:
+        """The RX queue index for ``five_tuple``."""
+        return self.hash_value(five_tuple) % self.queue_count

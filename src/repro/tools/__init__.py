@@ -1,0 +1,5 @@
+"""Command-line tooling."""
+
+from .cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

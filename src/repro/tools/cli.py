@@ -1,0 +1,321 @@
+"""Command-line interface: ``repro-scap``.
+
+Subcommands:
+
+* ``generate`` — synthesize a campus-like trace and write it as pcap.
+* ``capture``  — run a monitoring application (flow statistics, stream
+  delivery, or pattern matching) over a pcap file or a synthetic trace
+  through the full Scap pipeline at a chosen replay rate.
+* ``bench``    — regenerate one of the paper's figures and print its
+  table.
+* ``analyze``  — evaluate the §7 PPL loss-probability models.
+
+Examples::
+
+    repro-scap generate --flows 500 --out campus.pcap
+    repro-scap capture --pcap campus.pcap --rate 2.0 --app match
+    repro-scap bench fig04
+    repro-scap analyze --rho 0.5 --slots 1 10 20 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..analysis import mm1n_loss_probability, two_class_loss_probabilities
+from ..apps import FlowStatsApp, PatternMatchApp, StreamDeliveryApp, attach_app
+from ..core import ScapSocket
+from ..matching import synthetic_web_attack_patterns
+from ..netstack import int_to_ip, read_pcap, write_pcap
+from ..traffic import Trace, campus_mix
+
+__all__ = ["main", "build_parser"]
+
+GBIT = 1e9
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-scap argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scap",
+        description="Scap (IMC 2013) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesize a trace to pcap")
+    generate.add_argument("--flows", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--max-flow-bytes", type=int, default=2_000_000)
+    generate.add_argument("--plant-patterns", type=int, default=0,
+                          help="plant N synthetic attack patterns")
+    generate.add_argument("--out", required=True, help="output pcap path")
+
+    capture = sub.add_parser("capture", help="run a monitoring app over a trace")
+    source = capture.add_mutually_exclusive_group(required=False)
+    source.add_argument("--pcap", help="read packets from a pcap file")
+    source.add_argument("--flows", type=int, default=300,
+                        help="or synthesize this many flows")
+    capture.add_argument("--seed", type=int, default=7)
+    capture.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
+    capture.add_argument(
+        "--app",
+        choices=("flowstats", "delivery", "match", "http"),
+        default="delivery",
+    )
+    capture.add_argument("--cutoff", type=int, default=None)
+    capture.add_argument("--workers", type=int, default=1)
+    capture.add_argument("--memory-mb", type=int, default=64)
+    capture.add_argument("--filter", dest="bpf", default="")
+    capture.add_argument("--patterns", type=int, default=200,
+                         help="pattern count for --app match")
+    capture.add_argument("--rules", help="Snort rule file: extract content "
+                         "patterns for --app match (like the paper's VRT set)")
+    capture.add_argument("--export-flows", help="CSV path for flow records")
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument(
+        "figure",
+        choices=("fig03", "fig04", "fig05", "fig06", "fig08", "fig09", "fig10"),
+    )
+
+    inspect = sub.add_parser("inspect", help="summarize a pcap or synthetic trace")
+    inspect_source = inspect.add_mutually_exclusive_group(required=False)
+    inspect_source.add_argument("--pcap", help="read packets from a pcap file")
+    inspect_source.add_argument("--flows", type=int, default=300)
+    inspect.add_argument("--seed", type=int, default=7)
+    inspect.add_argument("--filter", dest="bpf", default="",
+                         help="restrict to packets matching a BPF expression")
+
+    anonymize = sub.add_parser(
+        "anonymize", help="prefix-preserving anonymization of a pcap"
+    )
+    anonymize.add_argument("--pcap", required=True)
+    anonymize.add_argument("--out", required=True)
+    anonymize.add_argument("--key", default="scap-repro-default-key")
+
+    compare = sub.add_parser(
+        "compare", help="Scap vs Libnids/Snort side by side on one trace"
+    )
+    compare.add_argument("--flows", type=int, default=400)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--rates", type=float, nargs="+",
+                         default=[1.0, 2.5, 4.0, 6.0], help="Gbit/s points")
+
+    analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
+    analyze.add_argument("--rho", type=float, default=0.5)
+    analyze.add_argument("--rho-high", type=float, default=None,
+                         help="enable the two-class model with this high-class load")
+    analyze.add_argument("--slots", type=int, nargs="+", default=[5, 10, 20, 50, 100])
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    patterns = (
+        synthetic_web_attack_patterns(args.plant_patterns)
+        if args.plant_patterns
+        else ()
+    )
+    trace = campus_mix(
+        flow_count=args.flows,
+        seed=args.seed,
+        max_flow_bytes=args.max_flow_bytes,
+        patterns=patterns,
+        plant_fraction=0.5 if patterns else 0.0,
+    )
+    count = write_pcap(args.out, trace.packets)
+    print(trace.summary())
+    print(f"wrote {count} packets to {args.out}")
+    if patterns:
+        print(f"planted {len(trace.planted_matches)} pattern occurrences")
+    return 0
+
+
+def _load_source(args: argparse.Namespace) -> Trace:
+    if args.pcap:
+        packets = read_pcap(args.pcap)
+        return Trace(packets, name=args.pcap)
+    return campus_mix(flow_count=args.flows, seed=args.seed)
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    trace = _load_source(args)
+    print(trace.summary())
+    if args.app == "flowstats":
+        app = FlowStatsApp()
+    elif args.app == "match":
+        if args.rules:
+            from ..matching import extract_contents
+
+            with open(args.rules) as handle:
+                patterns = extract_contents(handle, min_len=4)
+            print(f"extracted {len(patterns)} content patterns from {args.rules}")
+        else:
+            patterns = synthetic_web_attack_patterns(args.patterns)
+        app = PatternMatchApp(patterns, mode="ac")
+    elif args.app == "http":
+        from ..apps import HttpMetadataApp
+
+        app = HttpMetadataApp()
+    else:
+        app = StreamDeliveryApp()
+    socket = ScapSocket(
+        trace, rate_bps=args.rate * GBIT, memory_size=args.memory_mb << 20
+    )
+    if args.bpf:
+        socket.set_filter(args.bpf)
+    if args.cutoff is not None:
+        socket.set_cutoff(args.cutoff)
+    if args.workers != 1:
+        socket.set_worker_threads(args.workers)
+    attach_app(socket, app)
+    result = socket.start_capture(name=f"scap-{args.app}")
+    print(result.row())
+    print(
+        f"delivered {result.delivered_bytes / 1e6:.2f} MB in "
+        f"{result.delivered_events} events; "
+        f"{result.streams_created} streams; "
+        f"{result.discarded_packets} packets discarded early"
+    )
+    if args.app == "match":
+        print(f"pattern matches found: {app.matches_found}")
+    if args.app == "http":
+        print(
+            f"HTTP transactions: {len(app.requests)} requests, "
+            f"{len(app.responses)} responses, {app.parse_errors} parse errors"
+        )
+    if args.app == "flowstats" and args.export_flows:
+        with open(args.export_flows, "w") as handle:
+            handle.write("src_ip,src_port,dst_ip,dst_port,proto,bytes\n")
+            for record in app.records:
+                ft = record.five_tuple
+                handle.write(
+                    f"{int_to_ip(ft.src_ip)},{ft.src_port},"
+                    f"{int_to_ip(ft.dst_ip)},{ft.dst_port},"
+                    f"{ft.protocol},{record.total_bytes}\n"
+                )
+        print(f"exported {len(app.records)} flow records to {args.export_flows}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from ..bench import (
+        fig03_flow_statistics,
+        fig04_stream_delivery,
+        fig05_concurrent_streams,
+        fig06_pattern_matching,
+        fig08_cutoff_sweep,
+        fig09_ppl_priorities,
+        fig10_worker_scaling,
+        format_series,
+        get_scale,
+    )
+
+    runners = {
+        "fig03": fig03_flow_statistics,
+        "fig04": fig04_stream_delivery,
+        "fig05": fig05_concurrent_streams,
+        "fig06": fig06_pattern_matching,
+        "fig08": fig08_cutoff_sweep,
+        "fig09": fig09_ppl_priorities,
+        "fig10": fig10_worker_scaling,
+    }
+    series = runners[args.figure](get_scale())
+    print(format_series(series))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """The paper's headline, one command: stream delivery on Scap vs
+    the user-level baselines across a few rates."""
+    from ..baselines import LibnidsEngine, PcapBasedSystem, Stream5Engine
+    from ..traffic import campus_mix as _mix
+
+    trace = _mix(flow_count=args.flows, seed=args.seed)
+    wire = trace.total_wire_bytes
+    ring = max(1 << 18, int(wire * 0.05))
+    memory = max(1 << 19, int(wire * 0.10))
+    print(trace.summary())
+    print(f"{'rate':>6} {'system':>9} {'drop%':>7} {'cpu%':>7} {'softirq%':>9}")
+    for rate in args.rates:
+        rate_bps = rate * GBIT
+        rows = []
+        app = StreamDeliveryApp()
+        socket = ScapSocket(trace, rate_bps=rate_bps, memory_size=memory)
+        attach_app(socket, app)
+        rows.append(("scap", socket.start_capture()))
+        for label, engine_cls in (("libnids", LibnidsEngine), ("snort", Stream5Engine)):
+            system = PcapBasedSystem(
+                engine_cls(StreamDeliveryApp()), ring_bytes=ring
+            )
+            rows.append((label, system.run(trace, rate_bps)))
+        for label, result in rows:
+            print(
+                f"{rate:>5.1f}G {label:>9} {result.drop_rate * 100:7.2f} "
+                f"{result.user_utilization * 100:7.2f} "
+                f"{result.softirq_load * 100:9.2f}"
+            )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from ..traffic.inspect import filter_trace, summarize
+
+    trace = _load_source(args)
+    if args.bpf:
+        trace = filter_trace(trace, args.bpf)
+    print(trace.summary())
+    print(summarize(trace).format())
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from ..traffic.anonymize import anonymize_trace
+
+    packets = read_pcap(args.pcap)
+    anonymize_trace(packets, key=args.key.encode())
+    count = write_pcap(args.out, packets)
+    print(f"anonymized {count} packets -> {args.out} (prefix-preserving)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.rho_high is None:
+        print(f"M/M/1/N loss probability at rho={args.rho}")
+        print(f"{'N':>6} {'P(loss)':>14}")
+        for slots in args.slots:
+            print(f"{slots:>6} {mm1n_loss_probability(args.rho, slots):>14.3e}")
+    else:
+        print(
+            f"Two-class PPL chain: rho1={args.rho} (cumulative), "
+            f"rho2={args.rho_high} (high class)"
+        )
+        print(f"{'N':>6} {'P(loss medium)':>16} {'P(loss high)':>16}")
+        for slots in args.slots:
+            medium, high = two_class_loss_probabilities(
+                args.rho, args.rho_high, slots
+            )
+            print(f"{slots:>6} {medium:>16.3e} {high:>16.3e}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "capture": _cmd_capture,
+        "bench": _cmd_bench,
+        "compare": _cmd_compare,
+        "inspect": _cmd_inspect,
+        "anonymize": _cmd_anonymize,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,362 @@
+"""Synthetic campus-style traffic generation.
+
+The paper evaluates on a one-hour full-payload campus trace
+(58.7 M packets, 1.49 M flows, 46 GB, 95.4 % TCP).  That trace is not
+available, so this generator synthesizes a workload with the properties
+the evaluation depends on:
+
+* heavy-tailed flow sizes (a lognormal body plus a Pareto tail), so
+  stream-cutoff experiments show most bytes living in the tails of a
+  few large flows;
+* a realistic port mix dominated by web traffic;
+* full TCP semantics via :class:`~repro.traffic.tcpsession.TCPSessionBuilder`,
+  with configurable impairment rates;
+* a small UDP fraction;
+* optional *pattern planting*: occurrences of known patterns spliced
+  into stream payloads (biased towards stream beginnings, like web
+  attack vectors in HTTP requests/responses), recorded as ground truth
+  for scoring pattern-matching accuracy under packet loss.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..netstack.flows import CLIENT_TO_SERVER, SERVER_TO_CLIENT, FiveTuple
+from ..netstack.ip import IPProtocol
+from .tcpsession import (
+    DEFAULT_MSS,
+    Impairments,
+    SessionMessage,
+    TCPSessionBuilder,
+    build_udp_flow,
+)
+from .trace import FlowSpec, PlantedMatch, Trace
+
+__all__ = ["TrafficConfig", "CampusTrafficGenerator", "FILLER_BLOCK_SIZE"]
+
+FILLER_BLOCK_SIZE = 1 << 20
+
+# Server ports and their relative weights — roughly a campus access-link mix.
+_PORT_MIX: Sequence[Tuple[int, float]] = (
+    (80, 0.45),
+    (443, 0.25),
+    (8080, 0.05),
+    (25, 0.05),
+    (110, 0.03),
+    (21, 0.02),
+    (22, 0.03),
+    (53, 0.04),
+    (3306, 0.02),
+    (6881, 0.06),
+)
+
+
+@dataclass
+class TrafficConfig:
+    """Knobs for :class:`CampusTrafficGenerator`.
+
+    The default sizes produce a trace small enough for unit tests; the
+    benchmark harness scales ``flow_count`` and ``max_flow_bytes`` up.
+    """
+
+    seed: int = 7
+    flow_count: int = 200
+    tcp_fraction: float = 0.954
+    duration: float = 1.0  # native seconds over which flows start
+
+    # Flow size model: lognormal body, Pareto tail.
+    small_flow_fraction: float = 0.7
+    lognormal_mu: float = math.log(2_000.0)
+    lognormal_sigma: float = 1.0
+    pareto_alpha: float = 1.2
+    pareto_xm: float = 20_000.0
+    max_flow_bytes: int = 2_000_000
+    request_bytes_range: Tuple[int, int] = (120, 900)
+
+    mss: int = DEFAULT_MSS
+    ack_every: int = 4
+    #: Per-flow throughput model: flows are paced at a lognormal rate
+    #: around this mean, so many flows are concurrently active and the
+    #: aggregate traffic profile is smooth — like an access link, not a
+    #: sequence of line-rate bursts.
+    mean_flow_bandwidth_bps: float = 40e6
+    flow_bandwidth_sigma: float = 0.6
+    #: Flows longer than this fraction of ``duration`` are paced faster.
+    max_flow_duration_fraction: float = 0.6
+    impairments: Impairments = field(default_factory=Impairments)
+    reset_fraction: float = 0.05  # flows ending in RST instead of FIN
+    unterminated_fraction: float = 0.03  # flows that just stop (timeout path)
+
+    # Pattern planting (ground truth for detection accuracy experiments).
+    patterns: Sequence[bytes] = ()
+    plant_fraction: float = 0.0  # fraction of TCP flows receiving a pattern
+    plant_near_start_fraction: float = 0.8  # planted within the first KBs
+    plant_start_window: int = 4_096
+    plants_per_flow: int = 1
+
+    client_subnet: int = 0x0A000000  # 10.0.0.0/8 campus clients
+    server_subnet: int = 0xC0000000  # 192.0.0.0/8 external servers
+
+
+class CampusTrafficGenerator:
+    """Generates a :class:`Trace` according to a :class:`TrafficConfig`."""
+
+    def __init__(self, config: Optional[TrafficConfig] = None):
+        self.config = config or TrafficConfig()
+        self._rng = random.Random(self.config.seed)
+        self._filler = self._make_filler(self._rng)
+
+    @staticmethod
+    def _make_filler(rng: random.Random) -> bytes:
+        """A reusable block of HTTP-body-like text.
+
+        Lowercase letters and whitespace only, so synthetic attack
+        patterns (which contain uppercase/punctuation) can never occur
+        by accident — planted matches are exact ground truth.
+        """
+        alphabet = b"abcdefghijklmnopqrstuvwxyz      \n"
+        # Map uniform random bytes onto the alphabet with a translation
+        # table — orders of magnitude faster than per-byte random.choice.
+        table = bytes(alphabet[i % len(alphabet)] for i in range(256))
+        return rng.randbytes(FILLER_BLOCK_SIZE).translate(table)
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    def _flow_size(self) -> int:
+        """Draw a flow's server-side byte size from the heavy-tailed mix."""
+        config = self.config
+        if self._rng.random() < config.small_flow_fraction:
+            size = self._rng.lognormvariate(config.lognormal_mu, config.lognormal_sigma)
+        else:
+            # Inverse-transform Pareto sample: xm / U^(1/alpha).
+            uniform = max(self._rng.random(), 1e-12)
+            size = config.pareto_xm / uniform ** (1.0 / config.pareto_alpha)
+        return max(64, min(int(size), config.max_flow_bytes))
+
+    def _server_port(self) -> int:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for port, weight in _PORT_MIX:
+            cumulative += weight
+            if roll < cumulative:
+                return port
+        return 80
+
+    def _five_tuple(self, protocol: int) -> FiveTuple:
+        config = self.config
+        client_ip = config.client_subnet | self._rng.randrange(1, 1 << 16)
+        server_ip = config.server_subnet | self._rng.randrange(1, 1 << 20)
+        client_port = self._rng.randrange(1024, 65536)
+        return FiveTuple(client_ip, client_port, server_ip, self._server_port(), protocol)
+
+    # ------------------------------------------------------------------
+    # Payload synthesis
+    # ------------------------------------------------------------------
+    def _filler_bytes(self, length: int) -> bytes:
+        """Slice ``length`` bytes out of the shared filler block."""
+        if length <= 0:
+            return b""
+        start = self._rng.randrange(0, FILLER_BLOCK_SIZE)
+        piece = self._filler[start : start + length]
+        while len(piece) < length:
+            piece += self._filler[: length - len(piece)]
+        return piece
+
+    def _http_request(self, length: int, host_port: int) -> bytes:
+        head = (
+            f"GET /{self._rng.randrange(1 << 24):x} HTTP/1.1\r\n"
+            f"Host: server:{host_port}\r\nUser-Agent: repro-gen\r\n\r\n"
+        ).encode()
+        if length <= len(head):
+            return head[:length] if length > 0 else head
+        return head + self._filler_bytes(length - len(head))
+
+    def _http_response(self, length: int) -> bytes:
+        head = (
+            f"HTTP/1.1 200 OK\r\nContent-Length: {length}\r\n"
+            "Content-Type: text/html\r\n\r\n"
+        ).encode()
+        if length <= len(head):
+            return head[:length] if length > 0 else head
+        return head + self._filler_bytes(length - len(head))
+
+    def _plant_patterns(
+        self, response: bytes, flow_index: int
+    ) -> Tuple[bytes, List[PlantedMatch]]:
+        """Splice pattern occurrences into a server response payload."""
+        config = self.config
+        if not config.patterns or self._rng.random() >= config.plant_fraction:
+            return response, []
+        planted: List[PlantedMatch] = []
+        data = bytearray(response)
+        for _ in range(config.plants_per_flow):
+            pattern = self._rng.choice(list(config.patterns))
+            if len(data) <= len(pattern):
+                break
+            if self._rng.random() < config.plant_near_start_fraction:
+                limit = max(1, min(len(data) - len(pattern), config.plant_start_window))
+            else:
+                limit = len(data) - len(pattern)
+            offset = self._rng.randrange(0, limit)
+            data[offset : offset + len(pattern)] = pattern
+            planted.append(
+                PlantedMatch(
+                    flow_index=flow_index,
+                    direction=SERVER_TO_CLIENT,
+                    stream_offset=offset,
+                    pattern=pattern,
+                )
+            )
+        return bytes(data), planted
+
+    def _packet_gap(self, flow_bytes: int, start_time: float) -> float:
+        """Inter-packet gap pacing this flow at a sampled bandwidth.
+
+        The gap is per emitted packet (data and ACKs alike), derived
+        from the flow's sampled throughput.  Every flow is paced to
+        finish inside the trace window, so the aggregate rate profile
+        is flat — like a steady access link — rather than ending in a
+        sparse tail that would make the nominal replay rate understate
+        the mid-trace load.
+        """
+        config = self.config
+        remaining = max(config.duration - start_time, 1e-3)
+        if flow_bytes > 100_000:
+            # Large flows (which carry most of the bytes) are stretched
+            # over most of the remaining trace, so the aggregate rate
+            # stays steady instead of spiking whenever a few heavy
+            # flows coincide — matching a long-lived access-link mix.
+            target_duration = remaining * self._rng.uniform(0.85, 0.98)
+            bandwidth = flow_bytes * 8 / min(target_duration, remaining)
+        else:
+            bandwidth = self._rng.lognormvariate(
+                math.log(config.mean_flow_bandwidth_bps), config.flow_bandwidth_sigma
+            )
+            bandwidth = max(bandwidth, flow_bytes * 8 / remaining)
+        # Roughly one data segment plus its share of ACKs per gap.
+        bytes_per_packet = (config.mss + 54) * 0.75
+        return bytes_per_packet * 8 / bandwidth
+
+    # ------------------------------------------------------------------
+    # Flow and trace assembly
+    # ------------------------------------------------------------------
+    def _build_tcp_flow(
+        self, index: int, start_time: float, response_len: Optional[int] = None
+    ) -> Tuple[List, FlowSpec]:
+        config = self.config
+        five_tuple = self._five_tuple(IPProtocol.TCP)
+        request_len = self._rng.randrange(*config.request_bytes_range)
+        if response_len is None:
+            response_len = self._flow_size()
+        request = self._http_request(request_len, five_tuple.dst_port)
+        response = self._http_response(response_len)
+        response, planted = self._plant_patterns(response, index)
+
+        reset = self._rng.random() < config.reset_fraction
+        unterminated = not reset and self._rng.random() < config.unterminated_fraction
+        builder = TCPSessionBuilder(
+            five_tuple,
+            start_time=start_time,
+            packet_gap=self._packet_gap(len(request) + len(response), start_time),
+            mss=config.mss,
+            impairments=config.impairments,
+            ack_every=config.ack_every,
+            reset_instead_of_fin=reset,
+        )
+        messages = [
+            SessionMessage(CLIENT_TO_SERVER, request),
+            SessionMessage(SERVER_TO_CLIENT, response),
+        ]
+        if unterminated:
+            packets = builder.handshake()
+            for message in messages:
+                packets.extend(builder.data_segments(message.direction, message.data))
+        else:
+            packets = builder.build(messages)
+        spec = FlowSpec(
+            index=index,
+            five_tuple=five_tuple,
+            protocol=IPProtocol.TCP,
+            client_bytes=len(request),
+            server_bytes=len(response),
+            start_time=start_time,
+            packet_count=len(packets),
+            planted=planted,
+        )
+        return packets, spec
+
+    def _build_udp_flow(self, index: int, start_time: float) -> Tuple[List, FlowSpec]:
+        five_tuple = self._five_tuple(IPProtocol.UDP)
+        datagram_count = self._rng.randrange(1, 8)
+        payloads = []
+        client_bytes = server_bytes = 0
+        for turn in range(datagram_count):
+            direction = CLIENT_TO_SERVER if turn % 2 == 0 else SERVER_TO_CLIENT
+            payload = self._filler_bytes(self._rng.randrange(40, 512))
+            payloads.append((direction, payload))
+            if direction == CLIENT_TO_SERVER:
+                client_bytes += len(payload)
+            else:
+                server_bytes += len(payload)
+        packets = build_udp_flow(five_tuple, payloads, start_time=start_time)
+        spec = FlowSpec(
+            index=index,
+            five_tuple=five_tuple,
+            protocol=IPProtocol.UDP,
+            client_bytes=client_bytes,
+            server_bytes=server_bytes,
+            start_time=start_time,
+            packet_count=len(packets),
+        )
+        return packets, spec
+
+    def generate(self, name: str = "campus-mix") -> Trace:
+        """Generate the full trace.
+
+        Flow sizes are presampled so start times can be assigned by
+        weight: heavy flows begin early (and are paced to stretch over
+        the remainder of the trace), light flows are stratified across
+        the window.  Together this yields a steady aggregate rate from
+        the first to the last fifth of the trace — the property that
+        makes "replay at rate R" meaningful, as with a real long trace.
+        """
+        config = self.config
+        plan: List[Tuple[int, Optional[int]]] = []  # (index, tcp size or None)
+        for index in range(config.flow_count):
+            if self._rng.random() < config.tcp_fraction:
+                plan.append((index, self._flow_size()))
+            else:
+                plan.append((index, None))
+        heavy = [entry for entry in plan if entry[1] is not None and entry[1] > 100_000]
+        light = [entry for entry in plan if entry not in heavy]
+
+        scheduled: List[Tuple[int, Optional[int], float]] = []
+        for position, (index, size) in enumerate(heavy):
+            # Heavy flows start in the first tenth and stretch across
+            # nearly the whole remaining trace, so each contributes a
+            # near-constant rate from start to end.
+            start_time = (
+                config.duration * 0.1 * (position + self._rng.random()) / max(1, len(heavy))
+            )
+            scheduled.append((index, size, start_time))
+        start_window = config.duration * 0.85
+        for position, (index, size) in enumerate(light):
+            start_time = start_window * (position + self._rng.random()) / max(1, len(light))
+            scheduled.append((index, size, start_time))
+        scheduled.sort(key=lambda entry: entry[0])
+
+        packets: List = []
+        flows: List[FlowSpec] = []
+        for index, size, start_time in scheduled:
+            if size is not None:
+                flow_packets, spec = self._build_tcp_flow(index, start_time, size)
+            else:
+                flow_packets, spec = self._build_udp_flow(index, start_time)
+            packets.extend(flow_packets)
+            flows.append(spec)
+        return Trace(packets, flows, name=name)

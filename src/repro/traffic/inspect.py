@@ -1,0 +1,125 @@
+"""Trace inspection: summaries, slicing, filtering.
+
+The small utilities every capture toolchain grows: per-protocol and
+per-port byte/packet breakdowns, top talkers, packet-size histograms,
+time-window slicing, and BPF filtering over a trace — used by the
+``repro-scap inspect`` CLI and handy for sanity-checking workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..filters.bpf import BPFFilter
+from ..netstack.addresses import int_to_ip
+from ..netstack.packet import Packet
+from .trace import Trace
+
+__all__ = ["TraceSummary", "summarize", "slice_time", "filter_trace"]
+
+_SIZE_BUCKETS = (64, 128, 256, 512, 1024, 1518, 1 << 30)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics over one trace."""
+
+    packets: int = 0
+    wire_bytes: int = 0
+    payload_bytes: int = 0
+    duration: float = 0.0
+    protocol_packets: Counter = field(default_factory=Counter)
+    port_bytes: Counter = field(default_factory=Counter)
+    talker_bytes: Counter = field(default_factory=Counter)
+    size_histogram: Counter = field(default_factory=Counter)
+    flows: int = 0
+
+    @property
+    def average_rate_bps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.wire_bytes * 8 / self.duration
+
+    def top_ports(self, count: int = 10) -> List[Tuple[int, int]]:
+        """The ``count`` busiest server ports by bytes."""
+        return self.port_bytes.most_common(count)
+
+    def top_talkers(self, count: int = 10) -> List[Tuple[str, int]]:
+        """The ``count`` busiest source addresses by bytes."""
+        return [
+            (int_to_ip(address), nbytes)
+            for address, nbytes in self.talker_bytes.most_common(count)
+        ]
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering of the summary."""
+        lines = [
+            f"packets: {self.packets}  wire: {self.wire_bytes / 1e6:.2f} MB  "
+            f"payload: {self.payload_bytes / 1e6:.2f} MB  "
+            f"duration: {self.duration:.3f} s  "
+            f"avg rate: {self.average_rate_bps / 1e9:.3f} Gbit/s",
+            "protocols: "
+            + "  ".join(f"{name}={count}" for name, count in self.protocol_packets.items()),
+            "size histogram: "
+            + "  ".join(
+                f"<={bucket if bucket < (1 << 30) else 'inf'}:{count}"
+                for bucket, count in sorted(self.size_histogram.items())
+            ),
+            "top ports by bytes: "
+            + "  ".join(f"{port}:{nbytes / 1e3:.0f}kB" for port, nbytes in self.top_ports(6)),
+            "top talkers: "
+            + "  ".join(f"{ip}:{b / 1e3:.0f}kB" for ip, b in self.top_talkers(4)),
+        ]
+        return "\n".join(lines)
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute aggregate statistics over ``trace``."""
+    summary = TraceSummary()
+    canonical = set()
+    first = last = None
+    for packet in trace.packets:
+        summary.packets += 1
+        summary.wire_bytes += packet.wire_len
+        summary.payload_bytes += len(packet.payload)
+        first = packet.timestamp if first is None else first
+        last = packet.timestamp
+        for bucket in _SIZE_BUCKETS:
+            if packet.wire_len <= bucket:
+                summary.size_histogram[bucket] += 1
+                break
+        if packet.is_tcp:
+            summary.protocol_packets["tcp"] += 1
+        elif packet.is_udp:
+            summary.protocol_packets["udp"] += 1
+        elif packet.is_ip:
+            summary.protocol_packets["other-ip"] += 1
+        else:
+            summary.protocol_packets["non-ip"] += 1
+        five_tuple = packet.five_tuple
+        if five_tuple is not None:
+            canonical.add(five_tuple.canonical())
+            server_port = min(five_tuple.src_port, five_tuple.dst_port)
+            summary.port_bytes[server_port] += packet.wire_len
+            summary.talker_bytes[five_tuple.src_ip] += packet.wire_len
+    summary.flows = len(canonical)
+    if first is not None and last is not None:
+        summary.duration = last - first
+    return summary
+
+
+def slice_time(trace: Trace, start: float, end: float, name: str = "") -> Trace:
+    """Packets with ``start <= timestamp < end`` (native timeline)."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    packets = [p for p in trace.packets if start <= p.timestamp < end]
+    return Trace(packets, name=name or f"{trace.name}[{start:g}:{end:g}]")
+
+
+def filter_trace(trace: Trace, expression: str, name: str = "") -> Trace:
+    """Packets matching a BPF expression."""
+    bpf = BPFFilter(expression)
+    packets = [p for p in trace.packets if bpf.matches(p)]
+    return Trace(packets, name=name or f"{trace.name}|{expression}")

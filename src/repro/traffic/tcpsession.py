@@ -1,0 +1,249 @@
+"""Synthesis of complete TCP sessions as packet sequences.
+
+The generator needs full, correct TCP conversations — three-way
+handshake, MSS-sized data segments, acknowledgements, FIN/RST teardown —
+plus controllable *impairments* (retransmissions, reordering,
+overlapping segments, IP fragmentation) so the reassembly engines and
+normalization policies are genuinely exercised, the way a campus trace
+would exercise them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..netstack.flows import CLIENT_TO_SERVER, SERVER_TO_CLIENT, FiveTuple
+from ..netstack.fragments import fragment_packet
+from ..netstack.packet import Packet, make_tcp_packet, make_udp_packet
+from ..netstack.tcp import SEQ_MOD, TCPFlags, TCPOption, seq_add
+
+__all__ = ["Impairments", "TCPSessionBuilder", "build_udp_flow", "DEFAULT_MSS"]
+
+DEFAULT_MSS = 1448
+
+
+@dataclass
+class Impairments:
+    """Controlled pathologies injected into a synthesized session.
+
+    Rates are per-data-segment probabilities.  ``overlap_conflict``
+    makes the overlapping retransmission carry *different* bytes in the
+    overlapped region, which is what distinguishes the per-OS
+    reassembly policies (first-wins vs last-wins).
+    """
+
+    retransmit_rate: float = 0.0
+    reorder_rate: float = 0.0
+    overlap_rate: float = 0.0
+    overlap_conflict: bool = False
+    fragment_rate: float = 0.0
+    fragment_size: int = 256
+    drop_rate: float = 0.0  # segments lost on the wire (never captured)
+    seed: int = 0
+
+
+@dataclass
+class SessionMessage:
+    """One application-level message: ``direction`` plus payload bytes."""
+
+    direction: int
+    data: bytes
+
+
+class TCPSessionBuilder:
+    """Builds the packet sequence of one bidirectional TCP session.
+
+    Usage::
+
+        builder = TCPSessionBuilder(five_tuple, start_time=0.0)
+        packets = builder.build([SessionMessage(CLIENT_TO_SERVER, b"GET /"),
+                                 SessionMessage(SERVER_TO_CLIENT, body)])
+
+    The five-tuple is given from the client's perspective.  Packet
+    timestamps advance by ``packet_gap`` per emitted packet starting at
+    ``start_time``; trace-level replay rescales them globally.
+    """
+
+    def __init__(
+        self,
+        five_tuple: FiveTuple,
+        start_time: float = 0.0,
+        packet_gap: float = 10e-6,
+        mss: int = DEFAULT_MSS,
+        impairments: Optional[Impairments] = None,
+        ack_every: int = 4,
+        client_isn: Optional[int] = None,
+        server_isn: Optional[int] = None,
+        reset_instead_of_fin: bool = False,
+    ):
+        self._ft = five_tuple
+        self._time = start_time
+        self._gap = packet_gap
+        self._mss = mss
+        self._imp = impairments or Impairments()
+        self._rng = random.Random(self._imp.seed ^ hash(five_tuple) & 0xFFFFFFFF)
+        self._ack_every = max(1, ack_every)
+        self._client_isn = self._rng.randrange(SEQ_MOD) if client_isn is None else client_isn
+        self._server_isn = self._rng.randrange(SEQ_MOD) if server_isn is None else server_isn
+        self._reset = reset_instead_of_fin
+        # Next sequence number to send, per direction.
+        self._seq = [0, 0]
+        # Highest sequence number seen from the peer, per direction (for ACKs).
+        self._peer_seq = [0, 0]
+
+    # ------------------------------------------------------------------
+    def _next_time(self) -> float:
+        timestamp = self._time
+        self._time += self._gap
+        return timestamp
+
+    def _endpoints(self, direction: int) -> Tuple[int, int, int, int]:
+        """(src_ip, src_port, dst_ip, dst_port) for ``direction``."""
+        if direction == CLIENT_TO_SERVER:
+            return self._ft.src_ip, self._ft.src_port, self._ft.dst_ip, self._ft.dst_port
+        return self._ft.dst_ip, self._ft.dst_port, self._ft.src_ip, self._ft.src_port
+
+    def _packet(
+        self, direction: int, flags: int, payload: bytes = b"", seq: Optional[int] = None
+    ) -> Packet:
+        src_ip, src_port, dst_ip, dst_port = self._endpoints(direction)
+        options = None
+        if flags & TCPFlags.SYN:
+            # Real stacks advertise their MSS on SYN / SYN-ACK.
+            options = [(TCPOption.MSS, self._mss.to_bytes(2, "big"))]
+        return make_tcp_packet(
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            seq=self._seq[direction] if seq is None else seq,
+            ack=self._peer_seq[direction] if flags & TCPFlags.ACK else 0,
+            flags=flags,
+            payload=payload,
+            timestamp=self._next_time(),
+            options=options,
+        )
+
+    # ------------------------------------------------------------------
+    def handshake(self) -> List[Packet]:
+        """SYN, SYN/ACK, ACK."""
+        self._seq[CLIENT_TO_SERVER] = self._client_isn
+        self._seq[SERVER_TO_CLIENT] = self._server_isn
+        syn = self._packet(CLIENT_TO_SERVER, TCPFlags.SYN)
+        self._seq[CLIENT_TO_SERVER] = seq_add(self._client_isn, 1)
+        self._peer_seq[SERVER_TO_CLIENT] = self._seq[CLIENT_TO_SERVER]
+        syn_ack = self._packet(SERVER_TO_CLIENT, TCPFlags.SYN | TCPFlags.ACK)
+        self._seq[SERVER_TO_CLIENT] = seq_add(self._server_isn, 1)
+        self._peer_seq[CLIENT_TO_SERVER] = self._seq[SERVER_TO_CLIENT]
+        ack = self._packet(CLIENT_TO_SERVER, TCPFlags.ACK)
+        return [syn, syn_ack, ack]
+
+    def data_segments(self, direction: int, data: bytes) -> List[Packet]:
+        """Emit ``data`` as MSS-sized segments, with impairments applied."""
+        packets: List[Packet] = []
+        offset = 0
+        segments_since_ack = 0
+        while offset < len(data):
+            chunk = data[offset : offset + self._mss]
+            flags = TCPFlags.ACK
+            if offset + len(chunk) >= len(data):
+                flags |= TCPFlags.PSH
+            base_seq = self._seq[direction]
+            segment = self._packet(direction, flags, payload=chunk)
+            self._seq[direction] = seq_add(base_seq, len(chunk))
+            self._peer_seq[1 - direction] = self._seq[direction]
+            emitted = self._apply_impairments(direction, segment, base_seq, chunk)
+            packets.extend(emitted)
+            offset += len(chunk)
+            segments_since_ack += 1
+            if segments_since_ack >= self._ack_every:
+                packets.append(self._packet(1 - direction, TCPFlags.ACK))
+                segments_since_ack = 0
+        return packets
+
+    def _apply_impairments(
+        self, direction: int, segment: Packet, base_seq: int, chunk: bytes
+    ) -> List[Packet]:
+        rng = self._rng
+        if rng.random() < self._imp.drop_rate:
+            return []  # lost on the wire: the monitor never sees it
+        out = [segment]
+        if self._imp.fragment_rate and rng.random() < self._imp.fragment_rate:
+            out = fragment_packet(segment, self._imp.fragment_size)
+        if rng.random() < self._imp.retransmit_rate:
+            duplicate = self._packet(direction, segment.tcp.flags, payload=chunk, seq=base_seq)
+            out.append(duplicate)
+        if len(chunk) > 2 and rng.random() < self._imp.overlap_rate:
+            # Re-send the second half of the segment, optionally with
+            # conflicting bytes, overlapping the already-sent data.
+            half = len(chunk) // 2
+            overlap_payload = chunk[half:]
+            if self._imp.overlap_conflict:
+                overlap_payload = bytes((byte ^ 0xFF) for byte in overlap_payload)
+            overlap = self._packet(
+                direction,
+                TCPFlags.ACK,
+                payload=overlap_payload,
+                seq=seq_add(base_seq, half),
+            )
+            out.append(overlap)
+        if self._imp.reorder_rate and len(out) > 1 and rng.random() < self._imp.reorder_rate:
+            # Shuffle the emission order.  Timestamps must be reassigned
+            # in the new order: traces are replayed time-sorted, so a
+            # shuffle that kept per-packet times would be a no-op.
+            times = sorted(packet.timestamp for packet in out)
+            rng.shuffle(out)
+            for packet, timestamp in zip(out, times):
+                packet.timestamp = timestamp
+        return out
+
+    def teardown(self) -> List[Packet]:
+        """FIN/ACK exchange in both directions, or a single RST."""
+        if self._reset:
+            return [self._packet(CLIENT_TO_SERVER, TCPFlags.RST | TCPFlags.ACK)]
+        fin_client = self._packet(CLIENT_TO_SERVER, TCPFlags.FIN | TCPFlags.ACK)
+        self._seq[CLIENT_TO_SERVER] = seq_add(self._seq[CLIENT_TO_SERVER], 1)
+        self._peer_seq[SERVER_TO_CLIENT] = self._seq[CLIENT_TO_SERVER]
+        fin_server = self._packet(SERVER_TO_CLIENT, TCPFlags.FIN | TCPFlags.ACK)
+        self._seq[SERVER_TO_CLIENT] = seq_add(self._seq[SERVER_TO_CLIENT], 1)
+        self._peer_seq[CLIENT_TO_SERVER] = self._seq[SERVER_TO_CLIENT]
+        last_ack = self._packet(CLIENT_TO_SERVER, TCPFlags.ACK)
+        return [fin_client, fin_server, last_ack]
+
+    def build(self, messages: Sequence[SessionMessage]) -> List[Packet]:
+        """Handshake + all messages + teardown, in order."""
+        packets = self.handshake()
+        for message in messages:
+            packets.extend(self.data_segments(message.direction, message.data))
+        packets.extend(self.teardown())
+        return packets
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp just after the last emitted packet."""
+        return self._time
+
+
+def build_udp_flow(
+    five_tuple: FiveTuple,
+    payloads: Sequence[Tuple[int, bytes]],
+    start_time: float = 0.0,
+    packet_gap: float = 10e-6,
+) -> List[Packet]:
+    """Build a UDP flow: one datagram per ``(direction, payload)`` entry."""
+    packets: List[Packet] = []
+    timestamp = start_time
+    for direction, payload in payloads:
+        if direction == CLIENT_TO_SERVER:
+            src_ip, src_port = five_tuple.src_ip, five_tuple.src_port
+            dst_ip, dst_port = five_tuple.dst_ip, five_tuple.dst_port
+        else:
+            src_ip, src_port = five_tuple.dst_ip, five_tuple.dst_port
+            dst_ip, dst_port = five_tuple.src_ip, five_tuple.src_port
+        packets.append(
+            make_udp_packet(src_ip, src_port, dst_ip, dst_port, payload, timestamp=timestamp)
+        )
+        timestamp += packet_gap
+    return packets

@@ -1,0 +1,220 @@
+"""Pre-packaged workloads matching the paper's experiments.
+
+* :func:`campus_mix` — the heavy-tailed campus-like trace used by the
+  rate-sweep experiments (Figs 3, 4, 6–10).
+* :class:`ConcurrentStreamWorkload` — the Fig 5 workload: ``n`` TCP
+  streams of fixed packet count multiplexed in lockstep so ``n`` streams
+  are concurrently open; generated lazily so very large ``n`` fits in
+  memory (data payloads share a single bytes object).
+* :func:`syn_flood` — flow-table exhaustion attack traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..netstack.flows import FiveTuple
+from ..netstack.ip import IPProtocol
+from ..netstack.packet import Packet, make_tcp_packet
+from ..netstack.tcp import TCPFlags
+from .generator import CampusTrafficGenerator, TrafficConfig
+from .tcpsession import DEFAULT_MSS, Impairments
+from .trace import FlowSpec, Trace
+
+__all__ = ["campus_mix", "ConcurrentStreamWorkload", "syn_flood"]
+
+
+def campus_mix(
+    flow_count: int = 400,
+    seed: int = 7,
+    patterns: Sequence[bytes] = (),
+    plant_fraction: float = 0.0,
+    max_flow_bytes: int = 2_000_000,
+    impairments: Optional[Impairments] = None,
+    name: str = "campus-mix",
+) -> Trace:
+    """Generate the standard campus-like trace used across experiments."""
+    config = TrafficConfig(
+        seed=seed,
+        flow_count=flow_count,
+        max_flow_bytes=max_flow_bytes,
+        patterns=tuple(patterns),
+        plant_fraction=plant_fraction,
+        impairments=impairments
+        or Impairments(retransmit_rate=0.01, reorder_rate=0.01, overlap_rate=0.005, seed=seed),
+    )
+    return CampusTrafficGenerator(config).generate(name=name)
+
+
+@dataclass
+class _StreamState:
+    five_tuple: FiveTuple
+    client_isn: int
+    server_isn: int
+
+
+class ConcurrentStreamWorkload:
+    """Fig 5 workload: ``n`` concurrent multiplexed TCP streams.
+
+    Every stream is handshake + ``data_packets`` max-payload server
+    segments + FIN teardown, emitted in lockstep round-robin so all
+    ``n`` streams are simultaneously established mid-trace.  Packets are
+    produced lazily by :meth:`replay`; all data segments share one
+    payload object, so memory stays flat even for 10^5+ streams.
+    """
+
+    _HANDSHAKE = 3
+    _TEARDOWN = 3
+
+    def __init__(
+        self,
+        stream_count: int,
+        data_packets: int = 10,
+        mss: int = DEFAULT_MSS,
+        seed: int = 11,
+    ):
+        self.stream_count = stream_count
+        self.data_packets = data_packets
+        self.mss = mss
+        self._payload = bytes(mss)  # shared by every data segment
+        rng = random.Random(seed)
+        self._streams: List[_StreamState] = []
+        seen = set()
+        for _ in range(stream_count):
+            while True:
+                five_tuple = FiveTuple(
+                    0x0A000000 | rng.randrange(1, 1 << 24),
+                    rng.randrange(1024, 65536),
+                    0xC0000000 | rng.randrange(1, 1 << 24),
+                    80,
+                    IPProtocol.TCP,
+                )
+                if five_tuple.canonical() not in seen:
+                    seen.add(five_tuple.canonical())
+                    break
+            self._streams.append(
+                _StreamState(five_tuple, rng.randrange(1 << 32), rng.randrange(1 << 32))
+            )
+        self.packets_per_stream = self._HANDSHAKE + data_packets + self._TEARDOWN
+        self.packet_count = self.packets_per_stream * stream_count
+        per_stream_bytes = (
+            54 * (self._HANDSHAKE + self._TEARDOWN) + (54 + mss) * data_packets
+        )
+        self.total_wire_bytes = per_stream_bytes * stream_count
+        self.flows = [
+            FlowSpec(
+                index=i,
+                five_tuple=state.five_tuple,
+                protocol=IPProtocol.TCP,
+                client_bytes=0,
+                server_bytes=mss * data_packets,
+                start_time=0.0,
+                packet_count=self.packets_per_stream,
+            )
+            for i, state in enumerate(self._streams)
+        ]
+        self.name = f"concurrent-{stream_count}"
+
+    # ------------------------------------------------------------------
+    def _stream_packet(self, state: _StreamState, step: int, timestamp: float) -> Packet:
+        """Packet number ``step`` of one stream."""
+        ft = state.five_tuple
+        cisn, sisn = state.client_isn, state.server_isn
+        if step == 0:
+            return make_tcp_packet(
+                ft.src_ip, ft.src_port, ft.dst_ip, ft.dst_port,
+                seq=cisn, flags=TCPFlags.SYN, timestamp=timestamp,
+            )
+        if step == 1:
+            return make_tcp_packet(
+                ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                seq=sisn, ack=(cisn + 1) % (1 << 32),
+                flags=TCPFlags.SYN | TCPFlags.ACK, timestamp=timestamp,
+            )
+        if step == 2:
+            return make_tcp_packet(
+                ft.src_ip, ft.src_port, ft.dst_ip, ft.dst_port,
+                seq=(cisn + 1) % (1 << 32), ack=(sisn + 1) % (1 << 32),
+                flags=TCPFlags.ACK, timestamp=timestamp,
+            )
+        data_index = step - self._HANDSHAKE
+        if data_index < self.data_packets:
+            seq = (sisn + 1 + data_index * self.mss) % (1 << 32)
+            return make_tcp_packet(
+                ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                seq=seq, ack=(cisn + 1) % (1 << 32),
+                flags=TCPFlags.ACK | TCPFlags.PSH,
+                payload=self._payload, timestamp=timestamp,
+            )
+        # Teardown: server FIN, client FIN, server final ACK.
+        end_seq = (sisn + 1 + self.data_packets * self.mss) % (1 << 32)
+        tear = step - self._HANDSHAKE - self.data_packets
+        if tear == 0:
+            return make_tcp_packet(
+                ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                seq=end_seq, ack=(cisn + 1) % (1 << 32),
+                flags=TCPFlags.FIN | TCPFlags.ACK, timestamp=timestamp,
+            )
+        if tear == 1:
+            return make_tcp_packet(
+                ft.src_ip, ft.src_port, ft.dst_ip, ft.dst_port,
+                seq=(cisn + 1) % (1 << 32), ack=(end_seq + 1) % (1 << 32),
+                flags=TCPFlags.FIN | TCPFlags.ACK, timestamp=timestamp,
+            )
+        return make_tcp_packet(
+            ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+            seq=(end_seq + 1) % (1 << 32), ack=(cisn + 2) % (1 << 32),
+            flags=TCPFlags.ACK, timestamp=timestamp,
+        )
+
+    def replay(self, rate_bps: float) -> Iterator[Packet]:
+        """Yield all packets, timestamped so the workload runs at ``rate_bps``.
+
+        Lockstep round-robin: packet ``j`` of every stream is emitted
+        before packet ``j+1`` of any stream, so after the handshake round
+        all ``stream_count`` connections are concurrently established.
+        """
+        if rate_bps <= 0:
+            raise ValueError("replay rate must be positive")
+        elapsed_bits = 0
+        for step in range(self.packets_per_stream):
+            for state in self._streams:
+                timestamp = elapsed_bits / rate_bps
+                packet = self._stream_packet(state, step, timestamp)
+                elapsed_bits += packet.wire_len * 8
+                yield packet
+
+    def replayed_duration(self, rate_bps: float) -> float:
+        """Wall time of the workload when replayed at ``rate_bps``."""
+        return self.total_wire_bytes * 8 / rate_bps
+
+
+def syn_flood(
+    packet_count: int,
+    seed: int = 23,
+    target_port: int = 80,
+) -> Trace:
+    """A flow-table exhaustion attack: ``packet_count`` bare SYNs.
+
+    Every SYN has a distinct spoofed source, so each one allocates a new
+    flow-table entry in the monitor — the attack scenario §6.4 defends
+    against.
+    """
+    rng = random.Random(seed)
+    packets = []
+    gap = 1e-6
+    for i in range(packet_count):
+        packets.append(
+            make_tcp_packet(
+                rng.randrange(1, 1 << 32),
+                rng.randrange(1024, 65536),
+                0xC0A80001,
+                target_port,
+                seq=rng.randrange(1 << 32),
+                flags=TCPFlags.SYN,
+                timestamp=i * gap,
+            )
+        )
+    return Trace(packets, [], name=f"syn-flood-{packet_count}")

@@ -1,0 +1,155 @@
+"""Tests for the §7 queueing models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BirthDeathChain,
+    birth_death_stationary,
+    mm1n_loss_probability,
+    multi_class_loss_probabilities,
+    two_class_loss_probabilities,
+)
+
+
+class TestMM1N:
+    def test_known_values(self):
+        # rho=1: uniform over N+1 states -> loss = 1/(N+1).
+        assert mm1n_loss_probability(1.0, 4) == pytest.approx(0.2)
+        # rho=0: never any loss.
+        assert mm1n_loss_probability(0.0, 5) == 0.0
+        # N=0: every arrival blocked at rho -> rho/(1+rho).
+        assert mm1n_loss_probability(1.0, 0) == pytest.approx(1.0)
+
+    def test_monotone_in_slots(self):
+        values = [mm1n_loss_probability(0.5, n) for n in range(1, 50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_rho(self):
+        values = [mm1n_loss_probability(rho, 10) for rho in (0.1, 0.3, 0.5, 0.9, 1.5)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_paper_reading_fig11(self):
+        """§7: ~10 slots at rho=.1, ~20 at rho=.5, ~150 at rho=.9."""
+        assert mm1n_loss_probability(0.1, 10) < 1e-8
+        assert mm1n_loss_probability(0.5, 28) < 1e-8
+        assert mm1n_loss_probability(0.9, 150) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1n_loss_probability(-0.1, 5)
+        with pytest.raises(ValueError):
+            mm1n_loss_probability(0.5, -1)
+
+    @given(rho=st.floats(0.01, 2.0), slots=st.integers(1, 60))
+    def test_matches_exact_chain(self, rho, slots):
+        closed = mm1n_loss_probability(rho, slots)
+        chain = BirthDeathChain([rho] * slots, [1.0] * slots)
+        assert math.isclose(closed, chain.blocking_probability(), rel_tol=1e-9)
+
+
+class TestTwoClass:
+    def test_high_class_strictly_better(self):
+        for slots in (2, 5, 20):
+            medium, high = two_class_loss_probabilities(0.6, 0.3, slots)
+            assert high < medium
+
+    def test_paper_reading_fig12(self):
+        medium, high = two_class_loss_probabilities(0.3, 0.3, 20)
+        assert medium < 1e-8 and high < 1e-16
+
+    def test_degenerates_to_mm1n_when_no_high_load(self):
+        """With rho2 -> 0 the high class almost never arrives, and the
+        medium class sees a plain M/M/1/N."""
+        medium, high = two_class_loss_probabilities(0.5, 1e-9, 12)
+        assert medium == pytest.approx(mm1n_loss_probability(0.5, 12), rel=1e-3)
+        assert high < 1e-80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_class_loss_probabilities(0.3, 0.3, 0)
+
+    @given(
+        rho1=st.floats(0.05, 1.5),
+        rho2=st.floats(0.01, 1.0),
+        slots=st.integers(1, 30),
+    )
+    def test_matches_exact_chain(self, rho1, rho2, slots):
+        medium, high = two_class_loss_probabilities(rho1, rho2, slots)
+        chain = BirthDeathChain.ppl_chain([rho1, rho2], slots)
+        assert math.isclose(high, chain.blocking_probability(), rel_tol=1e-8)
+        assert math.isclose(medium, chain.probability_at_or_above(slots), rel_tol=1e-8)
+
+
+class TestMultiClass:
+    def test_reduces_to_single_class(self):
+        assert multi_class_loss_probabilities([0.5], 10)[0] == pytest.approx(
+            mm1n_loss_probability(0.5, 10)
+        )
+
+    def test_reduces_to_two_class(self):
+        general = multi_class_loss_probabilities([0.6, 0.2], 8)
+        medium, high = two_class_loss_probabilities(0.6, 0.2, 8)
+        assert general == pytest.approx([medium, high])
+
+    def test_three_classes_ordered(self):
+        losses = multi_class_loss_probabilities([0.9, 0.6, 0.3], 10)
+        assert losses[0] > losses[1] > losses[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_class_loss_probabilities([], 5)
+        with pytest.raises(ValueError):
+            multi_class_loss_probabilities([0.5], 0)
+
+    @given(
+        rhos=st.lists(st.floats(0.05, 1.2), min_size=1, max_size=4),
+        slots=st.integers(1, 15),
+    )
+    def test_matches_exact_chain_property(self, rhos, slots):
+        losses = multi_class_loss_probabilities(rhos, slots)
+        chain = BirthDeathChain.ppl_chain(rhos, slots)
+        for band, loss in enumerate(losses):
+            exact = chain.probability_at_or_above((band + 1) * slots)
+            assert math.isclose(loss, exact, rel_tol=1e-7, abs_tol=1e-300)
+
+
+class TestBirthDeathSolver:
+    def test_stationary_sums_to_one(self):
+        pi = birth_death_stationary([1.0, 2.0, 0.5], [1.0, 1.0, 1.0])
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_detailed_balance(self):
+        births = [0.7, 1.3, 0.2]
+        deaths = [1.0, 0.9, 1.1]
+        pi = birth_death_stationary(births, deaths)
+        for k in range(3):
+            assert pi[k] * births[k] == pytest.approx(pi[k + 1] * deaths[k])
+
+    def test_numerical_stability_long_chain(self):
+        pi = birth_death_stationary([2.0] * 500, [1.0] * 500)
+        assert math.isfinite(pi.sum()) and pi.sum() == pytest.approx(1.0)
+        assert pi[-1] > 0.4  # load 2: mass piles at the full end
+
+    def test_zero_birth_rate(self):
+        pi = birth_death_stationary([0.0, 1.0], [1.0, 1.0])
+        assert pi[0] == pytest.approx(1.0)
+        assert pi[1] == 0.0 and pi[2] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            birth_death_stationary([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            birth_death_stationary([1.0], [0.0])
+        with pytest.raises(ValueError):
+            birth_death_stationary([-1.0], [1.0])
+
+    def test_probability_at_or_above_bounds(self):
+        chain = BirthDeathChain([0.5] * 5, [1.0] * 5)
+        assert chain.probability_at_or_above(0) == 1.0
+        assert chain.probability_at_or_above(99) == 0.0
+        assert chain.state_count == 6

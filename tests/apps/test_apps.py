@@ -1,0 +1,138 @@
+"""Tests for the monitoring applications."""
+
+import pytest
+
+from repro.apps import (
+    FlowStatsApp,
+    MonitorApp,
+    PatternMatchApp,
+    StreamDeliveryApp,
+    attach_app,
+    attach_app_packet_based,
+)
+from repro.core import ScapSocket
+from repro.netstack import FiveTuple, IPProtocol
+
+
+@pytest.fixture
+def ft():
+    return FiveTuple(1, 1000, 2, 80, IPProtocol.TCP)
+
+
+class TestMonitorAppBase:
+    def test_counts_delivered(self, ft):
+        app = MonitorApp()
+        app.on_stream_data(ft, 1, 0, b"abc")
+        app.on_stream_data(ft, 1, 3, b"de")
+        assert app.delivered_bytes == 5
+        assert app.streams_with_data == {ft}
+        app.reset()
+        assert app.delivered_bytes == 0
+
+
+class TestFlowStatsApp:
+    def test_records_on_termination(self, ft):
+        app = FlowStatsApp()
+        app.on_stream_terminated(ft, 1234)
+        assert len(app.records) == 1
+        assert app.records[0].total_bytes == 1234
+        assert app.termination_cost_cycles() > 0
+
+
+class TestStreamDeliveryApp:
+    def test_per_stream_accounting(self, ft):
+        app = StreamDeliveryApp()
+        app.on_stream_data(ft, 1, 0, b"abcd")
+        app.on_stream_data(ft, 1, 4, b"ef")
+        assert app.bytes_per_stream[ft] == 6
+
+
+class TestPatternMatchApp:
+    def test_ac_mode_counts_distinct(self, ft):
+        app = PatternMatchApp([b"ATTACK"], mode="ac")
+        app.on_stream_data(ft, 1, 0, b"...ATTACK...")
+        app.on_stream_data(ft, 1, 12, b"ATTACK")  # second occurrence
+        assert app.matches_found == 2
+        # Redelivery of the same region does not double count.
+        app.on_stream_data(ft, 1, 0, b"...ATTACK...")
+        assert app.matches_found == 2
+
+    def test_ac_spanning_chunks(self, ft):
+        app = PatternMatchApp([b"SPLIT"], mode="ac")
+        app.on_stream_data(ft, 1, 0, b"...SPL")
+        app.on_stream_data(ft, 1, 6, b"IT...")
+        assert app.matches_found == 1
+
+    def test_hole_prevents_spanning(self, ft):
+        app = PatternMatchApp([b"SPLIT"], mode="ac")
+        app.on_stream_data(ft, 1, 0, b"...SPL")
+        app.on_stream_data(ft, 1, 6, b"IT...", had_hole=True)
+        assert app.matches_found == 0
+
+    def test_data_cost_scales(self):
+        app = PatternMatchApp([b"X"], mode="ac")
+        assert app.data_cost_cycles(1000) > app.data_cost_cycles(10)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            PatternMatchApp([b"X"], mode="quantum")
+
+    def test_planted_mode_needs_ground_truth(self):
+        with pytest.raises(ValueError):
+            PatternMatchApp([b"X"], mode="planted")
+
+
+class TestPlantedEqualsAC:
+    """The fast 'planted' scorer must agree with real Aho–Corasick on
+    the same delivered data — the core validity check for the harness."""
+
+    def _run(self, trace, patterns, mode, rate=1e9, memory=1 << 24):
+        app = PatternMatchApp.for_trace(trace, patterns, mode=mode)
+        socket = ScapSocket(trace, rate_bps=rate, memory_size=memory)
+        attach_app(socket, app)
+        result = socket.start_capture()
+        return app, result
+
+    def test_equal_on_intact_delivery(self, planted_trace, patterns):
+        ac, _ = self._run(planted_trace, patterns, "ac")
+        planted, _ = self._run(planted_trace, patterns, "planted")
+        assert ac.matches_found == planted.matches_found
+        assert planted.matches_found == len(planted_trace.planted_matches)
+
+    def test_equal_under_loss(self, planted_trace, patterns):
+        """Overload the single worker with a tiny memory pool so chunks
+        drop; both scorers see the same surviving data and must agree."""
+        rate, memory = 40e9, 1 << 17
+        ac, result = self._run(planted_trace, patterns, "ac", rate=rate, memory=memory)
+        planted, _ = self._run(planted_trace, patterns, "planted", rate=rate, memory=memory)
+        assert result.dropped_packets > 0, "the run must actually overload"
+        assert ac.matches_found == planted.matches_found
+        assert planted.matches_found < len(planted_trace.planted_matches)
+
+
+class TestAdapters:
+    def test_attach_app_full_pipeline(self, planted_trace, patterns):
+        app = PatternMatchApp.for_trace(planted_trace, patterns, mode="planted")
+        socket = ScapSocket(planted_trace, rate_bps=1e9, memory_size=1 << 24)
+        attach_app(socket, app)
+        result = socket.start_capture()
+        assert app.streams_terminated == len(planted_trace.flows)
+        assert result.delivered_bytes == app.delivered_bytes
+
+    def test_packet_based_requires_need_pkts(self, planted_trace, patterns):
+        app = PatternMatchApp.for_trace(planted_trace, patterns)
+        socket = ScapSocket(planted_trace, rate_bps=1e9, memory_size=1 << 24)
+        with pytest.raises(ValueError):
+            attach_app_packet_based(socket, app)
+
+    def test_packet_based_finds_most_matches(self, planted_trace, patterns):
+        app = PatternMatchApp.for_trace(planted_trace, patterns, mode="planted")
+        socket = ScapSocket(
+            planted_trace, rate_bps=1e9, memory_size=1 << 24, need_pkts=1
+        )
+        attach_app_packet_based(socket, app)
+        socket.start_capture()
+        total = len(planted_trace.planted_matches)
+        # Patterns are short relative to the MSS: nearly all planted
+        # occurrences sit inside a single segment.
+        assert app.matches_found >= 0.9 * total

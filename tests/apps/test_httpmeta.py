@@ -1,0 +1,109 @@
+"""Tests for HTTP metadata extraction."""
+
+import pytest
+
+from repro.apps import attach_app
+from repro.apps.httpmeta import HttpMetadataApp
+from repro.core import ScapSocket
+from repro.netstack import CLIENT_TO_SERVER, SERVER_TO_CLIENT, FiveTuple, IPProtocol
+from repro.traffic import campus_mix
+
+
+@pytest.fixture
+def ft():
+    return FiveTuple(1, 40000, 2, 80, IPProtocol.TCP)
+
+
+def _request(path="/index.html", host="example.org", extra=""):
+    return (
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n{extra}\r\n"
+    ).encode()
+
+
+def _response(status=200, body=b"", extra=""):
+    return (
+        f"HTTP/1.1 {status} OK\r\nContent-Length: {len(body)}\r\n{extra}\r\n"
+    ).encode() + body
+
+
+class TestParser:
+    def test_request_parsing(self, ft):
+        app = HttpMetadataApp()
+        app.on_stream_data(ft, CLIENT_TO_SERVER, 0, _request())
+        assert len(app.requests) == 1
+        request = app.requests[0]
+        assert request.method == "GET"
+        assert request.target == "/index.html"
+        assert request.host == "example.org"
+        assert request.version == "HTTP/1.1"
+
+    def test_response_parsing(self, ft):
+        app = HttpMetadataApp()
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 0, _response(404, b"nope"))
+        response = app.responses[0]
+        assert response.status == 404
+        assert response.content_length == 4
+
+    def test_head_split_across_chunks(self, ft):
+        app = HttpMetadataApp()
+        head = _request()
+        app.on_stream_data(ft, CLIENT_TO_SERVER, 0, head[:10])
+        assert not app.transactions
+        app.on_stream_data(ft, CLIENT_TO_SERVER, 10, head[10:])
+        assert len(app.requests) == 1
+
+    def test_pipelined_transactions_with_bodies(self, ft):
+        app = HttpMetadataApp()
+        stream = _response(200, b"A" * 100) + _response(301, b"B" * 5)
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 0, stream)
+        assert [r.status for r in app.responses] == [200, 301]
+
+    def test_body_spanning_chunks(self, ft):
+        app = HttpMetadataApp()
+        stream = _response(200, b"C" * 1000) + _response(204, b"")
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 0, stream[:300])
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 300, stream[300:800])
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 800, stream[800:])
+        assert [r.status for r in app.responses] == [200, 204]
+
+    def test_hole_breaks_direction_safely(self, ft):
+        app = HttpMetadataApp()
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 0, _response(200, b"ok"))
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 500, _response(500), had_hole=True)
+        # The pre-hole transaction is kept; the rest is not trusted.
+        assert [r.status for r in app.responses] == [200]
+
+    def test_garbage_counts_parse_error(self, ft):
+        app = HttpMetadataApp()
+        app.on_stream_data(ft, SERVER_TO_CLIENT, 0, b"NOT HTTP AT ALL\r\n\r\n")
+        assert app.parse_errors == 1
+        assert not app.transactions
+
+    def test_oversized_head_bounded(self, ft):
+        app = HttpMetadataApp()
+        app.on_stream_data(ft, CLIENT_TO_SERVER, 0, b"G" * (20 * 1024))
+        assert app.parse_errors == 1
+
+    def test_transactions_for_filters_by_connection(self, ft):
+        other = FiveTuple(9, 9, 9, 80, IPProtocol.TCP)
+        app = HttpMetadataApp()
+        app.on_stream_data(ft, CLIENT_TO_SERVER, 0, _request())
+        app.on_stream_data(other, CLIENT_TO_SERVER, 0, _request("/x"))
+        assert len(app.transactions_for(ft)) == 1
+
+
+class TestOnGeneratedTraffic:
+    def test_extracts_requests_from_campus_mix(self):
+        """The generator emits HTTP-shaped requests/responses; the app
+        should recover one request + one response per web flow."""
+        trace = campus_mix(flow_count=60, seed=51)
+        app = HttpMetadataApp()
+        socket = ScapSocket(trace, rate_bps=1e9, memory_size=1 << 24)
+        attach_app(socket, app)
+        socket.start_capture()
+        tcp_flows = [f for f in trace.flows if f.protocol == 6]
+        assert len(app.requests) >= 0.9 * len(tcp_flows)
+        assert len(app.responses) >= 0.9 * len(tcp_flows)
+        assert all(r.method == "GET" for r in app.requests)
+        statuses = {r.status for r in app.responses}
+        assert statuses == {200}

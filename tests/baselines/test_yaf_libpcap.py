@@ -1,0 +1,121 @@
+"""Tests for the YAF flow meter and the PF_PACKET capture path."""
+
+import pytest
+
+from repro.apps import MonitorApp
+from repro.baselines import (
+    DEFAULT_RING_BYTES,
+    PcapBasedSystem,
+    PcapCapture,
+    YAFEngine,
+    YAF_SNAPLEN,
+    LibnidsEngine,
+)
+from repro.filters import BPFFilter
+from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet
+from repro.traffic import SessionMessage, TCPSessionBuilder, campus_mix
+
+
+def _ft(index=0):
+    return FiveTuple(50 + index, 5000 + index, 60, 80, IPProtocol.TCP)
+
+
+class TestYAF:
+    def _session(self, payload=b"y" * 500, ft=None):
+        return TCPSessionBuilder(ft or _ft()).build([SessionMessage(1, payload)])
+
+    def test_flow_record_exported_on_fin(self):
+        engine = YAFEngine()
+        for packet in self._session():
+            engine.handle_packet(packet)
+        assert len(engine.exported) == 1
+        record = engine.exported[0]
+        assert record.payload_bytes == 500
+        assert record.packets > 3
+        assert record.last_seen >= record.first_seen
+
+    def test_no_reassembly_only_counting(self):
+        engine = YAFEngine()
+        packets = self._session(payload=b"y" * 5000)
+        # Drop a data segment: holes don't matter to a flow meter.
+        data_index = next(i for i, p in enumerate(packets) if p.payload)
+        del packets[data_index]
+        for packet in packets:
+            engine.handle_packet(packet)
+        # Every packet except the trailing ACK (which follows the
+        # export) is counted; the hole is irrelevant to a flow meter.
+        assert engine.exported[0].packets == len(packets) - 1
+
+    def test_inactivity_export(self):
+        engine = YAFEngine(inactivity_timeout=1.0)
+        engine.handle_packet(make_tcp_packet(*(_ft(1)[:4]), flags=TCPFlags.SYN, timestamp=0.0))
+        engine.handle_packet(make_tcp_packet(*(_ft(2)[:4]), flags=TCPFlags.SYN, timestamp=50.0))
+        assert len(engine.exported) == 1
+
+    def test_flow_limit(self):
+        engine = YAFEngine(max_flows=2)
+        for i in range(5):
+            engine.handle_packet(
+                make_tcp_packet(*(_ft(i)[:4]), flags=TCPFlags.SYN, timestamp=0.0)
+            )
+        assert engine.flows_rejected == 3
+
+    def test_drain(self):
+        engine = YAFEngine()
+        engine.handle_packet(make_tcp_packet(*(_ft(3)[:4]), flags=TCPFlags.SYN))
+        engine.drain(1.0)
+        assert len(engine.exported) == 1 and engine.tracked_streams == 0
+
+
+class TestPcapCapture:
+    def test_kernel_stage_accepts_and_charges(self):
+        capture = PcapCapture(core_count=2)
+        packet = make_tcp_packet(*(_ft()[:4]), payload=b"k" * 100, timestamp=0.0)
+        enqueue = capture.kernel_stage(packet)
+        assert enqueue is not None and enqueue > 0.0
+        assert capture.packets_captured == 1
+        assert capture.softirq_load(1.0) > 0.0
+
+    def test_ring_overflow_drops(self):
+        capture = PcapCapture(ring_bytes=2000)
+        # A slow consumer: 1-second service per packet.
+        for i in range(5):
+            packet = make_tcp_packet(
+                *(_ft()[:4]), payload=b"r" * 946, timestamp=i * 1e-6
+            )
+            enqueue = capture.kernel_stage(packet)
+            if enqueue is not None:
+                capture.user_stage(enqueue, capture.caplen(packet), 2e9)
+        assert capture.kernel_drops >= 2
+        assert capture.dropped_packets == capture.kernel_drops + capture.rx_overflow_drops
+
+    def test_snaplen_limits_caplen(self):
+        capture = PcapCapture(snaplen=YAF_SNAPLEN)
+        packet = make_tcp_packet(*(_ft()[:4]), payload=b"s" * 1400)
+        assert capture.caplen(packet) == 96
+
+    def test_bpf_rejects_in_kernel(self):
+        capture = PcapCapture(bpf=BPFFilter("port 443"))
+        packet = make_tcp_packet(*(_ft()[:4]), payload=b"f")  # port 80
+        assert capture.kernel_stage(packet) is None
+        assert capture.filtered_out == 1
+        assert capture.packets_captured == 0
+
+
+class TestPcapBasedSystem:
+    def test_run_produces_result(self):
+        trace = campus_mix(flow_count=25, seed=33)
+        app = MonitorApp()
+        system = PcapBasedSystem(LibnidsEngine(app), ring_bytes=1 << 22)
+        result = system.run(trace, 1e9)
+        assert result.offered_packets == len(trace)
+        assert result.dropped_packets == 0
+        assert result.delivered_bytes == app.delivered_bytes > 0
+        assert 0.0 < result.user_utilization <= 1.0
+        assert result.system == "libnids"
+
+    def test_yaf_system_counts_flows(self):
+        trace = campus_mix(flow_count=25, seed=33)
+        system = PcapBasedSystem(YAFEngine(), name="yaf", snaplen=YAF_SNAPLEN)
+        result = system.run(trace, 1e9)
+        assert result.streams_created == len(trace.flows)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import synthetic_web_attack_patterns
+from repro.netstack import FiveTuple, IPProtocol, ip_to_int
+from repro.traffic import campus_mix
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small deterministic campus-mix trace (no planted patterns)."""
+    return campus_mix(flow_count=60, seed=42)
+
+
+@pytest.fixture(scope="session")
+def patterns():
+    """A compact synthetic web-attack pattern set."""
+    return synthetic_web_attack_patterns(50, seed=3)
+
+
+@pytest.fixture(scope="session")
+def planted_trace(patterns):
+    """A trace with planted pattern occurrences (ground truth)."""
+    return campus_mix(flow_count=80, seed=9, patterns=patterns, plant_fraction=0.6)
+
+
+@pytest.fixture
+def web_tuple():
+    """A canonical client→server web five-tuple."""
+    return FiveTuple(
+        ip_to_int("10.1.2.3"), 43210, ip_to_int("192.0.2.80"), 80, IPProtocol.TCP
+    )

@@ -1,0 +1,109 @@
+"""Tests for the stream table and access-list expiration."""
+
+import pytest
+
+from repro.core.flowtable import FlowTable
+from repro.netstack import FiveTuple, IPProtocol
+
+
+def _ft(index, port=80):
+    return FiveTuple(100 + index, 1000 + index, 200, port, IPProtocol.TCP)
+
+
+class TestLookup:
+    def test_create_and_find(self):
+        table = FlowTable()
+        pair, created, evicted = table.lookup_or_create(_ft(1), now=1.0)
+        assert created and not evicted
+        same, created2, _ = table.lookup_or_create(_ft(1), now=2.0)
+        assert same is pair and not created2
+        assert len(table) == 1
+        assert table.created_total == 1
+
+    def test_both_directions_find_same_pair(self):
+        table = FlowTable()
+        pair, _, _ = table.lookup_or_create(_ft(1), now=0.0)
+        reverse, created, _ = table.lookup_or_create(_ft(1).reversed(), now=1.0)
+        assert reverse is pair and not created
+
+    def test_direction_resolution(self):
+        table = FlowTable()
+        pair, _, _ = table.lookup_or_create(_ft(1), now=0.0)
+        assert pair.direction_of(_ft(1)) == 0
+        assert pair.direction_of(_ft(1).reversed()) == 1
+        assert pair.descriptor(0) is pair.client
+        assert pair.descriptor(1) is pair.server
+
+    def test_descriptors_linked(self):
+        table = FlowTable()
+        pair, _, _ = table.lookup_or_create(_ft(2), now=0.0)
+        assert pair.client.opposite is pair.server
+        assert pair.server.opposite is pair.client
+        assert pair.client.five_tuple == pair.server.five_tuple.reversed()
+
+    def test_get_without_create(self):
+        table = FlowTable()
+        assert table.get(_ft(3)) is None
+        table.lookup_or_create(_ft(3), now=0.0)
+        assert table.get(_ft(3)) is not None
+        assert table.get(_ft(3).reversed()) is not None
+
+
+class TestEviction:
+    def test_record_budget_evicts_oldest(self):
+        table = FlowTable(max_streams=2)
+        a, _, _ = table.lookup_or_create(_ft(1), now=1.0)
+        b, _, _ = table.lookup_or_create(_ft(2), now=2.0)
+        # Touch A so B becomes the oldest.
+        table.lookup_or_create(_ft(1), now=3.0)
+        _, created, evicted = table.lookup_or_create(_ft(3), now=4.0)
+        assert created
+        assert evicted == [b]
+        assert table.evicted_total == 1
+        assert table.get(_ft(1)) is a
+
+    def test_unlimited_by_default(self):
+        table = FlowTable()
+        for i in range(500):
+            table.lookup_or_create(_ft(i), now=float(i))
+        assert len(table) == 500
+
+
+class TestExpiration:
+    def test_idle_streams_expire(self):
+        table = FlowTable()
+        table.lookup_or_create(_ft(1), now=0.0)
+        table.lookup_or_create(_ft(2), now=5.0)
+        expired = table.expire_idle(now=12.0, default_timeout=10.0)
+        assert [pair.key for pair in expired] == [_ft(1).canonical()]
+        assert len(table) == 1
+
+    def test_access_refresh_prevents_expiry(self):
+        table = FlowTable()
+        pair, _, _ = table.lookup_or_create(_ft(1), now=0.0)
+        table.touch(pair, now=9.0)
+        assert table.expire_idle(now=12.0, default_timeout=10.0) == []
+
+    def test_per_stream_timeout_override(self):
+        table = FlowTable()
+        pair, _, _ = table.lookup_or_create(_ft(1), now=0.0)
+        pair.client.inactivity_timeout = 100.0
+        table.lookup_or_create(_ft(2), now=0.0)
+        expired = table.expire_idle(now=20.0, default_timeout=10.0)
+        assert [p.key for p in expired] == [_ft(2).canonical()]
+        assert table.get(_ft(1)) is not None
+
+    def test_drain_returns_everything(self):
+        table = FlowTable()
+        for i in range(5):
+            table.lookup_or_create(_ft(i), now=0.0)
+        drained = table.drain()
+        assert len(drained) == 5 and len(table) == 0
+
+    def test_expiration_scan_stops_early(self):
+        table = FlowTable()
+        for i in range(100):
+            table.lookup_or_create(_ft(i), now=float(i))
+        # Only the first 10 are older than the cutoff.
+        expired = table.expire_idle(now=20.0, default_timeout=10.0)
+        assert len(expired) == 10

@@ -1,0 +1,281 @@
+"""Tests for the TCP reassembly engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import SCAP_TCP_FAST, SCAP_TCP_STRICT, ReassemblyPolicy
+from repro.core.reassembly import TCPDirectionReassembler
+
+
+def _collect(pieces):
+    return b"".join(piece.data for piece in pieces)
+
+
+def _feed_all(reassembler, segments):
+    out = b""
+    for seq, payload in segments:
+        out += _collect(reassembler.on_segment(seq, payload))
+    return out
+
+
+class TestInOrder:
+    def test_simple_sequence(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(999)
+        out = _feed_all(r, [(1000, b"hello "), (1006, b"world")])
+        assert out == b"hello world"
+        assert r.next_offset == 11
+        assert r.counters.delivered_bytes == 11
+
+    def test_empty_segment_ignored(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        r.set_isn(0)
+        assert r.on_segment(1, b"") == []
+        assert r.counters.segments == 0
+
+    def test_mid_stream_anchor(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        out = _collect(r.on_segment(5000, b"mid"))
+        assert out == b"mid"
+        assert r.mid_stream
+
+
+class TestOutOfOrder:
+    def test_buffered_until_hole_filled(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(0)
+        assert r.on_segment(6, b"world") == []
+        assert r.buffered_bytes == 5
+        out = _collect(r.on_segment(1, b"hello"))
+        assert out == b"helloworld"
+        assert r.buffered_bytes == 0
+        assert r.counters.out_of_order_segments == 1
+
+    def test_multiple_holes_fill_in_any_order(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(0)
+        r.on_segment(9, b"c")
+        r.on_segment(5, b"b")
+        out = _feed_all(r, [(1, b"aaaa"), (6, b"bbb")])
+        assert out == b"aaaab" + b"bbb" + b"c"
+
+    def test_adjacent_buffered_intervals_coalesce(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(0)
+        r.on_segment(4, b"cd")
+        r.on_segment(6, b"ef")
+        assert len(r._intervals) == 1
+        assert _collect(r.on_segment(1, b"ab" + b"x")) == b"abxcdef"
+
+
+class TestDuplicatesAndOverlaps:
+    def test_full_retransmission_dropped(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        r.set_isn(0)
+        r.on_segment(1, b"data")
+        assert r.on_segment(1, b"data") == []
+        assert r.counters.duplicate_bytes == 4
+
+    def test_partial_retransmission_trimmed(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        r.set_isn(0)
+        r.on_segment(1, b"abcd")
+        out = _collect(r.on_segment(3, b"cdEF"))
+        assert out == b"EF"
+        assert r.counters.duplicate_bytes == 2
+
+    def test_first_policy_keeps_original(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=ReassemblyPolicy.WINDOWS)
+        r.set_isn(0)
+        r.on_segment(4, b"XYZ")  # buffered at offsets 3..6
+        r.on_segment(4, b"xy")  # conflicting overlap
+        out = _collect(r.on_segment(1, b"abc"))
+        assert out == b"abcXYZ"
+        assert r.counters.conflicting_bytes == 2
+
+    def test_last_policy_takes_retransmission(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=ReassemblyPolicy.LAST)
+        r.set_isn(0)
+        r.on_segment(4, b"XYZ")
+        r.on_segment(4, b"xy")
+        out = _collect(r.on_segment(1, b"abc"))
+        assert out == b"abcxyZ"
+
+    def test_policies_agree_without_conflict(self):
+        for policy in (ReassemblyPolicy.LINUX, ReassemblyPolicy.BSD,
+                       ReassemblyPolicy.WINDOWS, ReassemblyPolicy.FIRST,
+                       ReassemblyPolicy.LAST):
+            r = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=policy)
+            r.set_isn(0)
+            r.on_segment(4, b"def")
+            r.on_segment(4, b"de")  # same bytes: no conflict
+            assert _collect(r.on_segment(1, b"abc")) == b"abcdef"
+            assert r.counters.conflicting_bytes == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            TCPDirectionReassembler(SCAP_TCP_FAST, policy="amiga")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TCPDirectionReassembler(99)
+
+
+class TestFastModeHoles:
+    def test_hole_skip_on_byte_pressure(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST, fast_hole_bytes=10)
+        r.set_isn(0)
+        pieces = r.on_segment(100, b"x" * 11)
+        assert _collect(pieces) == b"x" * 11
+        assert pieces[0].follows_hole
+        assert r.counters.holes_skipped == 1
+
+    def test_hole_skip_on_segment_pressure(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST, fast_hole_segments=2)
+        r.set_isn(0)
+        assert r.on_segment(10, b"a") == []
+        assert r.on_segment(20, b"b") == []
+        pieces = r.on_segment(30, b"c")
+        assert pieces and pieces[0].follows_hole
+
+    def test_strict_never_skips(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT, fast_hole_bytes=4)
+        r.set_isn(0)
+        assert r.on_segment(100, b"y" * 100) == []
+        assert r.buffered_bytes == 100
+
+    def test_late_segment_after_skip_is_duplicate(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST, fast_hole_bytes=4)
+        r.set_isn(0)
+        r.on_segment(10, b"abcdef")  # skips hole 1..9
+        assert r.on_segment(1, b"late!") == []
+        assert r.counters.duplicate_bytes == 5
+
+
+class TestFlush:
+    def test_fast_flush_drains_with_flags(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        r.set_isn(0)
+        r.on_segment(10, b"tail")
+        pieces = r.flush()
+        assert _collect(pieces) == b"tail" and pieces[0].follows_hole
+
+    def test_strict_flush_counts_stalled(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(0)
+        r.on_segment(10, b"zzz")
+        assert r.flush() == []
+        assert r.counters.stalled_bytes_dropped == 3
+
+    def test_strict_flush_can_force_skip(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(0)
+        r.on_segment(10, b"zzz")
+        assert _collect(r.flush(skip_holes=True)) == b"zzz"
+
+    def test_flush_multiple_holes(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        r.set_isn(0)
+        r.on_segment(10, b"bb")
+        r.on_segment(20, b"cc")
+        assert _collect(r.flush()) == b"bbcc"
+        assert r.counters.holes_skipped == 2
+
+
+class TestSequenceWrap:
+    def test_data_across_wrap(self):
+        r = TCPDirectionReassembler(SCAP_TCP_FAST)
+        r.set_isn(2**32 - 6)
+        out = _feed_all(r, [(2**32 - 5, b"abcde"), (0, b"fgh")])
+        assert out == b"abcdefgh"
+
+    def test_out_of_order_across_wrap(self):
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+        r.set_isn(2**32 - 3)
+        assert r.on_segment(2, b"late") == []
+        out = _feed_all(r, [(2**32 - 2, b"ab"), (0, b"cd")])
+        assert out == b"abcdlate"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=1500),
+    isn=st.integers(0, 2**32 - 1),
+    seed=st.integers(0, 10_000),
+    duplicate_rate=st.floats(0, 0.6),
+)
+def test_reassembly_invariant_property(data, isn, seed, duplicate_rate):
+    """Any shuffling + duplication of a segmented stream reassembles to
+    the exact original bytes in strict mode (no losses, no conflicts)."""
+    rng = random.Random(seed)
+    segments = []
+    offset = 0
+    while offset < len(data):
+        size = rng.randint(1, 80)
+        piece = data[offset : offset + size]
+        segments.append(((isn + 1 + offset) % 2**32, piece))
+        if rng.random() < duplicate_rate:
+            segments.append(((isn + 1 + offset) % 2**32, piece))
+        offset += len(piece)
+    rng.shuffle(segments)
+    r = TCPDirectionReassembler(SCAP_TCP_STRICT)
+    r.set_isn(isn)
+    out = _feed_all(r, segments)
+    out += _collect(r.flush())
+    assert out == data
+    assert r.buffered_bytes == 0
+
+
+class TestTargetBasedPolicyMatrix:
+    """The Novak–Sturges position-dependent overlap matrix (§2.3)."""
+
+    def _conflict(self, policy, old_first=True):
+        """Buffer two conflicting copies of offsets 3..6 while a hole
+        keeps them both in the reassembly buffer, then fill the hole.
+
+        ``old_first``: the copy at the *same* start arrives first; the
+        conflicting copy arrives second starting one byte earlier
+        (covering 2..6) or at the same point depending on the case.
+        """
+        r = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=policy)
+        r.set_isn(0)
+        return r
+
+    def test_bsd_new_wins_only_when_starting_before(self):
+        # Case A: new segment starts BEFORE the old one -> new wins (BSD).
+        r = self._conflict(ReassemblyPolicy.BSD)
+        r.on_segment(4, b"OLD")        # offsets 3..6
+        r.on_segment(3, b"nnnn")       # offsets 2..6, conflicts on 3..6
+        out = _collect(r.on_segment(1, b"ab"))
+        assert out == b"ab" + b"nnnn"
+
+        # Case B: new segment starts AFTER the old one -> old wins (BSD).
+        r = self._conflict(ReassemblyPolicy.BSD)
+        r.on_segment(3, b"OLDD")       # offsets 2..6
+        r.on_segment(4, b"nnn")        # offsets 3..6
+        out = _collect(r.on_segment(1, b"ab"))
+        assert out == b"ab" + b"OLDD"
+
+    def test_linux_ties_go_to_new_segment(self):
+        # Same start: Linux keeps the retransmission, BSD the original.
+        for policy, expected in (
+            (ReassemblyPolicy.LINUX, b"abcNEW"),
+            (ReassemblyPolicy.BSD, b"abcOLD"),
+            (ReassemblyPolicy.WINDOWS, b"abcOLD"),
+            (ReassemblyPolicy.LAST, b"abcNEW"),
+        ):
+            r = self._conflict(policy)
+            r.on_segment(4, b"OLD")
+            r.on_segment(4, b"NEW")
+            out = _collect(r.on_segment(1, b"abc"))
+            assert out == expected, policy
+
+    def test_solaris_is_first_wins(self):
+        r = self._conflict(ReassemblyPolicy.SOLARIS)
+        r.on_segment(4, b"OLD")
+        r.on_segment(3, b"nnnn")
+        out = _collect(r.on_segment(1, b"ab"))
+        assert out == b"ab" + b"n" + b"OLD"

@@ -1,0 +1,131 @@
+"""Tests for multi-application capture sharing (§5.6)."""
+
+import pytest
+
+from repro.apps import FlowStatsApp, StreamDeliveryApp
+from repro.core import SCAP_UNLIMITED_CUTOFF, ScapConfig
+from repro.core.sharing import SharedApplication, SharedCaptureRuntime, merge_configs
+from repro.filters import BPFFilter
+from repro.traffic import campus_mix
+
+
+def _config(**kwargs):
+    kwargs.setdefault("memory_size", 1 << 22)
+    return ScapConfig(**kwargs)
+
+
+class TestMergeConfigs:
+    def test_largest_cutoff_wins(self):
+        a = _config()
+        a.cutoffs.set_default(100)
+        b = _config()
+        b.cutoffs.set_default(5000)
+        merged = merge_configs([a, b])
+        assert merged.cutoffs.default == 5000
+
+    def test_unlimited_cutoff_dominates(self):
+        a = _config()
+        a.cutoffs.set_default(100)
+        b = _config()  # unlimited
+        merged = merge_configs([a, b])
+        assert merged.cutoffs.default == SCAP_UNLIMITED_CUTOFF
+
+    def test_smallest_chunk_size(self):
+        merged = merge_configs([_config(chunk_size=4096), _config(chunk_size=1024)])
+        assert merged.chunk_size == 1024
+
+    def test_filter_union(self):
+        a = _config(bpf=BPFFilter("tcp port 80"))
+        b = _config(bpf=BPFFilter("udp port 53"))
+        merged = merge_configs([a, b])
+        from repro.netstack import make_tcp_packet, make_udp_packet
+
+        assert merged.bpf.matches(make_tcp_packet(1, 2, 3, 80))
+        assert merged.bpf.matches(make_udp_packet(1, 2, 3, 53))
+        assert not merged.bpf.matches(make_tcp_packet(1, 2, 3, 22))
+
+    def test_flush_and_overload_merge(self):
+        a = _config(flush_timeout=1.0, overload_cutoff=1000)
+        b = _config(flush_timeout=0.2, overload_cutoff=9000)
+        merged = merge_configs([a, b])
+        assert merged.flush_timeout == 0.2
+        assert merged.overload_cutoff == 9000
+
+    def test_need_pkts_any(self):
+        merged = merge_configs([_config(), _config(need_pkts=True)])
+        assert merged.need_pkts
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_configs([])
+
+
+class TestSharedCapture:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return campus_mix(flow_count=50, seed=77)
+
+    def test_two_apps_see_their_traffic(self, trace):
+        web_bytes = []
+        all_bytes = []
+        web = SharedApplication("web-only", _config(bpf=BPFFilter("tcp port 80")))
+        web.callbacks.on_data = lambda sd: web_bytes.append(sd.data_len)
+        everything = SharedApplication("everything", _config())
+        everything.callbacks.on_data = lambda sd: all_bytes.append(sd.data_len)
+
+        shared = SharedCaptureRuntime([web, everything])
+        results = shared.run(trace, 1e9)
+
+        total = sum(f.total_bytes for f in trace.flows)
+        web_total = sum(
+            f.total_bytes for f in trace.flows
+            if 80 in (f.five_tuple.src_port, f.five_tuple.dst_port)
+        )
+        assert sum(all_bytes) == total
+        assert sum(web_bytes) == web_total
+        by_name = {r.system: r for r in results}
+        assert by_name["everything"].delivered_bytes == total
+        assert by_name["web-only"].delivered_bytes == web_total
+
+    def test_kernel_work_done_once(self, trace):
+        """Reassembly happens once regardless of application count."""
+        single = SharedCaptureRuntime([SharedApplication("a", _config())])
+        single.run(trace, 1e9)
+        single_softirq = single.runtime.host.softirq_load(0.1)
+
+        triple = SharedCaptureRuntime(
+            [SharedApplication(n, _config()) for n in ("a", "b", "c")]
+        )
+        triple.run(trace, 1e9)
+        triple_softirq = triple.runtime.host.softirq_load(0.1)
+        assert triple_softirq == pytest.approx(single_softirq, rel=1e-6)
+
+    def test_cutoff_apps_get_prefix_only(self, trace):
+        """An app with a small cutoff sees only early chunks even when
+        another app forces full capture."""
+        prefix_events = []
+        small = SharedApplication("prefix", _config(chunk_size=1024))
+        small.config.cutoffs.set_default(1024)
+        small.callbacks.on_data = lambda sd: prefix_events.append(sd.data_offset)
+        full = SharedApplication("full", _config(chunk_size=1024))
+
+        shared = SharedCaptureRuntime([small, full])
+        shared.run(trace, 1e9)
+        assert prefix_events
+        assert max(prefix_events) < 1024
+
+    def test_requires_one_app(self):
+        with pytest.raises(ValueError):
+            SharedCaptureRuntime([])
+
+
+def test_merge_reassembly_mode_prefers_strict():
+    """If any sharing application wants STRICT normalization, the
+    kernel must run STRICT (the more conservative mode)."""
+    from repro.core import SCAP_TCP_FAST, SCAP_TCP_STRICT
+
+    merged = merge_configs([
+        _config(reassembly_mode=SCAP_TCP_FAST),
+        _config(reassembly_mode=SCAP_TCP_STRICT),
+    ])
+    assert merged.reassembly_mode == SCAP_TCP_STRICT

@@ -1,0 +1,164 @@
+"""Tests for the BPF-subset filter language."""
+
+import pytest
+
+from repro.filters import BPFError, BPFFilter, compile_filter
+from repro.netstack import FiveTuple, IPProtocol, ip_to_int, make_tcp_packet, make_udp_packet
+
+
+@pytest.fixture
+def web_packet():
+    return make_tcp_packet(ip_to_int("10.1.2.3"), 5555, ip_to_int("192.168.1.7"), 80)
+
+
+@pytest.fixture
+def dns_packet():
+    return make_udp_packet(ip_to_int("10.9.9.9"), 4444, ip_to_int("8.8.8.8"), 53)
+
+
+class TestPrimitives:
+    def test_empty_matches_everything(self, web_packet, dns_packet):
+        empty = BPFFilter("")
+        assert empty.matches(web_packet) and empty.matches(dns_packet)
+
+    def test_protocol_keywords(self, web_packet, dns_packet):
+        assert compile_filter("tcp").matches(web_packet)
+        assert not compile_filter("tcp").matches(dns_packet)
+        assert compile_filter("udp").matches(dns_packet)
+        assert compile_filter("ip").matches(web_packet)
+
+    def test_host(self, web_packet):
+        assert compile_filter("host 10.1.2.3").matches(web_packet)
+        assert compile_filter("host 192.168.1.7").matches(web_packet)
+        assert not compile_filter("host 10.1.2.4").matches(web_packet)
+
+    def test_directional_host(self, web_packet):
+        assert compile_filter("src host 10.1.2.3").matches(web_packet)
+        assert not compile_filter("dst host 10.1.2.3").matches(web_packet)
+
+    def test_net_cidr(self, web_packet):
+        assert compile_filter("net 10.0.0.0/8").matches(web_packet)
+        assert compile_filter("src net 10.1.0.0/16").matches(web_packet)
+        assert not compile_filter("dst net 10.0.0.0/8").matches(web_packet)
+        assert not compile_filter("net 11.0.0.0/8").matches(web_packet)
+
+    def test_net_with_mask(self, web_packet):
+        assert compile_filter("net 192.168.1.0 mask 255.255.255.0").matches(web_packet)
+        assert not compile_filter("net 192.168.2.0 mask 255.255.255.0").matches(web_packet)
+
+    def test_net_zero_prefix_matches_all(self, web_packet, dns_packet):
+        f = compile_filter("net 0.0.0.0/0")
+        assert f.matches(web_packet) and f.matches(dns_packet)
+
+    def test_port(self, web_packet, dns_packet):
+        assert compile_filter("port 80").matches(web_packet)
+        assert compile_filter("dst port 80").matches(web_packet)
+        assert not compile_filter("src port 80").matches(web_packet)
+        assert compile_filter("port 53").matches(dns_packet)
+
+    def test_portrange(self, web_packet):
+        assert compile_filter("portrange 79-81").matches(web_packet)
+        assert compile_filter("src portrange 5000-6000").matches(web_packet)
+        assert not compile_filter("portrange 81-90").matches(web_packet)
+
+    def test_proto_qualified_port(self, web_packet, dns_packet):
+        assert compile_filter("tcp port 80").matches(web_packet)
+        assert not compile_filter("udp port 80").matches(web_packet)
+        assert compile_filter("udp dst port 53").matches(dns_packet)
+
+    def test_length_tests(self, web_packet):
+        assert compile_filter("less 100").matches(web_packet)  # 54B frame
+        assert not compile_filter("greater 100").matches(web_packet)
+
+
+class TestBooleans:
+    def test_and_or_not(self, web_packet, dns_packet):
+        assert compile_filter("tcp and port 80").matches(web_packet)
+        assert compile_filter("tcp or udp").matches(dns_packet)
+        assert compile_filter("not tcp").matches(dns_packet)
+        assert not compile_filter("not tcp").matches(web_packet)
+
+    def test_parentheses(self, web_packet, dns_packet):
+        f = compile_filter("(tcp and port 80) or (udp and port 53)")
+        assert f.matches(web_packet) and f.matches(dns_packet)
+
+    def test_precedence_and_binds_tighter(self, web_packet):
+        # "udp and port 53 or tcp" == "(udp and port 53) or tcp"
+        assert compile_filter("udp and port 53 or tcp").matches(web_packet)
+
+    def test_double_negation(self, web_packet):
+        assert compile_filter("not not tcp").matches(web_packet)
+
+    def test_qualifier_inheritance(self, web_packet, dns_packet):
+        f = compile_filter("port 80 or 53")
+        assert f.matches(web_packet) and f.matches(dns_packet)
+        assert not f.matches(make_tcp_packet(1, 2, 3, 4))
+
+
+class TestFiveTupleMatching:
+    def test_tuple_equivalence(self, web_packet):
+        for expr in ("tcp", "port 80", "src net 10.0.0.0/8", "host 192.168.1.7"):
+            f = compile_filter(expr)
+            assert f.matches_five_tuple(web_packet.five_tuple) == f.matches(web_packet)
+
+    def test_length_is_vacuous_on_tuples(self, web_packet):
+        assert compile_filter("greater 4000").matches_five_tuple(web_packet.five_tuple)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "port",  # missing value
+            "host 300.0.0.1",  # bad address handled by lexer/host
+            "port 99999",  # out of range
+            "portrange 90-80",  # inverted
+            "(tcp",  # unbalanced
+            "tcp)",  # trailing token
+            "80",  # bare value with no previous qualifier
+            "net 10.0.0.0/40",  # bad prefix
+            "frobnicate 1",  # unknown keyword
+            "host tcp",  # wrong value type
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(BPFError):
+            compile_filter(bad)
+
+    def test_repr(self):
+        assert "tcp" in repr(compile_filter("tcp"))
+
+    def test_non_ip_never_matches_ip_primitives(self):
+        from repro.netstack import EthernetHeader, Packet
+
+        frame = Packet(eth=EthernetHeader())
+        assert not compile_filter("tcp").matches(frame)
+        assert not compile_filter("host 1.2.3.4").matches(frame)
+        assert compile_filter("").matches(frame)
+
+
+class TestVlanPrimitive:
+    def test_vlan_any(self):
+        tagged = make_tcp_packet(1, 2, 3, 80)
+        tagged.vlan_id = 10
+        plain = make_tcp_packet(1, 2, 3, 80)
+        assert compile_filter("vlan").matches(tagged)
+        assert not compile_filter("vlan").matches(plain)
+
+    def test_vlan_specific_id(self):
+        tagged = make_tcp_packet(1, 2, 3, 80)
+        tagged.vlan_id = 10
+        assert compile_filter("vlan 10").matches(tagged)
+        assert not compile_filter("vlan 11").matches(tagged)
+
+    def test_vlan_combines(self):
+        tagged = make_tcp_packet(1, 2, 3, 443)
+        tagged.vlan_id = 7
+        assert compile_filter("vlan 7 and tcp port 443").matches(tagged)
+
+    def test_vlan_vacuous_on_flows(self, web_packet):
+        assert compile_filter("vlan").matches_five_tuple(web_packet.five_tuple)
+
+    def test_vlan_id_out_of_range(self):
+        with pytest.raises(BPFError):
+            compile_filter("vlan 5000")

@@ -1,0 +1,94 @@
+"""Defensive features: slow-stream detection, flush timeouts, filters.
+
+§3.2: ``sd.processing_time`` and ``sd.chunks`` let an application spot
+streams that are disproportionately expensive (algorithmic-complexity
+attacks) and discard or deprioritize them mid-capture.
+"""
+
+import pytest
+
+from repro.core import Parameter, ScapSocket
+from repro.netstack import FiveTuple, IPProtocol, SERVER_TO_CLIENT
+from repro.traffic import SessionMessage, TCPSessionBuilder, Trace, campus_mix
+
+
+class TestSlowStreamDefense:
+    def test_expensive_stream_detected_and_discarded(self):
+        """One stream is adversarially expensive to process; the app
+        notices its processing_time and discards it, so the cheap
+        streams keep flowing."""
+        trace = campus_mix(flow_count=60, seed=81)
+        # Pick one big TCP flow to play the complexity-attack stream.
+        victim = max(
+            (f for f in trace.flows if f.protocol == 6), key=lambda f: f.total_bytes
+        )
+        victim_tuple = victim.five_tuple.canonical()
+
+        socket = ScapSocket(trace, rate_bps=1e9, memory_size=1 << 24)
+        socket.set_parameter(Parameter.CHUNK_SIZE, 2048)
+        discarded = []
+        delivered_after_discard = []
+
+        def cost(event):
+            # The attack stream costs 100x per byte.
+            if event.stream.five_tuple.canonical() == victim_tuple:
+                return 1000.0 * event.data_len
+            return 10.0 * event.data_len
+
+        def on_data(sd):
+            if sd.five_tuple.canonical() in discarded:
+                delivered_after_discard.append(sd.data_len)
+                return
+            # The defense from §3.2: per-stream processing-time budget.
+            if sd.processing_time > 1e-3 and sd.chunks > 2:
+                socket.discard_stream(sd)
+                if sd.opposite is not None:
+                    socket.discard_stream(sd.opposite)
+                discarded.append(sd.five_tuple.canonical())
+
+        socket.dispatch_data(on_data, cost=cost)
+        result = socket.start_capture()
+
+        assert discarded == [victim_tuple]
+        # Discarding stops the expensive stream quickly ...
+        assert sum(delivered_after_discard) <= 3 * 2048
+        # ... and the rest of the capture completes unharmed.
+        assert result.streams_created == len(trace.flows)
+
+    def test_processing_time_accumulates(self):
+        trace = campus_mix(flow_count=20, seed=82)
+        times = {}
+        socket = ScapSocket(trace, rate_bps=1e9, memory_size=1 << 24)
+        socket.dispatch_data(
+            lambda sd: times.__setitem__(sd.stream_id, sd.processing_time),
+            cost=lambda event: 50_000.0,
+        )
+        socket.start_capture()
+        assert times and all(value > 0 for value in times.values())
+
+
+class TestFlushTimeout:
+    def test_idle_stream_data_flushed(self):
+        """A stream that sends a little data then pauses has its partial
+        chunk delivered after flush_timeout (timely processing, §3.1)."""
+        ft = FiveTuple(1, 100, 2, 80, IPProtocol.TCP)
+        builder = TCPSessionBuilder(ft, start_time=0.0, packet_gap=1e-5)
+        packets = builder.handshake()
+        packets += builder.data_segments(SERVER_TO_CLIENT, b"early-data")
+        # A long pause, then one more segment on the same connection to
+        # drive time forward (no FIN: the stream stays open).
+        packets += builder.data_segments(SERVER_TO_CLIENT, b"x")
+        packets[-1].timestamp += 5.0  # the late packet arrives 5 s later
+        trace = Trace(packets)
+
+        deliveries = []
+        socket = ScapSocket(trace, rate_bps=1e6, memory_size=1 << 20)
+        socket.set_parameter(Parameter.FLUSH_TIMEOUT, 0.5)
+        socket.set_parameter(Parameter.INACTIVITY_TIMEOUT, 100.0)
+        socket.dispatch_data(lambda sd: deliveries.append(bytes(sd.data)))
+        socket.start_capture()
+        joined = b"".join(deliveries)
+        assert b"early-data" in joined
+        # The early data was flushed as its own (partial) delivery
+        # rather than waiting for the chunk to fill at termination.
+        assert any(b"early-data" in d and len(d) <= 16 for d in deliveries)

@@ -1,0 +1,219 @@
+"""Integration tests: the whole pipeline against ground truth."""
+
+import pytest
+
+from repro.apps import PatternMatchApp, StreamDeliveryApp, attach_app
+from repro.core import (
+    SCAP_TCP_FAST,
+    SCAP_TCP_STRICT,
+    Parameter,
+    ReassemblyPolicy,
+    ScapSocket,
+    StreamError,
+)
+from repro.netstack import SERVER_TO_CLIENT, FiveTuple, IPProtocol
+from repro.traffic import (
+    CampusTrafficGenerator,
+    Impairments,
+    SessionMessage,
+    TCPSessionBuilder,
+    Trace,
+    TrafficConfig,
+    campus_mix,
+)
+
+
+class TestExactDelivery:
+    """At an easy rate, Scap must deliver every stream byte exactly."""
+
+    @pytest.mark.parametrize("mode", [SCAP_TCP_FAST, SCAP_TCP_STRICT])
+    def test_campus_mix_bytes_exact(self, mode):
+        trace = campus_mix(flow_count=80, seed=14)
+        app = StreamDeliveryApp()
+        socket = ScapSocket(
+            trace, rate_bps=0.5e9, memory_size=1 << 24, reassembly_mode=mode
+        )
+        attach_app(socket, app)
+        result = socket.start_capture()
+        assert result.dropped_packets == 0
+        assert app.delivered_bytes == sum(f.total_bytes for f in trace.flows)
+
+    def test_impaired_traffic_still_exact(self):
+        """Retransmissions, reordering, overlaps, fragmentation — the
+        normalization pipeline must still produce exact streams."""
+        config = TrafficConfig(
+            seed=3,
+            flow_count=50,
+            impairments=Impairments(
+                retransmit_rate=0.15,
+                reorder_rate=0.15,
+                overlap_rate=0.1,
+                fragment_rate=0.05,
+                fragment_size=256,
+                seed=4,
+            ),
+        )
+        trace = CampusTrafficGenerator(config).generate()
+        app = StreamDeliveryApp()
+        socket = ScapSocket(trace, rate_bps=0.25e9, memory_size=1 << 24)
+        attach_app(socket, app)
+        socket.start_capture()
+        assert app.delivered_bytes == sum(f.total_bytes for f in trace.flows)
+
+    def test_stream_content_matches_not_just_length(self):
+        """Compare delivered content byte-for-byte for one stream."""
+        ft = FiveTuple(11, 1111, 22, 80, IPProtocol.TCP)
+        payload = bytes(range(256)) * 64  # 16 KB, position-sensitive
+        builder = TCPSessionBuilder(
+            ft, impairments=Impairments(retransmit_rate=0.3, reorder_rate=0.3, seed=8)
+        )
+        packets = builder.build([SessionMessage(SERVER_TO_CLIENT, payload)])
+        trace = Trace(packets)
+        received = {}
+
+        def on_data(sd):
+            received.setdefault(sd.direction, bytearray()).extend(sd.data)
+
+        socket = ScapSocket(trace, rate_bps=1e8, memory_size=1 << 22)
+        socket.dispatch_data(on_data)
+        socket.start_capture()
+        assert bytes(received[SERVER_TO_CLIENT]) == payload
+
+
+class TestEvasionResistance:
+    def test_conflicting_overlaps_resolved_per_policy(self):
+        """An insertion-evasion attempt: two conflicting copies of the
+        same sequence range arrive while an earlier hole is still open,
+        so both sit in the reassembly buffer.  The reconstructed stream
+        depends on the configured target policy (§2.3)."""
+        from repro.netstack import TCPFlags, make_tcp_packet
+
+        def build_attack():
+            ft = FiveTuple(7, 700, 8, 80, IPProtocol.TCP)
+            client_isn, server_isn = 100, 5000
+            times = iter(i * 1e-4 for i in range(100))
+            return Trace([
+                make_tcp_packet(*ft[:4], seq=client_isn, flags=TCPFlags.SYN,
+                                timestamp=next(times)),
+                make_tcp_packet(ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                                seq=server_isn, ack=client_isn + 1,
+                                flags=TCPFlags.SYN | TCPFlags.ACK,
+                                timestamp=next(times)),
+                make_tcp_packet(*ft[:4], seq=client_isn + 1, ack=server_isn + 1,
+                                flags=TCPFlags.ACK, timestamp=next(times)),
+                # Server data arrives with the first bytes (seq+1..3)
+                # missing, then two conflicting copies of seq+4..6.
+                make_tcp_packet(ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                                seq=server_isn + 4, payload=b"XYZ",
+                                timestamp=next(times)),
+                make_tcp_packet(ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                                seq=server_isn + 4, payload=b"xy",
+                                timestamp=next(times)),
+                # The hole finally fills; everything drains at once.
+                make_tcp_packet(ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+                                seq=server_isn + 1, payload=b"abc",
+                                timestamp=next(times)),
+            ])
+
+        outputs = {}
+        # Same-start conflict: Windows keeps the original copy, Linux
+        # takes the retransmission (Novak-Sturges tie rule).
+        for policy in (ReassemblyPolicy.WINDOWS, ReassemblyPolicy.LINUX):
+            chunks = []
+            socket = ScapSocket(build_attack(), rate_bps=1e7, memory_size=1 << 20)
+            socket.config.reassembly_policy = policy
+            socket.dispatch_data(lambda sd: chunks.append(bytes(sd.data)))
+            socket.start_capture()
+            outputs[policy] = b"".join(chunks)
+        assert outputs[ReassemblyPolicy.WINDOWS] == b"abcXYZ"
+        assert outputs[ReassemblyPolicy.LINUX] == b"abcxyZ"
+
+    def test_fast_mode_flags_holes_under_loss(self):
+        """Segments lost on the wire: FAST mode keeps going and flags
+        the affected chunks instead of stalling."""
+        config = TrafficConfig(
+            seed=6, flow_count=30,
+            impairments=Impairments(drop_rate=0.05, seed=7),
+            unterminated_fraction=0.0,
+        )
+        trace = CampusTrafficGenerator(config).generate()
+        flagged = []
+        socket = ScapSocket(trace, rate_bps=0.5e9, memory_size=1 << 24)
+        socket.dispatch_data(lambda sd: flagged.append(sd.data_had_hole))
+        socket.start_capture()
+        assert any(flagged), "some chunks should be flagged as holey"
+
+
+class TestDetectionAccuracy:
+    def test_all_planted_patterns_found_at_low_rate(self, planted_trace, patterns):
+        app = PatternMatchApp.for_trace(planted_trace, patterns, mode="ac")
+        socket = ScapSocket(planted_trace, rate_bps=0.25e9, memory_size=1 << 24)
+        attach_app(socket, app)
+        socket.start_capture()
+        assert app.matches_found == len(planted_trace.planted_matches)
+
+    def test_chunk_overlap_catches_boundary_patterns(self):
+        """A pattern straddling a chunk boundary is found thanks to the
+        overlap parameter even when matcher state resets per chunk."""
+        ft = FiveTuple(13, 1300, 14, 80, IPProtocol.TCP)
+        pattern = b"BOUNDARY-PATTERN"
+        body = b"x" * (512 - 8) + pattern + b"y" * 512
+        packets = TCPSessionBuilder(ft).build([SessionMessage(SERVER_TO_CLIENT, body)])
+        trace = Trace(packets)
+
+        found = []
+        app = PatternMatchApp([pattern], mode="ac")
+        socket = ScapSocket(trace, rate_bps=1e8, memory_size=1 << 22)
+        socket.set_parameter(Parameter.CHUNK_SIZE, 512)
+        socket.set_parameter(Parameter.OVERLAP_SIZE, len(pattern) - 1)
+
+        def on_data(sd):
+            # Simulate per-chunk scanning with no carried state: the
+            # overlap must make the pattern visible inside one chunk.
+            from repro.matching import AhoCorasick
+
+            found.extend(AhoCorasick([pattern]).search(bytes(sd.data)))
+
+        socket.dispatch_data(on_data)
+        socket.start_capture()
+        assert found, "overlap should expose the boundary-straddling pattern"
+
+
+class TestOverloadBehaviour:
+    def test_graceful_degradation_keeps_stream_starts(self):
+        """Under overload with an overload_cutoff, early stream bytes
+        survive preferentially (§6.5.1)."""
+        patterns = None
+        trace = campus_mix(flow_count=80, seed=15, max_flow_bytes=1_000_000)
+        early = {}
+        late = {}
+
+        def on_data(sd):
+            key = sd.stream_id
+            if sd.data_offset < 8 * 1024:
+                early[key] = early.get(key, 0) + sd.data_len
+            else:
+                late[key] = late.get(key, 0) + sd.data_len
+
+        socket = ScapSocket(trace, rate_bps=30e9, memory_size=1 << 19)
+        socket.set_parameter(Parameter.OVERLOAD_CUTOFF, 8 * 1024)
+        socket.dispatch_data(on_data)
+        result = socket.start_capture()
+        assert result.dropped_packets > 0
+        total_early_possible = sum(min(f.total_bytes, 8192) for f in trace.flows)
+        early_fraction = sum(early.values()) / total_early_possible
+        total_late_possible = sum(
+            max(0, f.total_bytes - 8192) for f in trace.flows
+        )
+        late_fraction = sum(late.values()) / max(1, total_late_possible)
+        assert early_fraction > 2 * late_fraction
+
+    def test_flow_table_flood_does_not_stop_tracking(self):
+        """A SYN flood cannot exhaust Scap's dynamic stream records."""
+        from repro.traffic import syn_flood
+
+        flood = syn_flood(3000, seed=2)
+        socket = ScapSocket(flood, rate_bps=1e9, memory_size=1 << 22)
+        result = socket.start_capture()
+        assert result.streams_created == 3000
+        assert result.dropped_packets == 0

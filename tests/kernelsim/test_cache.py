@@ -1,0 +1,81 @@
+"""Tests for the cache simulator and locality profiles."""
+
+import pytest
+
+from repro.kernelsim import CacheSimulator, LocalityProfile
+
+
+class TestCacheSimulator:
+    def test_cold_then_hot(self):
+        cache = CacheSimulator(size_bytes=64 * 8 * 16, line_bytes=64, ways=8)
+        assert cache.access(0, 64) == 1  # cold miss
+        assert cache.access(0, 64) == 0  # now resident
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_multi_line_access(self):
+        cache = CacheSimulator()
+        misses = cache.access(0, 256)  # 4 lines
+        assert misses == 4
+
+    def test_lru_eviction_within_set(self):
+        # 1 set, 2 ways: third distinct tag evicts the least recent.
+        cache = CacheSimulator(size_bytes=64 * 2, line_bytes=64, ways=2)
+        assert cache.set_count == 1
+        cache.touch_line(0)
+        cache.touch_line(1)
+        cache.touch_line(0)  # refresh 0
+        cache.touch_line(2)  # evicts 1
+        assert cache.touch_line(0)  # still hot
+        assert not cache.touch_line(1)  # was evicted
+
+    def test_prefetch_halves_sequential_misses(self):
+        cold = CacheSimulator()
+        sequential = cold.access(1 << 20, 64 * 100)
+        with_prefetch = CacheSimulator()
+        prefetched = with_prefetch.access(1 << 20, 64 * 100, prefetch=True)
+        assert prefetched <= sequential // 2 + 1
+
+    def test_prefetch_does_not_count_misses(self):
+        cache = CacheSimulator()
+        cache.access(0, 128, prefetch=True)  # 2 lines: 1 miss + 1 prefetch
+        assert cache.misses == 1
+        assert cache.access(64, 64) == 0  # prefetched line present
+
+    def test_zero_length(self):
+        cache = CacheSimulator()
+        assert cache.access(0, 0) == 0
+
+    def test_miss_rate_and_reset(self):
+        cache = CacheSimulator()
+        cache.access(0, 64)
+        cache.access(0, 64)
+        assert cache.miss_rate == pytest.approx(0.5)
+        cache.reset_counters()
+        assert cache.accesses == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(size_bytes=1000, line_bytes=64, ways=8)
+
+
+class TestLocalityProfile:
+    def test_path_ordering(self):
+        profile = LocalityProfile()
+        payload = 800
+        nids = profile.pfpacket_user_misses(payload, reassembles=True)
+        snort = profile.pfpacket_user_misses(payload, reassembles=True, extra=True)
+        yaf = profile.pfpacket_user_misses(payload, reassembles=False)
+        scap_total = profile.scap_kernel_misses(payload) + profile.scap_user_misses(payload)
+        assert snort > nids > scap_total > yaf
+
+    def test_scales_with_payload(self):
+        profile = LocalityProfile()
+        assert profile.scap_kernel_misses(1400) > profile.scap_kernel_misses(100)
+
+    def test_matches_paper_ballpark(self):
+        """At the reference payload, values track Fig 7: ~25/21/10."""
+        profile = LocalityProfile()
+        assert 18 <= profile.pfpacket_user_misses(800, True) <= 24
+        assert 22 <= profile.pfpacket_user_misses(800, True, extra=True) <= 28
+        scap = profile.scap_kernel_misses(800) + profile.scap_user_misses(800)
+        assert 7 <= scap <= 13

@@ -1,0 +1,120 @@
+"""Tests for Aho–Corasick matching."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import AhoCorasick, Match, StreamMatcher
+
+
+def _naive_matches(patterns, data):
+    found = set()
+    for index, pattern in enumerate(patterns):
+        start = 0
+        while True:
+            position = data.find(pattern, start)
+            if position < 0:
+                break
+            found.add((index, position))
+            start = position + 1
+    return found
+
+
+class TestConstruction:
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([])
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b"ok", b""])
+
+    def test_state_count(self):
+        automaton = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        assert automaton.state_count == 10  # classic example trie size
+
+
+class TestSearch:
+    def test_classic_example(self):
+        automaton = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        found = sorted((m.pattern, m.start) for m in automaton.search(b"ushers"))
+        assert found == [(b"he", 2), (b"hers", 2), (b"she", 1)]
+
+    def test_overlapping_occurrences(self):
+        automaton = AhoCorasick([b"aa"])
+        assert len(automaton.search(b"aaaa")) == 3
+
+    def test_pattern_is_substring_of_other(self):
+        automaton = AhoCorasick([b"abc", b"b"])
+        found = {(m.pattern, m.start) for m in automaton.search(b"abc")}
+        assert found == {(b"abc", 0), (b"b", 1)}
+
+    def test_duplicate_patterns_both_reported(self):
+        automaton = AhoCorasick([b"x", b"x"])
+        assert len(automaton.search(b"x")) == 2
+
+    def test_match_start_end(self):
+        match = AhoCorasick([b"cde"]).search(b"abcdef")[0]
+        assert match.start == 2 and match.end == 5
+
+    def test_binary_patterns(self):
+        automaton = AhoCorasick([b"\x00\xff", b"\xff\x00"])
+        assert len(automaton.search(b"\x00\xff\x00")) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.binary(min_size=1, max_size=6), min_size=1, max_size=8, unique=True
+        ),
+        data=st.binary(max_size=300),
+    )
+    def test_against_naive_search(self, patterns, data):
+        automaton = AhoCorasick(patterns)
+        found = {(m.pattern_index, m.start) for m in automaton.search(data)}
+        assert found == _naive_matches(patterns, data)
+
+
+class TestStreaming:
+    def test_match_spanning_chunks(self):
+        matcher = StreamMatcher(AhoCorasick([b"needle"]))
+        matcher.feed(b"...nee")
+        matcher.feed(b"dle...")
+        assert [m.pattern for m in matcher.matches] == [b"needle"]
+        assert matcher.matches[0].start == 3
+
+    def test_offsets_accumulate(self):
+        matcher = StreamMatcher(AhoCorasick([b"ab"]))
+        matcher.feed(b"ab")
+        matcher.feed(b"ab")
+        assert [m.start for m in matcher.matches] == [0, 2]
+
+    def test_reset(self):
+        matcher = StreamMatcher(AhoCorasick([b"ab"]))
+        matcher.feed(b"a")
+        matcher.reset()
+        matcher.feed(b"b")
+        assert matcher.matches == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.binary(min_size=1, max_size=5), min_size=1, max_size=5, unique=True
+        ),
+        data=st.binary(min_size=1, max_size=200),
+        seed=st.integers(0, 100),
+    )
+    def test_chunking_invariance(self, patterns, data, seed):
+        """Matches are identical however the stream is chunked."""
+        automaton = AhoCorasick(patterns)
+        whole = {(m.pattern_index, m.start) for m in automaton.search(data)}
+        rng = random.Random(seed)
+        matcher = StreamMatcher(automaton)
+        position = 0
+        while position < len(data):
+            size = rng.randint(1, 20)
+            matcher.feed(data[position : position + size])
+            position += size
+        chunked = {(m.pattern_index, m.start) for m in matcher.matches}
+        assert chunked == whole

@@ -1,0 +1,62 @@
+"""Tests for pattern-set generation and persistence."""
+
+from repro.matching import load_patterns, save_patterns, synthetic_web_attack_patterns
+
+
+def test_count_and_uniqueness():
+    patterns = synthetic_web_attack_patterns(500, seed=1)
+    assert len(patterns) == 500
+    assert len(set(patterns)) == 500
+
+
+def test_deterministic():
+    assert synthetic_web_attack_patterns(50, seed=9) == synthetic_web_attack_patterns(
+        50, seed=9
+    )
+
+
+def test_length_bounds():
+    patterns = synthetic_web_attack_patterns(200, seed=2, min_len=6, max_len=40)
+    assert all(6 <= len(p) <= 40 for p in patterns)
+
+
+def test_patterns_disjoint_from_filler_alphabet():
+    """Every pattern contains at least one byte the traffic filler
+    (lowercase + whitespace) can never emit — ground-truth exactness."""
+    filler_alphabet = set(b"abcdefghijklmnopqrstuvwxyz \n")
+    for pattern in synthetic_web_attack_patterns(300, seed=3):
+        assert any(byte not in filler_alphabet for byte in pattern)
+
+
+def test_save_load_round_trip(tmp_path):
+    patterns = synthetic_web_attack_patterns(64, seed=4)
+    path = str(tmp_path / "patterns.txt")
+    save_patterns(path, patterns)
+    assert load_patterns(path) == patterns
+
+
+def test_save_load_escapes_newlines(tmp_path):
+    weird = [b"a\nb", b"back\\slash", b"plain"]
+    path = str(tmp_path / "weird.txt")
+    save_patterns(path, weird)
+    assert load_patterns(path) == weird
+
+
+def test_save_load_literal_backslash_n(tmp_path):
+    """The tricky case: a literal backslash followed by 'n'."""
+    tricky = [b"\\n", b"a\\nb", b"\\\\n", b"\\", b"n"]
+    path = str(tmp_path / "tricky.txt")
+    save_patterns(path, tricky)
+    assert load_patterns(path) == tricky
+
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+
+@given(st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=10))
+def test_save_load_property(tmp_path_factory, patterns):
+    path = str(tmp_path_factory.mktemp("pat") / "p.txt")
+    save_patterns(path, patterns)
+    assert load_patterns(path) == patterns

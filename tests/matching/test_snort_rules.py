@@ -1,0 +1,120 @@
+"""Tests for the Snort rule content extractor."""
+
+import pytest
+
+from repro.matching.snort_rules import (
+    SnortRule,
+    SnortRuleError,
+    extract_contents,
+    parse_rule,
+    parse_rules,
+)
+
+_WEB_RULE = (
+    'alert tcp $EXTERNAL_NET any -> $HTTP_SERVERS $HTTP_PORTS '
+    '(msg:"WEB-IIS cmd.exe access"; flow:to_server,established; '
+    'content:"cmd.exe"; nocase; classtype:web-application-attack; '
+    'sid:1002; rev:7;)'
+)
+
+
+class TestParseRule:
+    def test_header_and_action(self):
+        rule = parse_rule(_WEB_RULE)
+        assert rule.action == "alert"
+        assert "$HTTP_PORTS" in rule.header
+        assert rule.message == "WEB-IIS cmd.exe access"
+
+    def test_contents_with_nocase(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 80 (content:"CMD.EXE"; nocase; sid:1;)'
+        )
+        assert rule.contents() == [b"cmd.exe"]
+
+    def test_contents_case_preserved_without_nocase(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 80 (content:"CMD.EXE"; sid:1;)'
+        )
+        assert rule.contents() == [b"CMD.EXE"]
+
+    def test_multiple_contents(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 80 '
+            '(content:"GET"; content:"/etc/passwd"; sid:2;)'
+        )
+        assert rule.contents() == [b"GET", b"/etc/passwd"]
+
+    def test_hex_blocks(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"|90 90 90|A|42|"; sid:3;)'
+        )
+        assert rule.contents() == [b"\x90\x90\x90AB"]
+
+    def test_escaped_characters(self):
+        rule = parse_rule(
+            r'alert tcp any any -> any any (content:"a\;b\"c"; sid:4;)'
+        )
+        assert rule.contents() == [b'a;b"c']
+
+    def test_semicolon_inside_quotes(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (msg:"a;b"; content:"x"; sid:5;)'
+        )
+        assert rule.message == "a;b"
+        assert rule.contents() == [b"x"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "alert tcp any any -> any any",  # no option body
+            '(content:"x"; sid:9;)',  # no header
+            'alert tcp any any -> any any (content:"abc; sid:1;)',  # open quote
+        ],
+    )
+    def test_malformed_structure_rejected(self, bad):
+        with pytest.raises(SnortRuleError):
+            parse_rule(bad)
+
+    @pytest.mark.parametrize(
+        "bad_content",
+        [
+            'alert tcp any any -> any any (content:"|9|"; sid:1;)',  # bad hex
+            'alert tcp any any -> any any (content:"|90"; sid:1;)',  # open hex
+        ],
+    )
+    def test_malformed_content_rejected(self, bad_content):
+        rule = parse_rule(bad_content)  # structure is fine ...
+        with pytest.raises(SnortRuleError):
+            rule.contents()  # ... the content decoding is not
+
+
+class TestRuleFiles:
+    def test_parse_rules_skips_comments(self):
+        lines = [
+            "# VRT web attack rules",
+            "",
+            _WEB_RULE,
+            'alert tcp any any -> any 80 (content:"/awstats.pl?configdir="; sid:10;)',
+        ]
+        rules = parse_rules(lines)
+        assert len(rules) == 2
+
+    def test_extract_contents_dedupes(self):
+        lines = [
+            'alert tcp any any -> any 80 (content:"cmd.exe"; sid:1;)',
+            'alert tcp any any -> any 80 (content:"cmd.exe"; content:"/c+"; sid:2;)',
+        ]
+        assert extract_contents(lines) == [b"cmd.exe", b"/c+"]
+
+    def test_min_length_filter(self):
+        lines = ['alert tcp any any -> any 80 (content:"ab"; content:"abcdef"; sid:1;)']
+        assert extract_contents(lines, min_len=4) == [b"abcdef"]
+
+    def test_extracted_patterns_feed_the_matcher(self):
+        """End to end: rule file -> patterns -> Aho-Corasick hits."""
+        from repro.matching import AhoCorasick
+
+        patterns = extract_contents([_WEB_RULE])
+        automaton = AhoCorasick(patterns)
+        found = automaton.search(b"GET /scripts/cmd.exe?/c+dir HTTP/1.0")
+        assert [m.pattern for m in found] == [b"cmd.exe"]

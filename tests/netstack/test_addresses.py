@@ -1,0 +1,48 @@
+"""Tests for address conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack.addresses import bytes_to_mac, int_to_ip, ip_to_int, mac_to_bytes
+
+
+def test_ip_round_trip_known():
+    assert ip_to_int("10.0.0.1") == 0x0A000001
+    assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+    assert int_to_ip(0xC0A80101) == "192.168.1.1"
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""])
+def test_ip_invalid_inputs(bad):
+    with pytest.raises(ValueError):
+        ip_to_int(bad)
+
+
+def test_int_to_ip_out_of_range():
+    with pytest.raises(ValueError):
+        int_to_ip(-1)
+    with pytest.raises(ValueError):
+        int_to_ip(1 << 32)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_ip_round_trip_property(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+def test_mac_round_trip():
+    raw = mac_to_bytes("de:ad:be:ef:00:01")
+    assert raw == b"\xde\xad\xbe\xef\x00\x01"
+    assert bytes_to_mac(raw) == "de:ad:be:ef:00:01"
+
+
+@pytest.mark.parametrize("bad", ["de:ad:be:ef:00", "zz:ad:be:ef:00:01", "deadbeef0001"])
+def test_mac_invalid(bad):
+    with pytest.raises(ValueError):
+        mac_to_bytes(bad)
+
+
+def test_bytes_to_mac_wrong_length():
+    with pytest.raises(ValueError):
+        bytes_to_mac(b"\x00\x01")

@@ -1,0 +1,61 @@
+"""Tests for the internet checksum."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack.checksum import internet_checksum, ones_complement_sum, pseudo_header
+
+
+def test_known_rfc1071_example():
+    # The classic example from RFC 1071 §3.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert ones_complement_sum(data) == 0xDDF2
+    assert internet_checksum(data) == 0x220D
+
+
+def test_empty_data_checksum():
+    assert internet_checksum(b"") == 0xFFFF
+
+
+def test_odd_length_padding():
+    # Odd-length input is padded with a zero byte.
+    assert ones_complement_sum(b"\xab") == ones_complement_sum(b"\xab\x00")
+
+
+def test_initial_chaining():
+    first = ones_complement_sum(b"\x12\x34")
+    chained = ones_complement_sum(b"\x56\x78", initial=first)
+    assert chained == ones_complement_sum(b"\x12\x34\x56\x78")
+
+
+def test_checksum_of_zeroed_field_verifies():
+    """Inserting the checksum into the data makes the total sum 0xFFFF."""
+    data = bytearray(b"\x45\x00\x00\x1c\x00\x01\x00\x00\x40\x06\x00\x00" + b"\x0a" * 8)
+    checksum = internet_checksum(bytes(data))
+    data[10:12] = struct.pack("!H", checksum)
+    assert ones_complement_sum(bytes(data)) == 0xFFFF
+
+
+def test_pseudo_header_layout():
+    pseudo = pseudo_header(0x0A000001, 0x0A000002, 6, 20)
+    assert len(pseudo) == 12
+    assert pseudo[8] == 0  # zero byte
+    assert pseudo[9] == 6  # protocol
+    assert pseudo[10:12] == b"\x00\x14"
+
+
+@given(st.binary(max_size=256))
+def test_checksum_in_range(data):
+    value = internet_checksum(data)
+    assert 0 <= value <= 0xFFFF
+
+
+@given(st.binary(min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+def test_sum_word_order_independent(data):
+    """Ones'-complement addition is commutative across 16-bit words."""
+    words = [data[i : i + 2] for i in range(0, len(data), 2)]
+    reordered = b"".join(reversed(words))
+    assert ones_complement_sum(data) == ones_complement_sum(reordered)

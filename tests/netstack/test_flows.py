@@ -1,0 +1,54 @@
+"""Tests for five-tuples and flow keys."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack import CLIENT_TO_SERVER, SERVER_TO_CLIENT, Direction, FiveTuple, flow_key
+
+
+def _tuples():
+    return st.builds(
+        FiveTuple,
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 65535),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 65535),
+        st.sampled_from([6, 17]),
+    )
+
+
+def test_reversed_swaps_endpoints():
+    ft = FiveTuple(1, 2, 3, 4, 6)
+    assert ft.reversed() == FiveTuple(3, 4, 1, 2, 6)
+
+
+def test_canonical_is_order_independent():
+    ft = FiveTuple(9, 9, 1, 1, 6)
+    assert ft.canonical() == ft.reversed().canonical()
+    assert ft.reversed().is_canonical
+
+
+def test_flow_key_matches_canonical():
+    ft = FiveTuple(5, 5, 5, 4, 17)
+    assert flow_key(ft) == ft.canonical()
+
+
+def test_direction_constants():
+    assert Direction.opposite(CLIENT_TO_SERVER) == SERVER_TO_CLIENT
+    assert Direction.opposite(SERVER_TO_CLIENT) == CLIENT_TO_SERVER
+
+
+def test_str_contains_ports():
+    assert ":80/6" in str(FiveTuple(0x0A000001, 1234, 0x0A000002, 80, 6))
+
+
+@given(_tuples())
+def test_double_reverse_is_identity(ft):
+    assert ft.reversed().reversed() == ft
+
+
+@given(_tuples())
+def test_canonical_idempotent_and_shared(ft):
+    canonical = ft.canonical()
+    assert canonical.canonical() == canonical
+    assert ft.reversed().canonical() == canonical

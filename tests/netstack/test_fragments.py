@@ -1,0 +1,117 @@
+"""Tests for IPv4 fragmentation and reassembly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack import (
+    IPFragmentReassembler,
+    Packet,
+    fragment_packet,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+
+def _reassemble(fragments):
+    reassembler = IPFragmentReassembler()
+    completed = [p for p in (reassembler.push(f) for f in fragments) if p is not None]
+    return reassembler, completed
+
+
+def test_no_split_needed():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"small")
+    assert fragment_packet(packet, 1000) == [packet]
+
+
+def test_tcp_fragment_round_trip():
+    packet = make_tcp_packet(1, 2, 3, 4, seq=42, payload=b"0123456789" * 20)
+    fragments = fragment_packet(packet, 64)
+    assert len(fragments) > 2
+    assert all(f.tcp is None for f in fragments)  # transport hidden in pieces
+    _, completed = _reassemble(fragments)
+    assert len(completed) == 1
+    restored = completed[0]
+    assert restored.payload == packet.payload
+    assert restored.tcp.seq == 42
+    assert restored.five_tuple == packet.five_tuple
+
+
+def test_udp_fragment_round_trip():
+    packet = make_udp_packet(1, 2, 3, 4, payload=b"u" * 300)
+    _, completed = _reassemble(fragment_packet(packet, 128))
+    assert completed[0].payload == packet.payload
+    assert completed[0].is_udp
+
+
+def test_out_of_order_fragments():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"abcdefgh" * 30)
+    fragments = fragment_packet(packet, 64)
+    reordered = fragments[::-1]
+    _, completed = _reassemble(reordered)
+    assert completed and completed[0].payload == packet.payload
+
+
+def test_duplicate_fragment_tolerated():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"q" * 200)
+    fragments = fragment_packet(packet, 64)
+    _, completed = _reassemble([fragments[0]] + fragments)
+    assert completed[0].payload == packet.payload
+
+
+def test_missing_fragment_never_completes():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"m" * 200)
+    fragments = fragment_packet(packet, 64)
+    reassembler, completed = _reassemble(fragments[:-1])
+    assert not completed
+    assert reassembler.pending_count == 1
+
+
+def test_interleaved_datagrams():
+    a = make_tcp_packet(1, 2, 3, 4, payload=b"A" * 200)
+    b = make_tcp_packet(5, 6, 7, 8, payload=b"B" * 200)
+    a.ip.identification = 1
+    b.ip.identification = 2
+    fa = fragment_packet(a, 64)
+    fb = fragment_packet(b, 64)
+    interleaved = [piece for pair in zip(fa, fb) for piece in pair]
+    _, completed = _reassemble(interleaved)
+    payloads = sorted(p.payload for p in completed)
+    assert payloads == [b"A" * 200, b"B" * 200]
+
+
+def test_timeout_expires_partials():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"t" * 200)
+    fragments = fragment_packet(packet, 64)
+    reassembler = IPFragmentReassembler(timeout=5.0)
+    reassembler.push(fragments[0])
+    late = make_tcp_packet(9, 9, 9, 9, payload=b"x")
+    late.timestamp = 100.0
+    reassembler.push(late)  # advances time; partial expires
+    assert reassembler.expired_count == 1
+    assert reassembler.pending_count == 0
+
+
+def test_non_fragment_passes_through():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"pass")
+    reassembler = IPFragmentReassembler()
+    assert reassembler.push(packet) is packet
+
+
+def test_cannot_fragment_non_ip():
+    from repro.netstack import EthernetHeader
+
+    with pytest.raises(ValueError):
+        fragment_packet(Packet(eth=EthernetHeader()), 64)
+
+
+@given(
+    payload=st.binary(min_size=1, max_size=2000),
+    fragment_size=st.integers(min_value=8, max_value=512),
+)
+def test_fragment_reassembly_property(payload, fragment_size):
+    packet = make_tcp_packet(10, 20, 30, 40, seq=7, payload=payload)
+    fragments = fragment_packet(packet, fragment_size)
+    _, completed = _reassemble(fragments)
+    assert len(completed) == 1
+    assert completed[0].payload == payload

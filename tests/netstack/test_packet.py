@@ -1,0 +1,131 @@
+"""Tests for the Packet model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack import (
+    EtherType,
+    EthernetHeader,
+    FiveTuple,
+    IPProtocol,
+    Packet,
+    TCPFlags,
+    ip_to_int,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+
+def test_tcp_packet_round_trip():
+    packet = make_tcp_packet(
+        ip_to_int("10.0.0.1"), 1234, ip_to_int("10.0.0.2"), 80,
+        seq=777, ack=888, flags=TCPFlags.ACK | TCPFlags.PSH,
+        payload=b"hello world", timestamp=3.25,
+    )
+    parsed = Packet.parse(packet.to_bytes(), timestamp=3.25)
+    assert parsed.payload == b"hello world"
+    assert parsed.tcp.seq == 777 and parsed.tcp.ack == 888
+    assert parsed.is_tcp and not parsed.is_udp
+    assert parsed.five_tuple == packet.five_tuple
+    assert parsed.timestamp == 3.25
+
+
+def test_udp_packet_round_trip():
+    packet = make_udp_packet(
+        ip_to_int("10.0.0.1"), 5353, ip_to_int("8.8.8.8"), 53, payload=b"query"
+    )
+    parsed = Packet.parse(packet.to_bytes())
+    assert parsed.is_udp and parsed.payload == b"query"
+    assert parsed.src_port == 5353 and parsed.dst_port == 53
+
+
+def test_wire_len_defaults_to_frame_length():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"x" * 100)
+    assert packet.wire_len == len(packet.to_bytes()) == 14 + 20 + 20 + 100
+
+
+def test_five_tuple_directional():
+    packet = make_tcp_packet(1, 10, 2, 20)
+    assert packet.five_tuple == FiveTuple(1, 10, 2, 20, IPProtocol.TCP)
+
+
+def test_non_ip_frame():
+    eth = EthernetHeader(ethertype=EtherType.ARP)
+    packet = Packet(eth=eth, payload=b"arp-payload")
+    parsed = Packet.parse(packet.to_bytes())
+    assert not parsed.is_ip and parsed.five_tuple is None
+    assert parsed.payload == b"arp-payload"
+    assert parsed.tcp_flags == 0
+
+
+def test_parse_respects_ip_total_length():
+    """Trailing Ethernet padding must not leak into the payload."""
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"abc")
+    raw = packet.to_bytes() + b"\x00" * 10  # Ethernet pad
+    parsed = Packet.parse(raw)
+    assert parsed.payload == b"abc"
+
+
+def test_fragment_has_no_transport_header():
+    packet = make_tcp_packet(1, 2, 3, 4, payload=b"abcdefgh" * 4)
+    packet.ip.fragment_offset = 2
+    parsed = Packet.parse(packet.to_bytes())
+    assert parsed.tcp is None
+    assert parsed.ip.is_fragment
+
+
+def test_str_representations():
+    tcp = make_tcp_packet(1, 2, 3, 4, payload=b"x")
+    udp = make_udp_packet(1, 2, 3, 4)
+    assert "tcp" in str(tcp)
+    assert "udp" in str(udp)
+
+
+@given(payload=st.binary(max_size=1500), seq=st.integers(0, 2**32 - 1))
+def test_round_trip_property(payload, seq):
+    packet = make_tcp_packet(
+        ip_to_int("172.16.0.1"), 40000, ip_to_int("172.16.0.2"), 443,
+        seq=seq, payload=payload,
+    )
+    parsed = Packet.parse(packet.to_bytes())
+    assert parsed.payload == payload
+    assert parsed.tcp.seq == seq
+    assert parsed.wire_len == packet.wire_len
+
+
+class TestVlan:
+    def test_vlan_round_trip(self):
+        packet = make_tcp_packet(1, 2, 3, 4, payload=b"vlan-test")
+        packet.vlan_id = 42
+        packet.wire_len = packet.header_len + len(packet.payload)
+        raw = packet.to_bytes()
+        parsed = Packet.parse(raw)
+        assert parsed.vlan_id == 42
+        assert parsed.payload == b"vlan-test"
+        assert parsed.is_tcp and parsed.ip is not None
+        assert parsed.wire_len == len(raw) == packet.wire_len
+
+    def test_untagged_has_no_vlan(self):
+        parsed = Packet.parse(make_tcp_packet(1, 2, 3, 4, payload=b"x").to_bytes())
+        assert parsed.vlan_id is None
+
+    def test_truncated_tag_rejected(self):
+        from repro.netstack import EthernetHeader, EtherType
+
+        frame = EthernetHeader(ethertype=EtherType.VLAN).to_bytes() + b"\x00"
+        with pytest.raises(ValueError):
+            Packet.parse(frame)
+
+    def test_vlan_non_ip_payload(self):
+        from repro.netstack import EthernetHeader, EtherType
+        import struct
+
+        frame = (
+            EthernetHeader(ethertype=EtherType.VLAN).to_bytes()
+            + struct.pack("!HH", 7, EtherType.ARP)
+            + b"arp-body"
+        )
+        parsed = Packet.parse(frame)
+        assert parsed.vlan_id == 7
+        assert not parsed.is_ip and parsed.payload == b"arp-body"

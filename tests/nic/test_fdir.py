@@ -1,0 +1,113 @@
+"""Tests for Flow Director filters."""
+
+import pytest
+
+from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet, make_udp_packet
+from repro.nic import (
+    FDIR_DROP,
+    FLEX_OFFSET_TCP_FLAGS,
+    FdirFilter,
+    FlowDirectorTable,
+    tcp_flags_word,
+)
+
+
+@pytest.fixture
+def ft():
+    return FiveTuple(0x0A000001, 1234, 0xC0000001, 80, IPProtocol.TCP)
+
+
+def _drop_filters(ft, timeout=10.0):
+    return [
+        FdirFilter(
+            ft, FDIR_DROP, flex_offset=FLEX_OFFSET_TCP_FLAGS,
+            flex_value=(5 << 12) | flags, timeout_at=timeout,
+        )
+        for flags in (TCPFlags.ACK, TCPFlags.ACK | TCPFlags.PSH)
+    ]
+
+
+class TestFlexTuple:
+    def test_tcp_flags_word(self):
+        packet = make_tcp_packet(1, 2, 3, 4, flags=TCPFlags.ACK | TCPFlags.PSH)
+        assert tcp_flags_word(packet) == 0x5018
+
+    def test_non_tcp_none(self):
+        assert tcp_flags_word(make_udp_packet(1, 2, 3, 4)) is None
+
+
+class TestMatching:
+    def test_scap_drop_filters_semantics(self, ft):
+        """ACK/ACK+PSH data dropped; SYN/FIN/RST pass (§5.5)."""
+        table = FlowDirectorTable()
+        for f in _drop_filters(ft):
+            table.add(f)
+        data = make_tcp_packet(*ft[:4], flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"x")
+        ack = make_tcp_packet(*ft[:4], flags=TCPFlags.ACK)
+        fin = make_tcp_packet(*ft[:4], flags=TCPFlags.FIN | TCPFlags.ACK)
+        rst = make_tcp_packet(*ft[:4], flags=TCPFlags.RST)
+        syn = make_tcp_packet(*ft[:4], flags=TCPFlags.SYN)
+        assert table.match(data) is not None
+        assert table.match(ack) is not None
+        assert table.match(fin) is None
+        assert table.match(rst) is None
+        assert table.match(syn) is None
+
+    def test_directional(self, ft):
+        table = FlowDirectorTable()
+        for f in _drop_filters(ft):
+            table.add(f)
+        reverse = make_tcp_packet(
+            ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port, flags=TCPFlags.ACK
+        )
+        assert table.match(reverse) is None
+
+    def test_filter_without_flex_matches_any_flags(self, ft):
+        table = FlowDirectorTable()
+        table.add(FdirFilter(ft, 3))
+        fin = make_tcp_packet(*ft[:4], flags=TCPFlags.FIN | TCPFlags.ACK)
+        matched = table.match(fin)
+        assert matched is not None and matched.action_queue == 3
+
+
+class TestCapacityAndTimeouts:
+    def test_eviction_prefers_small_timeouts(self):
+        table = FlowDirectorTable(capacity=3)
+        tuples = [FiveTuple(i, 1, 99, 80, 6) for i in range(4)]
+        for i, five_tuple in enumerate(tuples[:3]):
+            table.add(FdirFilter(five_tuple, FDIR_DROP, timeout_at=float(i + 1)))
+        assert len(table) == 3
+        table.add(FdirFilter(tuples[3], FDIR_DROP, timeout_at=100.0))
+        assert len(table) == 3
+        assert table.evicted_total == 1
+        # The smallest-timeout filter (timeout 1.0, tuples[0]) is gone.
+        assert not table.filters_for_stream(tuples[0])
+        assert table.filters_for_stream(tuples[3])
+
+    def test_expired_listing(self, ft):
+        table = FlowDirectorTable()
+        early = FdirFilter(ft, FDIR_DROP, timeout_at=1.0)
+        late = FdirFilter(ft.reversed(), FDIR_DROP, timeout_at=100.0)
+        table.add(early)
+        table.add(late)
+        expired = table.expired(now=5.0)
+        assert expired == [early]
+
+    def test_remove_for_stream_covers_both_directions(self, ft):
+        table = FlowDirectorTable()
+        table.add(FdirFilter(ft, FDIR_DROP))
+        table.add(FdirFilter(ft.reversed(), FDIR_DROP))
+        assert table.remove_for_stream(ft) == 2
+        assert len(table) == 0
+
+    def test_remove_specific_filter(self, ft):
+        table = FlowDirectorTable()
+        target = FdirFilter(ft, FDIR_DROP)
+        table.add(target)
+        assert table.remove_filter(target)
+        assert not table.remove_filter(target)
+        assert len(table) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FlowDirectorTable(capacity=0)

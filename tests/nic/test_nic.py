@@ -1,0 +1,55 @@
+"""Tests for the simulated NIC front-end."""
+
+import pytest
+
+from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet
+from repro.nic import FDIR_DROP, FdirFilter, SimulatedNIC
+
+
+@pytest.fixture
+def nic():
+    return SimulatedNIC(queue_count=4)
+
+
+def _packet(ft, flags=TCPFlags.ACK, payload=b""):
+    return make_tcp_packet(*ft[:4], flags=flags, payload=payload)
+
+
+def test_rss_classification_consistent(nic):
+    ft = FiveTuple(1, 10, 2, 20, IPProtocol.TCP)
+    first = nic.classify(_packet(ft))
+    assert first == nic.classify(_packet(ft))
+    assert first == nic.classify(_packet(ft.reversed()))  # symmetric key
+    assert nic.stats.received == 3
+    assert nic.stats.per_queue[first] == 3
+
+
+def test_fdir_drop_precedes_rss(nic):
+    ft = FiveTuple(5, 50, 6, 60, IPProtocol.TCP)
+    nic.fdir.add(FdirFilter(ft, FDIR_DROP))
+    assert nic.classify(_packet(ft)) is None
+    assert nic.stats.dropped_at_nic == 1
+
+
+def test_fdir_steering(nic):
+    ft = FiveTuple(7, 70, 8, 80, IPProtocol.TCP)
+    rss_queue = nic.classify(_packet(ft))
+    target = (rss_queue + 1) % 4
+    nic.fdir.add(FdirFilter(ft, target))
+    assert nic.classify(_packet(ft)) == target
+    assert nic.stats.steered_by_fdir == 1
+
+
+def test_non_ip_goes_to_queue_zero(nic):
+    from repro.netstack import EthernetHeader, Packet
+
+    frame = Packet(eth=EthernetHeader())
+    assert nic.classify(frame) == 0
+
+
+def test_reset_stats(nic):
+    ft = FiveTuple(1, 1, 2, 2, IPProtocol.TCP)
+    nic.classify(_packet(ft))
+    nic.reset_stats()
+    assert nic.stats.received == 0
+    assert nic.stats.per_queue == [0, 0, 0, 0]

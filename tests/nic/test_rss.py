@@ -1,0 +1,93 @@
+"""Tests for RSS / Toeplitz hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack import FiveTuple, IPProtocol, ip_to_int
+from repro.nic import MICROSOFT_RSS_KEY, SYMMETRIC_RSS_KEY, RSSHasher, toeplitz_hash
+
+
+# Official verification vectors from the Microsoft RSS specification
+# (IPv4 with TCP ports, 40-byte default key).
+_MSDN_VECTORS = [
+    # (dst ip, src ip, dst port, src port, expected hash)
+    ("161.142.100.80", "66.9.149.187", 1766, 2794, 0x51CCC178),
+    ("65.69.140.83", "199.92.111.2", 4739, 14230, 0xC626B0EA),
+    ("12.22.207.184", "24.19.198.95", 38024, 12898, 0x5C2B394A),
+    ("209.142.163.6", "38.27.205.30", 2217, 48228, 0xAFC7327F),
+    ("202.188.127.2", "153.39.163.191", 1303, 44251, 0x10E828A2),
+]
+
+
+@pytest.mark.parametrize("dst_ip,src_ip,dst_port,src_port,expected", _MSDN_VECTORS)
+def test_microsoft_verification_vectors(dst_ip, src_ip, dst_port, src_port, expected):
+    data = (
+        ip_to_int(src_ip).to_bytes(4, "big")
+        + ip_to_int(dst_ip).to_bytes(4, "big")
+        + src_port.to_bytes(2, "big")
+        + dst_port.to_bytes(2, "big")
+    )
+    assert toeplitz_hash(MICROSOFT_RSS_KEY, data) == expected
+
+
+def test_key_too_short():
+    with pytest.raises(ValueError):
+        toeplitz_hash(b"\x01" * 8, b"\x00" * 12)
+
+
+def _tuples():
+    return st.builds(
+        FiveTuple,
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 65535),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 65535),
+        st.just(IPProtocol.TCP),
+    )
+
+
+@given(_tuples())
+def test_symmetric_key_maps_both_directions_together(ft):
+    """Woo & Park: the repeating-pattern key is direction-symmetric."""
+    hasher = RSSHasher(8, SYMMETRIC_RSS_KEY)
+    assert hasher.queue_for(ft) == hasher.queue_for(ft.reversed())
+
+
+def test_microsoft_key_usually_splits_directions():
+    hasher = RSSHasher(8, MICROSOFT_RSS_KEY)
+    split = 0
+    for i in range(64):
+        ft = FiveTuple(0x0A000000 + i, 1000 + i, 0xC0000000 + i, 80, IPProtocol.TCP)
+        if hasher.queue_for(ft) != hasher.queue_for(ft.reversed()):
+            split += 1
+    assert split > 32  # the standard key is not symmetric
+
+
+def test_queue_spread():
+    hasher = RSSHasher(8, SYMMETRIC_RSS_KEY)
+    counts = [0] * 8
+    for i in range(400):
+        ft = FiveTuple(0x0A000000 + i * 7, 1024 + i, 0xC0000000 + i * 13, 80, 6)
+        counts[hasher.queue_for(ft)] += 1
+    assert min(counts) > 10, counts  # all queues used
+
+
+def test_hash_is_memoised():
+    hasher = RSSHasher(4)
+    ft = FiveTuple(1, 2, 3, 4, IPProtocol.TCP)
+    first = hasher.hash_value(ft)
+    assert hasher.hash_value(ft) == first
+    assert ft in hasher._cache
+
+
+def test_non_tcp_udp_hashes_addresses_only():
+    hasher = RSSHasher(8)
+    a = FiveTuple(1, 1111, 2, 2222, IPProtocol.ICMP)
+    b = FiveTuple(1, 3333, 2, 4444, IPProtocol.ICMP)
+    assert hasher.hash_value(a) == hasher.hash_value(b)
+
+
+def test_rejects_zero_queues():
+    with pytest.raises(ValueError):
+        RSSHasher(0)

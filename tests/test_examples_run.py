@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion.
+
+Guards the examples against API drift — they are documentation that
+executes.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+_EXAMPLES = [
+    "quickstart.py",
+    "flow_stats_export.py",
+    "pattern_matching_ids.py",
+    "overload_priorities.py",
+    "time_machine.py",
+    "multi_app_sharing.py",
+    "http_monitoring.py",
+    "target_based_reassembly.py",
+]
+
+_EXPECTED_SNIPPET = {
+    "quickstart.py": "delivered",
+    "flow_stats_export.py": "subzero copy",
+    "pattern_matching_ids.py": "detection recall",
+    "overload_priorities.py": "PPL",
+    "time_machine.py": "storage reduction",
+    "multi_app_sharing.py": "kernel reassembly ran once",
+    "http_monitoring.py": "status codes",
+    "target_based_reassembly.py": "reconstructs",
+}
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert _EXPECTED_SNIPPET[script] in result.stdout, result.stdout[-2000:]

@@ -1,0 +1,143 @@
+"""Tests for the repro-scap command-line interface."""
+
+import os
+
+import pytest
+
+from repro.tools import main
+
+
+def test_generate_writes_pcap(tmp_path, capsys):
+    out = str(tmp_path / "gen.pcap")
+    assert main(["generate", "--flows", "20", "--out", out]) == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured and os.path.getsize(out) > 1000
+
+
+def test_generate_with_patterns(tmp_path, capsys):
+    out = str(tmp_path / "gen2.pcap")
+    assert main(["generate", "--flows", "20", "--plant-patterns", "10", "--out", out]) == 0
+    assert "planted" in capsys.readouterr().out
+
+
+def test_capture_synthetic_delivery(capsys):
+    assert main(["capture", "--flows", "20", "--rate", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered" in out and "drop=" in out
+
+
+def test_capture_from_pcap_round_trip(tmp_path, capsys):
+    pcap = str(tmp_path / "rt.pcap")
+    main(["generate", "--flows", "15", "--out", pcap])
+    assert main(["capture", "--pcap", pcap, "--app", "delivery"]) == 0
+    assert "streams" in capsys.readouterr().out
+
+
+def test_capture_flowstats_export(tmp_path, capsys):
+    csv = str(tmp_path / "flows.csv")
+    assert main(
+        ["capture", "--flows", "15", "--app", "flowstats",
+         "--cutoff", "0", "--export-flows", csv]
+    ) == 0
+    lines = open(csv).read().splitlines()
+    assert lines[0].startswith("src_ip,")
+    assert len(lines) > 5
+
+
+def test_capture_match(capsys):
+    assert main(
+        ["capture", "--flows", "15", "--app", "match", "--patterns", "20"]
+    ) == 0
+    assert "pattern matches found" in capsys.readouterr().out
+
+
+def test_capture_with_filter(capsys):
+    assert main(["capture", "--flows", "20", "--filter", "tcp port 80"]) == 0
+
+
+def test_analyze_single_class(capsys):
+    assert main(["analyze", "--rho", "0.5", "--slots", "5", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "M/M/1/N" in out and "20" in out
+
+
+def test_analyze_two_class(capsys):
+    assert main(
+        ["analyze", "--rho", "0.6", "--rho-high", "0.3", "--slots", "10"]
+    ) == 0
+    assert "Two-class" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_inspect_synthetic(capsys):
+    assert main(["inspect", "--flows", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "top ports" in out and "protocols" in out
+
+
+def test_inspect_with_filter(capsys):
+    assert main(["inspect", "--flows", "20", "--filter", "tcp port 80"]) == 0
+    assert "tcp port 80" in capsys.readouterr().out
+
+
+def test_anonymize_round_trip(tmp_path, capsys):
+    src = str(tmp_path / "src.pcap")
+    dst = str(tmp_path / "anon.pcap")
+    main(["generate", "--flows", "10", "--out", src])
+    assert main(["anonymize", "--pcap", src, "--out", dst, "--key", "secret"]) == 0
+    assert "prefix-preserving" in capsys.readouterr().out
+    from repro.netstack import read_pcap
+
+    original = read_pcap(src)
+    anonymized = read_pcap(dst)
+    assert len(original) == len(anonymized)
+    changed = sum(
+        1 for a, b in zip(original, anonymized)
+        if a.ip is not None and a.ip.src_ip != b.ip.src_ip
+    )
+    assert changed > 0
+    # Ports and payloads survive anonymization.
+    assert all(
+        a.payload == b.payload for a, b in zip(original, anonymized)
+    )
+
+
+def test_capture_http(capsys):
+    assert main(["capture", "--flows", "15", "--app", "http"]) == 0
+    assert "HTTP transactions" in capsys.readouterr().out
+
+
+def test_capture_match_with_snort_rules(tmp_path, capsys):
+    rules = tmp_path / "web.rules"
+    rules.write_text(
+        'alert tcp any any -> any 80 (msg:"test"; content:"GET /"; sid:1;)\n'
+        'alert tcp any any -> any 80 (content:"HTTP/1.1"; sid:2;)\n'
+    )
+    assert main(
+        ["capture", "--flows", "10", "--app", "match", "--rules", str(rules)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "extracted 2 content patterns" in out
+    assert "pattern matches found" in out
+
+
+def test_compare_side_by_side(capsys):
+    assert main(["compare", "--flows", "60", "--rates", "1.0", "4.0"]) == 0
+    out = capsys.readouterr().out
+    assert "scap" in out and "libnids" in out and "snort" in out
+    assert out.count("4.0G") == 3
+
+
+def test_gendocs_writes_reference(tmp_path):
+    from repro.tools.gendocs import main as gendocs_main
+
+    target = str(tmp_path / "API.md")
+    assert gendocs_main([target]) == 0
+    content = open(target).read()
+    assert "# API reference" in content
+    assert "repro.core.api" in content
+    assert "ScapSocket" in content

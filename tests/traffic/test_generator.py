@@ -1,0 +1,117 @@
+"""Tests for the campus traffic generator."""
+
+import statistics
+
+import pytest
+
+from repro.matching import synthetic_web_attack_patterns
+from repro.netstack import IPProtocol, SERVER_TO_CLIENT
+from repro.traffic import CampusTrafficGenerator, TrafficConfig, campus_mix
+
+
+def test_deterministic_for_seed():
+    a = campus_mix(flow_count=30, seed=77)
+    b = campus_mix(flow_count=30, seed=77)
+    assert len(a) == len(b)
+    assert [p.to_bytes() for p in a.packets[:50]] == [p.to_bytes() for p in b.packets[:50]]
+
+
+def test_different_seed_differs():
+    a = campus_mix(flow_count=30, seed=1)
+    b = campus_mix(flow_count=30, seed=2)
+    assert [f.five_tuple for f in a.flows] != [f.five_tuple for f in b.flows]
+
+
+def test_flow_count_and_protocol_mix():
+    trace = campus_mix(flow_count=200, seed=4)
+    assert len(trace.flows) == 200
+    tcp = sum(1 for f in trace.flows if f.protocol == IPProtocol.TCP)
+    assert 0.85 <= tcp / 200 <= 1.0  # ~95.4% nominal
+
+
+def test_heavy_tail_present():
+    trace = campus_mix(flow_count=300, seed=6, max_flow_bytes=3_000_000)
+    sizes = sorted(f.total_bytes for f in trace.flows)
+    median = sizes[len(sizes) // 2]
+    top_share = sum(sizes[-15:]) / sum(sizes)
+    assert median < 20_000
+    assert top_share > 0.4, "a few flows should carry much of the bytes"
+
+
+def test_flow_ground_truth_matches_packets(small_trace):
+    """Per-flow payload byte counts in FlowSpec equal actual payloads."""
+    by_flow = {}
+    for packet in small_trace.packets:
+        if packet.five_tuple is None or not packet.payload:
+            continue
+        key = packet.five_tuple.canonical()
+        by_flow[key] = by_flow.get(key, 0) + len(packet.payload)
+    for flow in small_trace.flows:
+        if flow.protocol != IPProtocol.TCP:
+            continue
+        actual = by_flow.get(flow.five_tuple.canonical(), 0)
+        # Impairments may retransmit (duplicate) payload bytes on the
+        # wire, so actual >= spec total; never less.
+        assert actual >= flow.total_bytes
+
+
+def test_timestamps_sorted(small_trace):
+    times = [p.timestamp for p in small_trace.packets]
+    assert times == sorted(times)
+
+
+def test_rate_profile_reasonably_flat():
+    trace = campus_mix(flow_count=400, seed=8)
+    times = [p.timestamp for p in trace.packets]
+    duration = times[-1] - times[0]
+    fifths = [0] * 5
+    for packet in trace.packets:
+        index = min(4, int(5 * (packet.timestamp - times[0]) / duration))
+        fifths[index] += packet.wire_len
+    total = sum(fifths)
+    # The middle three fifths each carry a sane share of the bytes.
+    for share in fifths[1:4]:
+        assert 0.10 < share / total < 0.40, fifths
+
+
+def test_pattern_planting_ground_truth(planted_trace, patterns):
+    """Every planted pattern occurrence is really in the stream bytes."""
+    assert planted_trace.planted_matches, "plant_fraction should plant some"
+    flows = {f.index: f for f in planted_trace.flows}
+    # Reconstruct server->client payloads per flow from the packets.
+    streams = {}
+    for packet in planted_trace.packets:
+        if packet.tcp is None or not packet.payload:
+            continue
+        key = packet.five_tuple
+        streams.setdefault(key, []).append((packet.tcp.seq, packet.payload))
+    for match in planted_trace.planted_matches:
+        flow = flows[match.flow_index]
+        directional = (
+            flow.five_tuple if match.direction == 0 else flow.five_tuple.reversed()
+        )
+        segments = streams[directional]
+        base_seq = min(seq for seq, _ in segments)
+        stream = bytearray(max(seq - base_seq + len(d) for seq, d in segments))
+        for seq, data in segments:
+            stream[seq - base_seq : seq - base_seq + len(data)] = data
+        start = match.stream_offset
+        assert bytes(stream[start : start + len(match.pattern)]) == match.pattern
+
+
+def test_filler_cannot_contain_patterns(patterns):
+    """The filler alphabet excludes pattern characters entirely."""
+    generator = CampusTrafficGenerator(TrafficConfig(seed=11))
+    filler = generator._filler
+    for pattern in patterns[:10]:
+        assert pattern not in filler
+
+
+def test_udp_flows_have_packets(small_trace):
+    udp_flows = [f for f in small_trace.flows if f.protocol == IPProtocol.UDP]
+    if udp_flows:  # mix is probabilistic
+        assert all(f.packet_count >= 1 for f in udp_flows)
+
+
+def test_plants_recorded_in_server_direction(planted_trace):
+    assert all(m.direction == SERVER_TO_CLIENT for m in planted_trace.planted_matches)

@@ -1,0 +1,80 @@
+"""Tests for the Trace container and rate replay."""
+
+import pytest
+
+from repro.netstack import make_tcp_packet
+from repro.traffic import FlowSpec, Trace
+from repro.traffic.trace import PlantedMatch
+
+
+def _packets(count=10, gap=0.01, size=1000):
+    return [
+        make_tcp_packet(1, 2, 3, 4, payload=b"x" * size, timestamp=i * gap)
+        for i in range(count)
+    ]
+
+
+def test_sorts_packets_by_time():
+    packets = _packets(5)[::-1]
+    trace = Trace(packets)
+    times = [p.timestamp for p in trace]
+    assert times == sorted(times)
+
+
+def test_totals():
+    trace = Trace(_packets(4, size=100))
+    assert len(trace) == 4
+    assert trace.total_wire_bytes == 4 * (54 + 100)
+
+
+def test_native_rate():
+    trace = Trace(_packets(11, gap=0.1, size=946))  # 1000B wire each
+    # 11 kB over 1.0 s = 88 kbit/s
+    assert abs(trace.native_rate_bps - 11 * 1000 * 8 / 1.0) < 1e-6
+
+
+def test_replay_rescales_uniformly():
+    trace = Trace(_packets(11, gap=0.1, size=946))
+    native = trace.native_rate_bps
+    replayed = list(trace.replay(native * 2))
+    assert replayed[0].timestamp == 0.0
+    assert abs(replayed[-1].timestamp - 0.5) < 1e-9
+    # Relative spacing preserved.
+    gaps = [b.timestamp - a.timestamp for a, b in zip(replayed, replayed[1:])]
+    assert max(gaps) - min(gaps) < 1e-9
+
+
+def test_replay_rejects_bad_rate():
+    trace = Trace(_packets(2))
+    with pytest.raises(ValueError):
+        list(trace.replay(0))
+
+
+def test_replayed_duration():
+    trace = Trace(_packets(10, size=946))
+    assert abs(trace.replayed_duration(1e6) - 10 * 1000 * 8 / 1e6) < 1e-9
+
+
+def test_merge_reindexes_flows():
+    flow_a = FlowSpec(0, _packets(1)[0].five_tuple, 6, 10, 20, 0.0,
+                      planted=[PlantedMatch(0, 1, 5, b"P")])
+    flow_b = FlowSpec(0, _packets(1)[0].five_tuple, 6, 1, 2, 0.0)
+    a = Trace(_packets(3), [flow_a], name="a")
+    b = Trace(_packets(3), [flow_b], name="b")
+    merged = a.merged_with(b)
+    assert len(merged.flows) == 2
+    assert merged.flows[1].index == 1
+    assert merged.planted_matches[0].flow_index == 0
+    assert "a+b" == merged.name
+
+
+def test_summary_mentions_name_and_counts():
+    trace = Trace(_packets(3), name="demo")
+    text = trace.summary()
+    assert "demo" in text and "3 packets" in text
+
+
+def test_empty_trace():
+    trace = Trace([])
+    assert trace.duration == 0.0
+    assert list(trace.replay(1e9)) == []

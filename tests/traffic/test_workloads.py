@@ -1,0 +1,73 @@
+"""Tests for the pre-packaged workloads."""
+
+import pytest
+
+from repro.netstack import TCPFlags
+from repro.traffic import ConcurrentStreamWorkload, syn_flood
+
+
+class TestConcurrentStreamWorkload:
+    def test_packet_count_and_bytes(self):
+        workload = ConcurrentStreamWorkload(20, data_packets=5)
+        packets = list(workload.replay(1e9))
+        assert len(packets) == workload.packet_count == 20 * (3 + 5 + 3)
+        assert sum(p.wire_len for p in packets) == workload.total_wire_bytes
+
+    def test_lockstep_concurrency(self):
+        """After the handshake round, every stream is established before
+        any stream ends: peak concurrency equals the stream count."""
+        workload = ConcurrentStreamWorkload(15, data_packets=4)
+        open_streams = set()
+        peak = 0
+        for packet in workload.replay(1e9):
+            key = packet.five_tuple.canonical()
+            if packet.tcp.syn and not packet.tcp.ack_flag:
+                open_streams.add(key)
+            if packet.tcp.fin:
+                open_streams.discard(key)
+            peak = max(peak, len(open_streams))
+        assert peak == 15
+
+    def test_streams_reassemble(self):
+        """Each stream carries exactly data_packets * mss server bytes."""
+        from repro.core import ScapSocket
+        from repro.apps import StreamDeliveryApp, attach_app
+
+        workload = ConcurrentStreamWorkload(10, data_packets=4, mss=500)
+        app = StreamDeliveryApp()
+        socket = ScapSocket(workload, rate_bps=1e9, memory_size=1 << 22)
+        attach_app(socket, app)
+        socket.start_capture()
+        assert app.delivered_bytes == 10 * 4 * 500
+        assert len(app.streams_with_data) == 10
+
+    def test_unique_five_tuples(self):
+        workload = ConcurrentStreamWorkload(50, data_packets=1)
+        keys = {f.five_tuple.canonical() for f in workload.flows}
+        assert len(keys) == 50
+
+    def test_timestamps_match_rate(self):
+        workload = ConcurrentStreamWorkload(5, data_packets=2)
+        rate = 2e9
+        packets = list(workload.replay(rate))
+        assert packets[0].timestamp == 0.0
+        expected_last = (workload.total_wire_bytes - packets[-1].wire_len) * 8 / rate
+        assert abs(packets[-1].timestamp - expected_last) < 1e-9
+
+    def test_rejects_bad_rate(self):
+        workload = ConcurrentStreamWorkload(2)
+        with pytest.raises(ValueError):
+            list(workload.replay(-1))
+
+
+class TestSynFlood:
+    def test_all_syns_distinct_sources(self):
+        trace = syn_flood(200, seed=1)
+        assert len(trace) == 200
+        assert all(p.tcp.flags == TCPFlags.SYN for p in trace)
+        sources = {(p.ip.src_ip, p.src_port) for p in trace}
+        assert len(sources) == 200
+
+    def test_targets_one_port(self):
+        trace = syn_flood(50, target_port=443)
+        assert all(p.dst_port == 443 for p in trace)
