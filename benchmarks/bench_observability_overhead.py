@@ -1,0 +1,83 @@
+"""Observability overhead: the disabled fast path must stay cheap.
+
+The metrics/tracing hooks sit on the per-packet hot path (softirq
+service, PPL checks, per-core counters), so their disabled cost is a
+capture-throughput tax on every run that does not ask for them.  This
+benchmark replays the same workload three ways — no Observability
+object (baseline), Observability(enabled=False), and
+Observability(enabled=True) — and reports wall-clock per replay.
+
+Acceptance gate: disabled overhead within 3% of baseline (asserted
+with headroom for timer noise on shared CI runners).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import StreamDeliveryApp, attach_app
+from repro.bench import get_scale
+from repro.core import ScapSocket
+from repro.observability import Observability
+from repro.traffic import campus_mix
+
+GBIT = 1e9
+ROUNDS = 3
+RATE = 4.0 * GBIT
+
+
+def _run_once(trace, memory_size: int, observability=None) -> float:
+    kwargs = {}
+    if observability is not None:
+        kwargs["observability"] = observability
+    socket = ScapSocket(
+        trace, rate_bps=RATE, memory_size=memory_size, **kwargs
+    )
+    attach_app(socket, StreamDeliveryApp())
+    start = time.perf_counter()
+    socket.start_capture(name="obs-overhead")
+    return time.perf_counter() - start
+
+
+def _best_of(trace, memory_size: int, make_obs) -> float:
+    """Best-of-ROUNDS wall-clock for one configuration."""
+    return min(
+        _run_once(trace, memory_size, make_obs()) for _ in range(ROUNDS)
+    )
+
+
+def test_observability_overhead(emit):
+    scale = get_scale()
+    trace = campus_mix(
+        flow_count=scale.flow_count,
+        max_flow_bytes=scale.max_flow_bytes,
+        seed=7,
+    )
+    memory_size = max(
+        1 << 19, int(trace.total_wire_bytes * scale.scap_memory_fraction)
+    )
+
+    baseline = _best_of(trace, memory_size, lambda: None)
+    disabled = _best_of(
+        trace, memory_size, lambda: Observability(enabled=False)
+    )
+    enabled = _best_of(
+        trace, memory_size, lambda: Observability(enabled=True)
+    )
+
+    rows = [
+        ("baseline (no observability)", baseline),
+        ("observability disabled", disabled),
+        ("observability enabled", enabled),
+    ]
+    lines = [f"{'configuration':<30} {'seconds':>9} {'vs baseline':>12}"]
+    for label, seconds in rows:
+        ratio = seconds / baseline if baseline > 0 else float("inf")
+        lines.append(f"{label:<30} {seconds:>9.4f} {ratio:>11.3f}x")
+    emit("\n".join(lines), name="observability_overhead")
+
+    # Disabled hooks are a single boolean check; allow generous timer
+    # noise but catch anything structurally expensive sneaking in.
+    assert disabled <= baseline * 1.10, (disabled, baseline)
+    # Enabled is allowed to cost more, but not pathologically so.
+    assert enabled <= baseline * 2.0, (enabled, baseline)

@@ -1,0 +1,104 @@
+"""CI benchmark smoke run: one reduced figure sweep, dumped as JSON.
+
+Runs the Figure 4 stream-delivery sweep at a deliberately tiny scale
+(a few dozen flows, three rates) so it finishes in seconds on a shared
+runner, then writes every RunResult plus an observability metrics
+snapshot from one instrumented run to a JSON file.  CI uploads the
+file as a build artifact, giving each commit a comparable record of
+throughput numbers and metric totals.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py --out smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict, replace
+
+from repro.apps import StreamDeliveryApp, attach_app
+from repro.bench import fig04_stream_delivery, get_scale
+from repro.core import ScapSocket
+from repro.observability import Observability, snapshot
+from repro.traffic import campus_mix
+
+GBIT = 1e9
+
+
+def _smoke_scale():
+    """The session scale, cut down to smoke-test size."""
+    return replace(
+        get_scale(),
+        name="smoke",
+        flow_count=120,
+        max_flow_bytes=400_000,
+        rates=(1.0, 3.0, 6.0),
+    )
+
+
+def _series_payload(series) -> dict:
+    return {
+        "figure": series.figure,
+        "x_label": series.x_label,
+        "results": [
+            {"system": system, "x": x, **asdict(result)}
+            for (system, x), result in series.results.items()
+        ],
+    }
+
+
+def _observability_payload(scale) -> dict:
+    """One instrumented capture run, reduced to a metrics snapshot."""
+    trace = campus_mix(
+        flow_count=scale.flow_count,
+        max_flow_bytes=scale.max_flow_bytes,
+        seed=11,
+    )
+    obs = Observability(enabled=True)
+    socket = ScapSocket(
+        trace,
+        rate_bps=4.0 * GBIT,
+        memory_size=max(1 << 19, trace.total_wire_bytes // 2),
+        observability=obs,
+    )
+    attach_app(socket, StreamDeliveryApp())
+    socket.start_capture(name="smoke-observed")
+    payload = snapshot(obs.registry)
+    payload["trace_events_emitted"] = obs.trace.emitted
+    return payload
+
+
+def main(argv=None) -> int:
+    """Run the smoke sweep and write the JSON artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="smoke.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    scale = _smoke_scale()
+    series = fig04_stream_delivery(scale)
+    payload = {
+        "scale": asdict(scale),
+        "fig04": _series_payload(series),
+        "observability": _observability_payload(scale),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    lossfree = [
+        entry["x"]
+        for entry in payload["fig04"]["results"]
+        if entry["system"] == "scap"
+        and entry["dropped_packets"] <= 0.005 * entry["offered_packets"]
+    ]
+    print(
+        f"smoke: {len(payload['fig04']['results'])} runs, "
+        f"scap loss-free up to {max(lossfree) if lossfree else 0} Gbit/s, "
+        f"wrote {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

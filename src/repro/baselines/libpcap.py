@@ -14,7 +14,6 @@ to user space before anyone can decide it was uninteresting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..filters.bpf import BPFFilter

@@ -44,7 +44,7 @@ from .memory import Chunk, ChunkAssembler, StreamMemory
 from .packet_delivery import PacketRecord, ScapPacketHeader, next_stream_packet
 from .ppl import PPLDecision, PrioritizedPacketLoss
 from .reassembly import DeliveredData, ReassemblyCounters, TCPDirectionReassembler
-from .runtime import ScapRuntime
+from .runtime import AggregateStats, ScapRuntime
 from .sharing import SharedApplication, SharedCaptureRuntime, merge_configs
 from .stream import StreamDescriptor, StreamStats
 from .workers import Callbacks, WorkerPool
@@ -103,6 +103,7 @@ __all__ = [
     "ReassemblyCounters",
     "TCPDirectionReassembler",
     "ScapRuntime",
+    "AggregateStats",
     "SharedApplication",
     "SharedCaptureRuntime",
     "merge_configs",

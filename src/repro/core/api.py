@@ -17,7 +17,7 @@ pass the name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..results import RunResult
@@ -63,7 +63,15 @@ def register_device(name: str, workload: Any, rate_bps: float) -> None:
 
 @dataclass
 class ScapStats:
-    """Overall statistics, as returned by scap_get_stats (Table 1)."""
+    """Overall statistics, as returned by scap_get_stats (Table 1).
+
+    The original seven fields mirror the paper; the extension fields
+    below them surface the observability layer (per-core breakdowns,
+    PPL per-priority drops, FDIR filter state — see
+    ``docs/OBSERVABILITY.md``).  Per-core dicts are filled only when
+    the run had an enabled :class:`~repro.observability.Observability`
+    attached; the aggregate fields are always populated.
+    """
 
     pkts_received: int = 0
     pkts_dropped: int = 0
@@ -72,6 +80,14 @@ class ScapStats:
     bytes_delivered: int = 0
     streams_seen: int = 0
     events_processed: int = 0
+    # --- observability extensions -------------------------------------
+    per_core_packets: Dict[int, int] = field(default_factory=dict)
+    per_core_bytes: Dict[int, int] = field(default_factory=dict)
+    per_core_drops: Dict[int, int] = field(default_factory=dict)
+    ppl_drops_by_priority: Dict[int, int] = field(default_factory=dict)
+    fdir_filters_installed: int = 0
+    fdir_filters_evicted: int = 0
+    fdir_filters_active: int = 0
 
 
 class ScapSocket:
@@ -296,23 +312,57 @@ class ScapSocket:
 
     # ------------------------------------------------------------------
     def get_stats(self) -> ScapStats:
-        """scap_get_stats: overall statistics for all streams so far."""
+        """scap_get_stats: overall statistics for all streams so far.
+
+        Totals come from the runtime's single aggregation path
+        (:meth:`~repro.core.runtime.ScapRuntime.aggregate`), so they
+        always agree with the :class:`~repro.results.RunResult` of the
+        same run; the extension fields surface the observability layer
+        (``docs/OBSERVABILITY.md``).
+        """
         if self._runtime is None:
             return ScapStats()
+        agg = self._runtime.aggregate()
         counters = self._runtime.kernel.counters
+        fdir = self._runtime.nic.fdir
         return ScapStats(
-            pkts_received=counters.packets_seen,
-            pkts_dropped=self._runtime.ring_drops
-            + counters.dropped_ppl
-            + counters.dropped_memory,
-            pkts_discarded=self._runtime.nic.stats.dropped_at_nic
-            + counters.discarded_cutoff_packets
-            + counters.filtered_out,
-            bytes_received=counters.bytes_seen,
-            bytes_delivered=self._runtime.workers.bytes_delivered,
-            streams_seen=self._runtime.kernel.flows.created_total,
-            events_processed=self._runtime.workers.events_processed,
+            pkts_received=agg.pkts_received,
+            pkts_dropped=agg.pkts_dropped,
+            pkts_discarded=agg.pkts_discarded,
+            bytes_received=agg.bytes_received,
+            bytes_delivered=agg.bytes_delivered,
+            streams_seen=agg.streams_seen,
+            events_processed=agg.events_processed,
+            per_core_packets=dict(agg.per_core_packets),
+            per_core_bytes=dict(agg.per_core_bytes),
+            per_core_drops=dict(agg.per_core_drops),
+            ppl_drops_by_priority=dict(counters.ppl_drops_by_priority),
+            fdir_filters_installed=fdir.installed_total,
+            fdir_filters_evicted=fdir.evicted_total,
+            fdir_filters_active=len(fdir),
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def observability(self):
+        """The run's :class:`~repro.observability.Observability` context."""
+        return self.runtime.obs
+
+    def export_metrics(self, fmt: str = "prometheus", indent: Optional[int] = None) -> str:
+        """Serialize the run's metrics registry.
+
+        ``fmt`` is ``"prometheus"`` (text exposition format) or
+        ``"json"`` (snapshot with the run's simulated end time).
+        """
+        obs = self.runtime.obs
+        if fmt == "prometheus":
+            return obs.export_prometheus()
+        if fmt == "json":
+            now = self.last_result.duration if self.last_result is not None else None
+            return obs.export_json(now=now, indent=indent)
+        raise ValueError(f"unknown metrics format: {fmt!r}")
 
     def close(self) -> None:
         """scap_close: release the socket."""

@@ -17,7 +17,7 @@ only, discard all data".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..filters.bpf import BPFFilter
 from .constants import SCAP_UNLIMITED_CUTOFF

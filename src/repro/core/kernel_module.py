@@ -30,6 +30,16 @@ from ..netstack.packet import Packet
 from ..netstack.tcp import TCPFlags, seq_diff
 from ..nic.fdir import FDIR_DROP, FLEX_OFFSET_TCP_FLAGS, FdirFilter
 from ..nic.nic import SimulatedNIC
+from ..observability import (
+    HOOK_CUTOFF_REACHED,
+    HOOK_FDIR_INSTALL,
+    HOOK_FDIR_TIMEOUT,
+    HOOK_PPL_DROP,
+    HOOK_STREAM_CREATED,
+    HOOK_STREAM_TERMINATED,
+    NULL_OBSERVABILITY,
+    Observability,
+)
 from .config import ScapConfig
 from .constants import SCAP_TCP_STRICT, StreamError, StreamStatus
 from .events import DataReason, Event, EventType
@@ -66,6 +76,24 @@ class KernelCounters:
     packets_by_priority: Dict[int, int] = field(default_factory=dict)
     ppl_drops_by_priority: Dict[int, int] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------
+    # The single aggregation path.  Every consumer (RunResult reduction,
+    # scap_get_stats, exporters) derives its drop/discard totals from
+    # these two methods instead of re-summing fields ad hoc, so the
+    # breakdown cannot diverge between callers or cores.
+    def unintentional_drops(self) -> int:
+        """Packets lost to overload inside the kernel (PPL + pool full)."""
+        return self.dropped_ppl + self.dropped_memory
+
+    def early_discards(self) -> int:
+        """Packets discarded on purpose inside the kernel (filter,
+        cutoff, strict-mode normalization)."""
+        return (
+            self.filtered_out
+            + self.discarded_cutoff_packets
+            + self.discarded_non_established
+        )
+
 
 class ScapKernelModule:
     """Functional + cost model of the kernel half of Scap.
@@ -84,6 +112,7 @@ class ScapKernelModule:
         locality: Optional[LocalityProfile] = None,
         emit_event: Optional[Callable[[int, Event], None]] = None,
         max_streams: Optional[int] = None,
+        observability: Optional[Observability] = None,
     ):
         config.validate()
         self.config = config
@@ -91,19 +120,58 @@ class ScapKernelModule:
         self.cost = cost_model
         self.locality = locality or LocalityProfile()
         self.emit_event = emit_event or (lambda core, event: None)
+        self.obs = observability or NULL_OBSERVABILITY
         self.flows = FlowTable(max_streams=max_streams)
-        self.memory = StreamMemory(config.memory_size)
+        self.memory = StreamMemory(config.memory_size, observability=self.obs)
         self.ppl = PrioritizedPacketLoss(
             base_threshold=config.base_threshold,
             overload_cutoff=config.overload_cutoff,
+            observability=self.obs,
         )
         self.counters = KernelCounters()
+        registry = self.obs.registry
+        self._m_core_packets = registry.counter(
+            "scap_core_packets_total", "packets handled by each core's softirq",
+            labels=("core",),
+        )
+        self._m_core_bytes = registry.counter(
+            "scap_core_bytes_total", "wire bytes handled by each core's softirq",
+            labels=("core",),
+        )
+        self._m_core_drops = registry.counter(
+            "scap_core_drops_total",
+            "packets dropped per core, by reason (ppl | memory)",
+            labels=("core", "reason"),
+        )
+        self._m_fdir_doublings = registry.counter(
+            "scap_fdir_timeout_doublings_total",
+            "FDIR filter re-installs with a doubled timeout interval",
+        )
+        # Pre-resolved per-core children: one dict hit on first use,
+        # then the enabled path is a bare Counter.inc.
+        self._core_metrics: Dict[int, Tuple] = {}
         self._fragments = IPFragmentReassembler()
         self._filter_timeouts: List[Tuple[float, int, FdirFilter, StreamPair]] = []
         self._filter_seq = 0
         self._last_sweep = 0.0
         # Charged cycles for the packet currently being processed.
         self._cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # Per-core metric handles
+    # ------------------------------------------------------------------
+    def _core(self, core: int) -> Tuple:
+        """(packets, bytes, ppl_drops, memory_drops) counters for ``core``."""
+        handles = self._core_metrics.get(core)
+        if handles is None:
+            handles = (
+                self._m_core_packets.labels(core),
+                self._m_core_bytes.labels(core),
+                self._m_core_drops.labels(core, "ppl"),
+                self._m_core_drops.labels(core, "memory"),
+            )
+            self._core_metrics[core] = handles
+        return handles
 
     # ------------------------------------------------------------------
     # Entry point
@@ -114,6 +182,10 @@ class ScapKernelModule:
         self._cycles = self.cost.softirq_per_packet
         self.counters.packets_seen += 1
         self.counters.bytes_seen += packet.wire_len
+        if self.obs.enabled:
+            packets, nbytes, _, _ = self._core(core)
+            packets.inc()
+            nbytes.inc(packet.wire_len)
         self._sweep(now, core)
 
         if not self.config.bpf.matches(packet):
@@ -154,6 +226,11 @@ class ScapKernelModule:
             pair.core = core
             self._cycles += self.cost.stream_update
             self._emit(core, Event(EventType.STREAM_CREATED, pair.client, now))
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    now, HOOK_STREAM_CREATED, core=core,
+                    five_tuple=str(pair.client.five_tuple),
+                )
         direction = pair.direction_of(five_tuple)
         stream = pair.descriptor(direction)
         self._cycles += self.cost.stream_update
@@ -199,7 +276,9 @@ class ScapKernelModule:
         if reassembler is None:
             mode = stream.reassembly_mode or self.config.reassembly_mode
             policy = stream.reassembly_policy or self.config.reassembly_policy
-            reassembler = TCPDirectionReassembler(mode=mode, policy=policy)
+            reassembler = TCPDirectionReassembler(
+                mode=mode, policy=policy, observability=self.obs
+            )
             pair.reassemblers[direction] = reassembler
         return reassembler
 
@@ -300,6 +379,12 @@ class ScapKernelModule:
             )
             stream.stats.dropped_pkts += 1
             stream.stats.dropped_bytes += len(packet.payload)
+            if self.obs.enabled:
+                self._core(core)[2].inc()
+                self.obs.trace.emit(
+                    now, HOOK_PPL_DROP, core=core, priority=stream.priority,
+                    reason=decision.reason, bytes=len(packet.payload),
+                )
             return
 
         self._cycles += self.cost.reassembly_per_segment
@@ -311,7 +396,7 @@ class ScapKernelModule:
             else 0
         )
         buffered_before = reassembler.buffered_bytes
-        delivered = reassembler.on_segment(packet.tcp.seq, packet.payload)
+        delivered = reassembler.on_segment(packet.tcp.seq, packet.payload, now=now)
         stored_any = False
         for piece in delivered:
             stored = self._store_piece(pair, stream, direction, piece.data, now, core,
@@ -384,6 +469,12 @@ class ScapKernelModule:
             )
             stream.stats.dropped_pkts += 1
             stream.stats.dropped_bytes += len(payload)
+            if self.obs.enabled:
+                self._core(core)[2].inc()
+                self.obs.trace.emit(
+                    now, HOOK_PPL_DROP, core=core, priority=stream.priority,
+                    reason=decision.reason, bytes=len(payload),
+                )
             return
         record_offset = assembler.stream_offset
         stored = self._store_piece(pair, stream, direction, payload, now, core)
@@ -435,6 +526,8 @@ class ScapKernelModule:
                 )
                 stream.stats.dropped_pkts += 1
                 stream.stats.dropped_bytes += len(data)
+                if self.obs.enabled:
+                    self._core(core)[3].inc()
                 return False
             if follows_hole:
                 stream.set_error(StreamError.REASSEMBLY_HOLE)
@@ -459,6 +552,12 @@ class ScapKernelModule:
         """The stream hit its cutoff: final chunk, FDIR filters (§5.4/5.5)."""
         stream.cutoff_exceeded = True
         stream.status = StreamStatus.CUTOFF
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                now, HOOK_CUTOFF_REACHED, core=core,
+                five_tuple=str(stream.five_tuple),
+                captured_bytes=stream.stats.captured_bytes,
+            )
         assembler = pair.assemblers.get(direction)
         final = assembler.flush(now) if assembler is not None else None
         if final is not None:
@@ -505,7 +604,7 @@ class ScapKernelModule:
         for direction, stream in enumerate(pair.both):
             reassembler = pair.reassemblers.get(direction)
             if reassembler is not None:
-                for piece in reassembler.flush():
+                for piece in reassembler.flush(now=now):
                     self._store_piece(
                         pair, stream, direction, piece.data, now, core,
                         follows_hole=piece.follows_hole,
@@ -522,6 +621,11 @@ class ScapKernelModule:
             self._remove_filters(pair, now)
         self._emit(core, Event(EventType.STREAM_TERMINATED, pair.client, now))
         self._emit(core, Event(EventType.STREAM_TERMINATED, pair.server, now))
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                now, HOOK_STREAM_TERMINATED, core=core, status=status,
+                five_tuple=str(pair.client.five_tuple),
+            )
 
     def expire_and_drain(self, now: float) -> None:
         """End of capture: time out everything still in the table."""
@@ -543,6 +647,12 @@ class ScapKernelModule:
                 self.counters.fdir_removals += 1
                 self._cycles += self.cost.fdir_filter_update
                 pair.nic_filters_installed = False
+                if self.obs.enabled:
+                    self.obs.trace.emit(
+                        now, HOOK_FDIR_TIMEOUT,
+                        five_tuple=str(nic_filter.five_tuple),
+                        timeout_interval=nic_filter.timeout_interval,
+                    )
 
     # ------------------------------------------------------------------
     # FDIR filter management (§5.5)
@@ -560,7 +670,14 @@ class ScapKernelModule:
             # Re-install after a timeout removal: double the interval so
             # long-lived flows are evicted only O(log) times.
             pair.filter_timeout_interval *= 2
+            self._m_fdir_doublings.inc()
         timeout_at = now + pair.filter_timeout_interval
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                now, HOOK_FDIR_INSTALL,
+                five_tuple=str(stream.five_tuple),
+                timeout_interval=pair.filter_timeout_interval,
+            )
         for flags in (TCPFlags.ACK, TCPFlags.ACK | TCPFlags.PSH):
             nic_filter = FdirFilter(
                 five_tuple=stream.five_tuple,
@@ -570,7 +687,7 @@ class ScapKernelModule:
                 timeout_at=timeout_at,
                 timeout_interval=pair.filter_timeout_interval,
             )
-            self.nic.fdir.add(nic_filter)
+            self.nic.fdir.add(nic_filter, now=now)
             self._filter_seq += 1
             heapq.heappush(
                 self._filter_timeouts, (timeout_at, self._filter_seq, nic_filter, pair)

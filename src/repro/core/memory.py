@@ -23,6 +23,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..kernelsim.server import MemoryPool
+from ..observability import (
+    DEFAULT_FRACTION_BUCKETS,
+    HOOK_MEMORY_EXHAUSTED,
+    NULL_OBSERVABILITY,
+    Observability,
+)
 
 __all__ = ["Chunk", "ChunkAssembler", "StreamMemory"]
 
@@ -84,10 +90,24 @@ class StreamMemory:
     churn.
     """
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(self, capacity_bytes: int, observability: Optional[Observability] = None):
         self.pool = MemoryPool(capacity_bytes, name="scap-stream-memory")
         self._next_address = 0
         self.allocation_failures = 0
+        self._obs = observability or NULL_OBSERVABILITY
+        registry = self._obs.registry
+        self._m_occupancy = registry.histogram(
+            "scap_memory_pool_occupancy",
+            "stream-memory pool occupancy fraction, sampled per store",
+            bounds=DEFAULT_FRACTION_BUCKETS,
+        )
+        self._m_failures = registry.counter(
+            "scap_memory_allocation_failures_total",
+            "stores rejected because the pool was exhausted",
+        )
+        self._m_stored = registry.counter(
+            "scap_memory_stored_bytes_total", "bytes accepted into the pool"
+        )
 
     def allocate_block(self, size: int) -> int:
         """Reserve an address range for a chunk block; return its base."""
@@ -98,8 +118,15 @@ class StreamMemory:
     def try_store(self, now: float, nbytes: int) -> bool:
         """Account ``nbytes`` of stream data; False if memory is exhausted."""
         if self.pool.try_allocate(now, nbytes):
+            if self._obs.enabled:
+                self._m_stored.inc(nbytes)
+                self._m_occupancy.observe(self.pool.used / self.pool.capacity)
             return True
         self.allocation_failures += 1
+        if self._obs.enabled:
+            self._m_failures.inc()
+            self._m_occupancy.observe(self.pool.used / self.pool.capacity)
+            self._obs.trace.emit(now, HOOK_MEMORY_EXHAUSTED, bytes=nbytes)
         return False
 
     def fraction_used(self, now: float) -> float:

@@ -20,6 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..observability import (
+    DEFAULT_FRACTION_BUCKETS,
+    NULL_OBSERVABILITY,
+    Observability,
+)
+
 __all__ = ["PrioritizedPacketLoss", "PPLDecision"]
 
 
@@ -44,6 +50,7 @@ class PrioritizedPacketLoss:
         base_threshold: float = 0.5,
         overload_cutoff: Optional[int] = None,
         priority_levels: int = 1,
+        observability: Optional[Observability] = None,
     ):
         if not 0.0 <= base_threshold < 1.0:
             raise ValueError("base_threshold must be in [0, 1)")
@@ -54,6 +61,25 @@ class PrioritizedPacketLoss:
         self.priority_levels = priority_levels
         self.dropped_by_priority: Dict[int, int] = {}
         self.checked = 0
+        self._obs = observability or NULL_OBSERVABILITY
+        registry = self._obs.registry
+        self._m_checks = registry.counter(
+            "scap_ppl_checks_total", "PPL admission decisions evaluated"
+        )
+        self._m_drops = registry.counter(
+            "scap_ppl_drops_total",
+            "packets dropped by PPL, by priority and reason",
+            labels=("priority", "reason"),
+        )
+        self._m_fraction = registry.histogram(
+            "scap_ppl_memory_fraction",
+            "stream-memory occupancy observed at each PPL check",
+            bounds=DEFAULT_FRACTION_BUCKETS,
+        )
+        self._m_band = registry.gauge(
+            "scap_ppl_band",
+            "watermark band of the last check (0 = below base threshold)",
+        )
 
     def ensure_level(self, priority: int) -> None:
         """Grow the number of levels to cover ``priority``."""
@@ -66,27 +92,46 @@ class PrioritizedPacketLoss:
         band = (1.0 - self.base_threshold) / self.priority_levels
         return self.base_threshold + (priority + 1) * band
 
+    def band_index(self, fraction_used: float) -> int:
+        """Which watermark band ``fraction_used`` falls in.
+
+        0 means below the base threshold (nothing drops); ``k`` means
+        the occupancy has crossed ``k`` of the equally spaced
+        watermarks, so priorities ``0 .. k-1`` are dropping outright.
+        """
+        if fraction_used <= self.base_threshold:
+            return 0
+        band = (1.0 - self.base_threshold) / self.priority_levels
+        crossed = int((fraction_used - self.base_threshold) / band)
+        return min(crossed + 1, self.priority_levels)
+
     def check(
         self, fraction_used: float, priority: int, stream_offset: int
     ) -> PPLDecision:
         """Decide whether to drop a packet of ``priority`` whose payload
         would land at byte ``stream_offset`` of its stream."""
         self.checked += 1
+        if self._obs.enabled:
+            self._m_checks.inc()
+            self._m_fraction.observe(fraction_used)
+            self._m_band.set(self.band_index(fraction_used))
         if fraction_used <= self.base_threshold:
             return PPLDecision(drop=False)
         mark = self.watermark(priority)
         band = (1.0 - self.base_threshold) / self.priority_levels
         if fraction_used > mark:
-            self._count(priority)
+            self._count(priority, "watermark")
             return PPLDecision(drop=True, reason="watermark")
         if (
             self.overload_cutoff is not None
             and fraction_used > mark - band
             and stream_offset >= self.overload_cutoff
         ):
-            self._count(priority)
+            self._count(priority, "overload_cutoff")
             return PPLDecision(drop=True, reason="overload_cutoff")
         return PPLDecision(drop=False)
 
-    def _count(self, priority: int) -> None:
+    def _count(self, priority: int, reason: str) -> None:
         self.dropped_by_priority[priority] = self.dropped_by_priority.get(priority, 0) + 1
+        if self._obs.enabled:
+            self._m_drops.labels(priority, reason).inc()

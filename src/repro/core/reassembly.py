@@ -27,6 +27,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..netstack.tcp import seq_add, seq_diff
+from ..observability import (
+    HOOK_HOLE_SKIPPED,
+    HOOK_OVERLAP_RESOLVED,
+    NULL_OBSERVABILITY,
+    Observability,
+)
 from .constants import SCAP_TCP_FAST, SCAP_TCP_STRICT, ReassemblyPolicy
 
 __all__ = ["DeliveredData", "TCPDirectionReassembler", "ReassemblyCounters"]
@@ -76,6 +82,7 @@ class TCPDirectionReassembler:
         policy: str = ReassemblyPolicy.LINUX,
         fast_hole_bytes: int = 65536,
         fast_hole_segments: int = 64,
+        observability: Optional[Observability] = None,
     ):
         if mode not in (SCAP_TCP_STRICT, SCAP_TCP_FAST):
             raise ValueError(f"unknown reassembly mode: {mode}")
@@ -89,6 +96,23 @@ class TCPDirectionReassembler:
         self._buffered_bytes = 0
         self.counters = ReassemblyCounters()
         self.mid_stream = False
+        self._obs = observability or NULL_OBSERVABILITY
+        registry = self._obs.registry
+        self._m_overlaps = registry.counter(
+            "scap_reassembly_overlap_decisions_total",
+            "overlapping-retransmission resolutions, by which copy won",
+            labels=("winner",),
+        )
+        self._m_holes = registry.counter(
+            "scap_reassembly_holes_skipped_total",
+            "holes skipped by FAST-mode delivery",
+        )
+        self._m_ooo_depth = registry.histogram(
+            "scap_reassembly_ooo_depth",
+            "out-of-order buffer depth (intervals) after each insert",
+            bounds=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
+        self._now = 0.0  # simulated time injected per on_segment/flush call
 
     # ------------------------------------------------------------------
     def set_isn(self, isn: int) -> None:
@@ -115,10 +139,15 @@ class TCPDirectionReassembler:
         return self._buffered_bytes
 
     # ------------------------------------------------------------------
-    def on_segment(self, seq: int, payload: bytes) -> List[DeliveredData]:
-        """Feed one data segment; return any bytes released in order."""
+    def on_segment(self, seq: int, payload: bytes, now: float = 0.0) -> List[DeliveredData]:
+        """Feed one data segment; return any bytes released in order.
+
+        ``now`` is the simulated arrival time, used only to timestamp
+        trace events when observability is enabled.
+        """
         if not payload:
             return []
+        self._now = now
         self.counters.segments += 1
         if self._expected_seq is None:
             # Mid-stream pickup (no SYN observed): anchor here.
@@ -150,13 +179,16 @@ class TCPDirectionReassembler:
                 delivered.extend(self._skip_hole())
         return delivered
 
-    def flush(self, skip_holes: Optional[bool] = None) -> List[DeliveredData]:
+    def flush(
+        self, skip_holes: Optional[bool] = None, now: float = 0.0
+    ) -> List[DeliveredData]:
         """Release remaining data at stream end.
 
         FAST mode (or ``skip_holes=True``) drains everything, flagging
         post-hole data; STRICT drops non-contiguous remainders and
         counts them in ``stalled_bytes_dropped``.
         """
+        self._now = now
         if skip_holes is None:
             skip_holes = self.mode == SCAP_TCP_FAST
         delivered: List[DeliveredData] = []
@@ -203,6 +235,14 @@ class TCPDirectionReassembler:
         first = self._intervals[0]
         assert first.start > self._expected_offset
         self.counters.holes_skipped += 1
+        if self._obs.enabled:
+            self._m_holes.inc()
+            self._obs.trace.emit(
+                self._now,
+                HOOK_HOLE_SKIPPED,
+                hole_bytes=first.start - self._expected_offset,
+                resume_offset=first.start,
+            )
         self._expected_seq = seq_add(
             self._expected_seq, first.start - self._expected_offset
         )
@@ -230,9 +270,22 @@ class TCPDirectionReassembler:
             new_slice = new.data[overlap_start - new.start : overlap_end - new.start]
             if exist_slice != new_slice:
                 self.counters.conflicting_bytes += overlap_end - overlap_start
-            if not ReassemblyPolicy.new_segment_wins(
+            new_wins = ReassemblyPolicy.new_segment_wins(
                 self.policy, existing.start, new.start
-            ):
+            )
+            if self._obs.enabled:
+                winner = "new" if new_wins else "existing"
+                self._m_overlaps.labels(winner).inc()
+                self._obs.trace.emit(
+                    self._now,
+                    HOOK_OVERLAP_RESOLVED,
+                    winner=winner,
+                    policy=self.policy,
+                    start=overlap_start,
+                    length=overlap_end - overlap_start,
+                    conflicting=exist_slice != new_slice,
+                )
+            if not new_wins:
                 # Existing bytes win: copy them into the new interval.
                 new.data[overlap_start - new.start : overlap_end - new.start] = exist_slice
             self.counters.duplicate_bytes += overlap_end - overlap_start
@@ -257,3 +310,5 @@ class TCPDirectionReassembler:
                 coalesced.append(interval)
         self._intervals = coalesced
         self._buffered_bytes = sum(len(interval.data) for interval in self._intervals)
+        if self._obs.enabled:
+            self._m_ooo_depth.observe(len(self._intervals))

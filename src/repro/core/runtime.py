@@ -17,7 +17,8 @@ reduces everything to a :class:`~repro.bench.results.RunResult`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..results import RunResult
 from ..kernelsim.cache import LocalityProfile
@@ -27,13 +28,40 @@ from ..netstack.packet import Packet
 from ..nic.fdir import FdirFilter
 from ..nic.nic import SimulatedNIC
 from ..nic.rss import SYMMETRIC_RSS_KEY
+from ..observability import NULL_OBSERVABILITY, Observability
 from .config import ScapConfig
 from .events import Event, EventType
 from .kernel_module import ScapKernelModule
 from .loadbalance import LoadBalancer
 from .workers import Callbacks, WorkerPool
 
-__all__ = ["ScapRuntime"]
+__all__ = ["ScapRuntime", "AggregateStats"]
+
+
+@dataclass
+class AggregateStats:
+    """One run's totals, reduced along the single aggregation path.
+
+    Both :meth:`ScapRuntime.result` and ``scap_get_stats`` read these
+    numbers from :meth:`ScapRuntime.aggregate` — callers never re-sum
+    :class:`~repro.core.kernel_module.KernelCounters` fields themselves,
+    so the drop/discard breakdown is identical everywhere it appears.
+    """
+
+    pkts_received: int = 0
+    pkts_dropped: int = 0
+    pkts_discarded: int = 0
+    bytes_received: int = 0
+    bytes_delivered: int = 0
+    streams_seen: int = 0
+    events_processed: int = 0
+    ring_drops: int = 0
+    nic_filter_drops: int = 0
+    #: Per-core breakdowns from the metrics registry (empty unless
+    #: observability was enabled for the run).
+    per_core_packets: Dict[int, int] = field(default_factory=dict)
+    per_core_bytes: Dict[int, int] = field(default_factory=dict)
+    per_core_drops: Dict[int, int] = field(default_factory=dict)
 
 
 class ScapRuntime:
@@ -49,14 +77,17 @@ class ScapRuntime:
         fdir_capacity: int = 8192,
         max_streams: Optional[int] = None,
         enable_load_balancing: bool = False,
+        observability: Optional[Observability] = None,
     ):
         self.config = config or ScapConfig()
         self.config.validate()
         self.cost = cost_model or DEFAULT_COST_MODEL
         self.locality = locality or LocalityProfile()
+        self.obs = observability or NULL_OBSERVABILITY
         self.host = Host(core_count, self.cost)
         self.nic = SimulatedNIC(
-            queue_count=core_count, rss_key=rss_key, fdir_capacity=fdir_capacity
+            queue_count=core_count, rss_key=rss_key, fdir_capacity=fdir_capacity,
+            observability=self.obs,
         )
         self.callbacks = Callbacks()
         self.kernel = ScapKernelModule(
@@ -66,6 +97,7 @@ class ScapRuntime:
             locality=self.locality,
             emit_event=self._collect_event,
             max_streams=max_streams,
+            observability=self.obs,
         )
         self.workers = WorkerPool(
             worker_count=self.config.worker_threads,
@@ -74,6 +106,23 @@ class ScapRuntime:
             event_queue_capacity=self.config.event_queue_capacity,
             memory=self.kernel.memory,
             callbacks=self.callbacks,
+            observability=self.obs,
+        )
+        registry = self.obs.registry
+        self._m_softirq_service = registry.histogram(
+            "scap_softirq_service_seconds",
+            "softirq service time per packet, in simulated seconds",
+        )
+        self._m_softirq_depth_family = registry.gauge(
+            "scap_softirq_queue_depth",
+            "RX-ring occupancy per core at packet arrival",
+            labels=("core",),
+        )
+        self._m_softirq_depth = [
+            self._m_softirq_depth_family.labels(core) for core in range(core_count)
+        ]
+        self._m_ring_drops = registry.counter(
+            "scap_ring_drops_total", "packets rejected by a full RX ring"
         )
         self.balancer = (
             LoadBalancer(core_count) if enable_load_balancing else None
@@ -125,10 +174,15 @@ class ScapRuntime:
         if not server.would_accept(now, 1):
             server.reject()
             self.ring_drops += 1
+            self._m_ring_drops.inc()
             return
         self._pending_events.clear()
         cycles = self.kernel.handle_packet(packet, queue)
-        kernel_finish = server.push(now, 1, self.cost.seconds(cycles))
+        service = self.cost.seconds(cycles)
+        if self.obs.enabled:
+            self._m_softirq_service.observe(service)
+            self._m_softirq_depth[queue].set(server.occupancy(now))
+        kernel_finish = server.push(now, 1, service)
         for core, event in self._pending_events:
             self.workers.dispatch(core, event, kernel_finish)
         self._pending_events.clear()
@@ -151,30 +205,59 @@ class ScapRuntime:
         self.finalize(last_time + self.config.inactivity_timeout + 1.0)
         return self.result(rate_bps, name=name)
 
+    def aggregate(self) -> AggregateStats:
+        """Reduce all counters to totals — the single aggregation path.
+
+        ``pkts_dropped``/``pkts_discarded`` are derived from
+        :meth:`KernelCounters.unintentional_drops` /
+        :meth:`KernelCounters.early_discards` plus the runtime-level
+        contributions (RX-ring rejections, NIC hardware drops); every
+        consumer of totals goes through here.
+        """
+        counters = self.kernel.counters
+        agg = AggregateStats(
+            pkts_received=counters.packets_seen,
+            pkts_dropped=self.ring_drops + counters.unintentional_drops(),
+            pkts_discarded=self.nic.stats.dropped_at_nic + counters.early_discards(),
+            bytes_received=counters.bytes_seen,
+            bytes_delivered=self.workers.bytes_delivered,
+            streams_seen=self.kernel.flows.created_total,
+            events_processed=self.workers.events_processed,
+            ring_drops=self.ring_drops,
+            nic_filter_drops=self.nic.stats.dropped_at_nic,
+        )
+        packets_family = self.obs.registry.get("scap_core_packets_total")
+        bytes_family = self.obs.registry.get("scap_core_bytes_total")
+        drops_family = self.obs.registry.get("scap_core_drops_total")
+        if self.obs.enabled and packets_family is not None:
+            for (core,), child in packets_family.samples():
+                agg.per_core_packets[int(core)] = int(child.value)
+            for (core,), child in bytes_family.samples():
+                agg.per_core_bytes[int(core)] = int(child.value)
+            for (core, _reason), child in drops_family.samples():
+                agg.per_core_drops[int(core)] = (
+                    agg.per_core_drops.get(int(core), 0) + int(child.value)
+                )
+        return agg
+
     def result(self, rate_bps: float, name: str = "scap") -> RunResult:
         """Reduce all counters to a RunResult for this run."""
         duration = (
             self.bytes_offered * 8 / rate_bps if rate_bps > 0 else 0.0
         )
         counters = self.kernel.counters
-        dropped = self.ring_drops + counters.dropped_ppl + counters.dropped_memory
-        discarded = (
-            self.nic.stats.dropped_at_nic
-            + counters.discarded_cutoff_packets
-            + counters.filtered_out
-            + counters.discarded_non_established
-        )
+        agg = self.aggregate()
         result = RunResult(
             system=name,
             rate_bps=rate_bps,
             duration=duration,
             offered_packets=self.packets_offered,
             offered_bytes=self.bytes_offered,
-            dropped_packets=dropped,
-            discarded_packets=discarded,
-            nic_filter_drops=self.nic.stats.dropped_at_nic,
-            delivered_bytes=self.workers.bytes_delivered,
-            delivered_events=self.workers.events_processed,
+            dropped_packets=agg.pkts_dropped,
+            discarded_packets=agg.pkts_discarded,
+            nic_filter_drops=agg.nic_filter_drops,
+            delivered_bytes=agg.bytes_delivered,
+            delivered_events=agg.events_processed,
             user_utilization=self.workers.utilization(duration),
             softirq_load=self.host.softirq_load(duration),
             streams_created=self.kernel.flows.created_total,

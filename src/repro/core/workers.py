@@ -17,6 +17,11 @@ from typing import Callable, List, Optional
 from ..kernelsim.cache import LocalityProfile
 from ..kernelsim.costmodel import CostModel
 from ..kernelsim.server import QueueServer
+from ..observability import (
+    HOOK_EVENT_DROPPED,
+    NULL_OBSERVABILITY,
+    Observability,
+)
 from .events import Event, EventType
 from .memory import StreamMemory
 
@@ -54,6 +59,7 @@ class WorkerPool:
         event_queue_capacity: int,
         memory: StreamMemory,
         callbacks: Callbacks,
+        observability: Optional[Observability] = None,
     ):
         if worker_count < 1:
             raise ValueError("need at least one worker thread")
@@ -68,6 +74,24 @@ class WorkerPool:
         self.events_processed = 0
         self.events_dropped = 0
         self.bytes_delivered = 0
+        self.obs = observability or NULL_OBSERVABILITY
+        registry = self.obs.registry
+        self._m_service = registry.histogram(
+            "scap_worker_service_seconds",
+            "per-event worker service time (stub dispatch + callback)",
+        )
+        self._m_depth_family = registry.gauge(
+            "scap_worker_queue_depth",
+            "event-queue occupancy per worker at dispatch time",
+            labels=("worker",),
+        )
+        self._m_depth = [
+            self._m_depth_family.labels(index) for index in range(worker_count)
+        ]
+        self._m_dropped = registry.counter(
+            "scap_worker_events_dropped_total",
+            "events rejected because a worker queue was full",
+        )
         #: Set while a data callback runs, so API calls made from inside
         #: the callback (keep_stream_chunk, discard_stream) can find it.
         self.current_event: Optional[Event] = None
@@ -101,10 +125,17 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def dispatch(self, core: int, event: Event, ready_time: float) -> None:
         """Queue ``event`` (made ready by the kernel at ``ready_time``)."""
-        server = self.servers[self.worker_for_event(core, event)]
+        worker = self.worker_for_event(core, event)
+        server = self.servers[worker]
         if not server.would_accept(ready_time, 1):
             server.reject()
             self.events_dropped += 1
+            if self.obs.enabled:
+                self._m_dropped.inc()
+                self.obs.trace.emit(
+                    ready_time, HOOK_EVENT_DROPPED, worker=worker,
+                    event_type=event.event_type,
+                )
             if event.chunk is not None:
                 # The data will never be consumed; reclaim immediately.
                 self.memory.release_now(ready_time, event.chunk.accounted_bytes)
@@ -112,6 +143,9 @@ class WorkerPool:
         cycles = self._service_cycles(event)
         service = self.cost.seconds(cycles)
         finish = server.push(ready_time, 1, service)
+        if self.obs.enabled:
+            self._m_service.observe(service)
+            self._m_depth[worker].set(server.occupancy(ready_time))
         self._run_callback(event, service)
         if event.chunk is not None and not event.chunk.keep:
             self.memory.schedule_release(finish, event.chunk.accounted_bytes)

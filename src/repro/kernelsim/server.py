@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, List, Tuple
 
 __all__ = ["QueueServer", "MemoryPool"]

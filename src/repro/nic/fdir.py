@@ -21,10 +21,11 @@ logarithmic number of times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..netstack.flows import FiveTuple
 from ..netstack.packet import Packet
+from ..observability import HOOK_FDIR_EVICT, NULL_OBSERVABILITY, Observability
 
 __all__ = [
     "FDIR_DROP",
@@ -74,7 +75,7 @@ class FlowDirectorTable:
     ``flex_value``.  Hardware matching costs the host nothing.
     """
 
-    def __init__(self, capacity: int = 8192):
+    def __init__(self, capacity: int = 8192, observability: Optional[Observability] = None):
         if capacity < 1:
             raise ValueError("filter table capacity must be positive")
         self.capacity = capacity
@@ -84,6 +85,20 @@ class FlowDirectorTable:
         self.evicted_total = 0
         self.matched_total = 0
         self.dropped_at_nic = 0
+        self._obs = observability or NULL_OBSERVABILITY
+        registry = self._obs.registry
+        self._m_installs = registry.counter(
+            "scap_fdir_installs_total", "FDIR filters installed"
+        )
+        self._m_evictions = registry.counter(
+            "scap_fdir_evictions_total", "FDIR filters evicted (table full)"
+        )
+        self._m_active = registry.gauge(
+            "scap_fdir_filters_active", "FDIR filters currently in the table"
+        )
+        self._m_matches = registry.counter(
+            "scap_fdir_matches_total", "packets matched by an FDIR filter"
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -93,22 +108,27 @@ class FlowDirectorTable:
     def is_full(self) -> bool:
         return self._count >= self.capacity
 
-    def add(self, new_filter: FdirFilter) -> bool:
+    def add(self, new_filter: FdirFilter, now: float = 0.0) -> bool:
         """Install a filter, evicting the smallest-timeout one if full.
 
-        Returns False only if the table is full of filters that all have
-        *later* timeouts and eviction was impossible (never happens with
-        Scap's policy, which always evicts; kept for API completeness).
+        ``now`` (simulated time) is only used to timestamp trace events
+        when observability is enabled.  Returns False only if the table
+        is full of filters that all have *later* timeouts and eviction
+        was impossible (never happens with Scap's policy, which always
+        evicts; kept for API completeness).
         """
         if self._count >= self.capacity:
-            self._evict_smallest_timeout()
+            self._evict_smallest_timeout(now)
         bucket = self._by_tuple.setdefault(new_filter.five_tuple, [])
         bucket.append(new_filter)
         self._count += 1
         self.installed_total += 1
+        if self._obs.enabled:
+            self._m_installs.inc()
+            self._m_active.set(self._count)
         return True
 
-    def _evict_smallest_timeout(self) -> None:
+    def _evict_smallest_timeout(self, now: float = 0.0) -> None:
         victim_tuple: Optional[FiveTuple] = None
         victim: Optional[FdirFilter] = None
         for five_tuple, bucket in self._by_tuple.items():
@@ -123,6 +143,15 @@ class FlowDirectorTable:
             del self._by_tuple[victim_tuple]
         self._count -= 1
         self.evicted_total += 1
+        if self._obs.enabled:
+            self._m_evictions.inc()
+            self._m_active.set(self._count)
+            self._obs.trace.emit(
+                now,
+                HOOK_FDIR_EVICT,
+                five_tuple=str(victim_tuple),
+                timeout_at=victim.timeout_at,
+            )
 
     def remove_for_tuple(self, five_tuple: FiveTuple) -> int:
         """Remove all filters for a directional five-tuple; return count."""
@@ -130,6 +159,8 @@ class FlowDirectorTable:
         if bucket is None:
             return 0
         self._count -= len(bucket)
+        if self._obs.enabled:
+            self._m_active.set(self._count)
         return len(bucket)
 
     def remove_for_stream(self, five_tuple: FiveTuple) -> int:
@@ -157,6 +188,7 @@ class FlowDirectorTable:
         for candidate in bucket:
             if candidate.flex_value is None:
                 self.matched_total += 1
+                self._m_matches.inc()
                 return candidate
             if (
                 candidate.flex_offset == FLEX_OFFSET_TCP_FLAGS
@@ -164,6 +196,7 @@ class FlowDirectorTable:
                 and flags_word == candidate.flex_value
             ):
                 self.matched_total += 1
+                self._m_matches.inc()
                 return candidate
         return None
 
@@ -185,4 +218,6 @@ class FlowDirectorTable:
         if not bucket:
             del self._by_tuple[target.five_tuple]
         self._count -= 1
+        if self._obs.enabled:
+            self._m_active.set(self._count)
         return True

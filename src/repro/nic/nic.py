@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..netstack.packet import Packet
+from ..observability import Observability
 from .fdir import FDIR_DROP, FlowDirectorTable
 from .rss import SYMMETRIC_RSS_KEY, RSSHasher
 
@@ -38,10 +39,11 @@ class SimulatedNIC:
         queue_count: int = 8,
         rss_key: bytes = SYMMETRIC_RSS_KEY,
         fdir_capacity: int = 8192,
+        observability: Optional[Observability] = None,
     ):
         self.queue_count = queue_count
         self.rss = RSSHasher(queue_count, key=rss_key)
-        self.fdir = FlowDirectorTable(fdir_capacity)
+        self.fdir = FlowDirectorTable(fdir_capacity, observability=observability)
         self.stats = NICStats(per_queue=[0] * queue_count)
 
     def classify(self, packet: Packet) -> Optional[int]:

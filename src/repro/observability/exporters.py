@@ -1,0 +1,103 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+Both walk the registry's families and serialize every child.  They are
+read-only and safe to call mid-run; the timestamp attached to a JSON
+snapshot is injected by the caller (simulated clock), never read from
+the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Optional
+
+from .registry import Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus", "snapshot", "to_json"]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(names, values, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines = []
+    for name in sorted(registry.families):
+        family = registry.families[name]
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for label_values, child in family.samples():
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    le = _label_str(
+                        family.label_names, label_values,
+                        f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                plain = _label_str(family.label_names, label_values)
+                lines.append(f"{name}_sum{plain} {_format_value(child.sum)}")
+                lines.append(f"{name}_count{plain} {child.total}")
+            else:
+                plain = _label_str(family.label_names, label_values)
+                lines.append(f"{name}{plain} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricsRegistry, now: Optional[float] = None) -> Dict:
+    """The registry as a plain dict (for JSON export / programmatic use)."""
+    out: Dict = {"metrics": {}}
+    if now is not None:
+        out["time"] = now
+    for name in sorted(registry.families):
+        family = registry.families[name]
+        values = []
+        for label_values, child in family.samples():
+            labels = dict(zip(family.label_names, label_values))
+            if isinstance(child, Histogram):
+                values.append(
+                    {
+                        "labels": labels,
+                        "buckets": [
+                            {"le": bound if bound != math.inf else "+Inf",
+                             "count": cumulative}
+                            for bound, cumulative in child.cumulative()
+                        ],
+                        "sum": child.sum,
+                        "count": child.total,
+                    }
+                )
+            else:
+                value = child.value
+                if isinstance(child, Gauge) or value != int(value):
+                    values.append({"labels": labels, "value": value})
+                else:
+                    values.append({"labels": labels, "value": int(value)})
+        out["metrics"][name] = {
+            "type": family.kind,
+            "help": family.help,
+            "values": values,
+        }
+    return out
+
+
+def to_json(
+    registry: MetricsRegistry, now: Optional[float] = None, indent: Optional[int] = None
+) -> str:
+    """JSON text of :func:`snapshot`."""
+    return json.dumps(snapshot(registry, now), indent=indent)

@@ -9,6 +9,10 @@ Subcommands:
 * ``bench``    — regenerate one of the paper's figures and print its
   table.
 * ``analyze``  — evaluate the §7 PPL loss-probability models.
+* ``stats``    — run a capture with observability enabled and dump the
+  metrics registry (Prometheus text or JSON; see docs/OBSERVABILITY.md).
+* ``trace``    — run a capture with observability enabled and dump the
+  trace-event ring buffer (pipeline decisions in time order).
 
 Examples::
 
@@ -16,6 +20,8 @@ Examples::
     repro-scap capture --pcap campus.pcap --rate 2.0 --app match
     repro-scap bench fig04
     repro-scap analyze --rho 0.5 --slots 1 10 20 50
+    repro-scap stats --flows 200 --rate 4.0 --format json
+    repro-scap trace --flows 200 --rate 6.0 --hook ppl_drop --limit 20
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from ..apps import FlowStatsApp, PatternMatchApp, StreamDeliveryApp, attach_app
 from ..core import ScapSocket
 from ..matching import synthetic_web_attack_patterns
 from ..netstack import int_to_ip, read_pcap, write_pcap
+from ..observability import ALL_HOOKS
 from ..traffic import Trace, campus_mix
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +109,41 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=7)
     compare.add_argument("--rates", type=float, nargs="+",
                          default=[1.0, 2.5, 4.0, 6.0], help="Gbit/s points")
+
+    stats = sub.add_parser(
+        "stats", help="run a capture with observability on; dump metrics"
+    )
+    stats_source = stats.add_mutually_exclusive_group(required=False)
+    stats_source.add_argument("--pcap", help="read packets from a pcap file")
+    stats_source.add_argument("--flows", type=int, default=300,
+                              help="or synthesize this many flows")
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
+    stats.add_argument("--cutoff", type=int, default=None)
+    stats.add_argument("--memory-mb", type=int, default=64)
+    stats.add_argument("--format", choices=("prometheus", "json"),
+                       default="prometheus", help="exporter format")
+    stats.add_argument("--out", help="write the export here instead of stdout")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run a capture with observability on; dump trace events"
+    )
+    trace_source = trace_cmd.add_mutually_exclusive_group(required=False)
+    trace_source.add_argument("--pcap", help="read packets from a pcap file")
+    trace_source.add_argument("--flows", type=int, default=300,
+                              help="or synthesize this many flows")
+    trace_cmd.add_argument("--seed", type=int, default=7)
+    trace_cmd.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
+    trace_cmd.add_argument("--cutoff", type=int, default=None)
+    trace_cmd.add_argument("--memory-mb", type=int, default=64)
+    trace_cmd.add_argument("--hook", action="append", default=None,
+                           choices=ALL_HOOKS, metavar="HOOK",
+                           help="only these hook points (repeatable): "
+                                + ", ".join(ALL_HOOKS))
+    trace_cmd.add_argument("--limit", type=int, default=50,
+                           help="print at most the last N events")
+    trace_cmd.add_argument("--capacity", type=int, default=65536,
+                           help="ring-buffer capacity during the run")
 
     analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
     analyze.add_argument("--rho", type=float, default=0.5)
@@ -282,6 +324,55 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_run(args: argparse.Namespace, trace_capacity: int = 4096):
+    """Replay the selected source with observability enabled; return
+    the finished socket (its run result is on ``socket.last_result``)."""
+    from ..observability import Observability
+
+    trace = _load_source(args)
+    obs = Observability(enabled=True, trace_capacity=trace_capacity)
+    socket = ScapSocket(
+        trace,
+        rate_bps=args.rate * GBIT,
+        memory_size=args.memory_mb << 20,
+        observability=obs,
+    )
+    if args.cutoff is not None:
+        socket.set_cutoff(args.cutoff)
+    attach_app(socket, StreamDeliveryApp())
+    socket.start_capture(name="scap-observed")
+    return socket
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    socket = _observed_run(args)
+    fmt = "json" if args.format == "json" else "prometheus"
+    text = socket.export_metrics(fmt, indent=2 if fmt == "json" else None)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    socket = _observed_run(args, trace_capacity=args.capacity)
+    buffer = socket.observability.trace
+    events = buffer.events()
+    if args.hook:
+        events = [event for event in events if event.hook in args.hook]
+    shown = events[-args.limit:] if args.limit > 0 else events
+    for event in shown:
+        print(event.format())
+    print(
+        f"# {len(shown)} of {len(events)} matching events shown "
+        f"({buffer.emitted} emitted, {buffer.overwritten} overwritten)"
+    )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.rho_high is None:
         print(f"M/M/1/N loss probability at rho={args.rho}")
@@ -313,6 +404,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "inspect": _cmd_inspect,
         "anonymize": _cmd_anonymize,
         "analyze": _cmd_analyze,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

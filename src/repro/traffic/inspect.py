@@ -14,7 +14,6 @@ from typing import List, Tuple
 
 from ..filters.bpf import BPFFilter
 from ..netstack.addresses import int_to_ip
-from ..netstack.packet import Packet
 from .trace import Trace
 
 __all__ = ["TraceSummary", "summarize", "slice_time", "filter_trace"]

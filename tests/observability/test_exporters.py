@@ -1,0 +1,71 @@
+"""Exporter formats: Prometheus text exposition and JSON snapshots."""
+
+import json
+
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    snapshot,
+    to_json,
+    to_prometheus,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    packets = registry.counter("pkts_total", "packets seen", labels=("core",))
+    packets.labels(0).inc(5)
+    packets.labels(1).inc(7)
+    registry.gauge("depth", "queue depth").set(3)
+    histogram = registry.histogram("svc_seconds", "service time", bounds=(0.1, 1.0))
+    histogram.observe(0.0625)
+    histogram.observe(0.5)
+    histogram.observe(2.0)
+    return registry
+
+
+def test_prometheus_counter_and_gauge_lines():
+    text = to_prometheus(_populated_registry())
+    assert "# HELP pkts_total packets seen" in text
+    assert "# TYPE pkts_total counter" in text
+    assert 'pkts_total{core="0"} 5' in text
+    assert 'pkts_total{core="1"} 7' in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 3" in text.splitlines()
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_is_cumulative():
+    text = to_prometheus(_populated_registry())
+    assert 'svc_seconds_bucket{le="0.1"} 1' in text
+    assert 'svc_seconds_bucket{le="1"} 2' in text
+    assert 'svc_seconds_bucket{le="+Inf"} 3' in text
+    assert "svc_seconds_count 3" in text
+    assert "svc_seconds_sum 2.5625" in text
+
+
+def test_snapshot_structure_and_time_injection():
+    data = snapshot(_populated_registry(), now=12.5)
+    assert data["time"] == 12.5
+    pkts = data["metrics"]["pkts_total"]
+    assert pkts["type"] == "counter"
+    assert {"labels": {"core": "0"}, "value": 5} in pkts["values"]
+    histogram = data["metrics"]["svc_seconds"]["values"][0]
+    assert histogram["count"] == 3
+    assert histogram["buckets"][-1]["le"] == "+Inf"
+    assert histogram["buckets"][-1]["count"] == 3
+    # No caller-provided time -> no fabricated timestamp.
+    assert "time" not in snapshot(_populated_registry())
+
+
+def test_to_json_round_trips():
+    registry = _populated_registry()
+    data = json.loads(to_json(registry, now=1.0, indent=2))
+    assert data == snapshot(registry, now=1.0)
+
+
+def test_observability_export_passthroughs():
+    obs = Observability(enabled=True)
+    obs.registry.counter("c_total", "count").inc(2)
+    assert "c_total 2" in obs.export_prometheus()
+    assert json.loads(obs.export_json())["metrics"]["c_total"]["values"][0]["value"] == 2

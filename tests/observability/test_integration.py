@@ -1,0 +1,136 @@
+"""End-to-end: instrumented capture runs agree with KernelCounters.
+
+The single-aggregation-path guarantee (satellite of the observability
+PR): per-core registry metrics, ``KernelCounters`` totals,
+``scap_get_stats``, and the run's ``RunResult`` must all tell the same
+story about received/dropped/discarded packets.
+"""
+
+import pytest
+
+from repro.apps import StreamDeliveryApp, attach_app
+from repro.core import ScapSocket
+from repro.core.constants import Parameter
+from repro.observability import (
+    HOOK_STREAM_CREATED,
+    NULL_OBSERVABILITY,
+    Observability,
+)
+from repro.traffic import campus_mix
+
+GBIT = 1e9
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    """One instrumented capture run, squeezed enough to force drops."""
+    trace = campus_mix(flow_count=150, max_flow_bytes=1_000_000, seed=5)
+    obs = Observability(enabled=True)
+    socket = ScapSocket(
+        trace,
+        rate_bps=30.0 * GBIT,
+        memory_size=1 << 19,  # tiny pool: provoke PPL/memory pressure
+        observability=obs,
+    )
+    socket.set_parameter(Parameter.OVERLOAD_CUTOFF, 8 * 1024)
+    attach_app(socket, StreamDeliveryApp())
+    result = socket.start_capture(name="obs-integration")
+    return socket, obs, result
+
+
+def test_per_core_packets_sum_to_kernel_counters(observed_run):
+    socket, obs, _ = observed_run
+    counters = socket.runtime.kernel.counters
+    assert counters.packets_seen > 0
+    assert obs.registry.sum_values("scap_core_packets_total") == counters.packets_seen
+    assert obs.registry.sum_values("scap_core_bytes_total") == counters.bytes_seen
+
+
+def test_per_core_drops_sum_to_kernel_counters(observed_run):
+    socket, obs, _ = observed_run
+    counters = socket.runtime.kernel.counters
+    # The squeeze must actually shed load or this test proves nothing.
+    assert counters.dropped_ppl > 0
+    assert obs.registry.sum_values("scap_core_drops_total") == (
+        counters.dropped_ppl + counters.dropped_memory
+    )
+    assert counters.unintentional_drops() == (
+        counters.dropped_ppl + counters.dropped_memory
+    )
+    # Every PPL-shed packet left a trace event (modulo ring overwrites).
+    assert (
+        len(obs.trace.events("ppl_drop")) + obs.trace.overwritten
+        >= counters.dropped_ppl
+    )
+
+
+def test_memory_exhaustion_traces_match_counter():
+    """Without an overload cutoff the pool itself rejects; every
+    rejection shows up as both a drop counter and a trace event."""
+    trace = campus_mix(flow_count=150, max_flow_bytes=1_000_000, seed=5)
+    obs = Observability(enabled=True, trace_capacity=65536)
+    socket = ScapSocket(
+        trace, rate_bps=30.0 * GBIT, memory_size=1 << 19, observability=obs
+    )
+    attach_app(socket, StreamDeliveryApp())
+    socket.start_capture(name="obs-memory")
+    counters = socket.runtime.kernel.counters
+    assert counters.dropped_memory > 0
+    assert counters.dropped_ppl == 0
+    assert len(obs.trace.events("memory_exhausted")) == counters.dropped_memory
+    assert obs.registry.value(
+        "scap_memory_allocation_failures_total"
+    ) == counters.dropped_memory
+
+
+def test_get_stats_matches_run_result(observed_run):
+    socket, _, result = observed_run
+    stats = socket.get_stats()
+    assert stats.pkts_received == socket.runtime.kernel.counters.packets_seen
+    assert stats.pkts_dropped == result.dropped_packets
+    assert stats.pkts_discarded == result.discarded_packets
+    assert stats.bytes_delivered == result.delivered_bytes
+
+
+def test_get_stats_per_core_breakdown(observed_run):
+    socket, obs, _ = observed_run
+    stats = socket.get_stats()
+    assert stats.per_core_packets
+    assert sum(stats.per_core_packets.values()) == stats.pkts_received
+    assert sum(stats.per_core_bytes.values()) == stats.bytes_received
+    family = obs.registry.get("scap_core_packets_total")
+    for (core,), child in family.samples():
+        assert stats.per_core_packets[int(core)] == int(child.value)
+
+
+def test_trace_saw_stream_creations(observed_run):
+    socket, obs, _ = observed_run
+    created = obs.trace.events(HOOK_STREAM_CREATED)
+    assert obs.trace.emitted > 0
+    assert len(created) > 0
+    # Simulated timestamps only, monotone within the retained window.
+    times = [event.time for event in obs.trace.events()]
+    assert all(t >= 0.0 for t in times)
+
+
+def test_export_metrics_formats(observed_run):
+    socket, _, _ = observed_run
+    prometheus = socket.export_metrics()
+    assert "scap_core_packets_total" in prometheus
+    json_text = socket.export_metrics("json", indent=None)
+    assert '"scap_core_packets_total"' in json_text
+    with pytest.raises(ValueError):
+        socket.export_metrics("xml")
+
+
+def test_default_run_leaves_null_observability_silent():
+    trace = campus_mix(flow_count=40, max_flow_bytes=100_000, seed=9)
+    socket = ScapSocket(trace, rate_bps=2.0 * GBIT, memory_size=1 << 21)
+    attach_app(socket, StreamDeliveryApp())
+    socket.start_capture(name="default-run")
+    assert not NULL_OBSERVABILITY.enabled
+    assert NULL_OBSERVABILITY.registry.sum_values("scap_core_packets_total") == 0
+    assert NULL_OBSERVABILITY.trace.emitted == 0
+    stats = socket.get_stats()
+    assert stats.pkts_received > 0
+    assert stats.per_core_packets == {}  # breakdowns need observability

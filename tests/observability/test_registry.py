@@ -1,0 +1,153 @@
+"""Registry semantics: counters, gauges, histograms, families."""
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("c_total", "a counter")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    assert registry.value("c_total") == 3.5
+
+
+def test_counter_is_monotone():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("c_total")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 0.0
+
+
+def test_disabled_counter_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c_total")
+    counter.inc()
+    counter.inc(100)
+    counter.inc(-5)  # not even validated on the disabled path
+    assert counter.value == 0.0
+
+
+# ----------------------------------------------------------------------
+# Gauges
+# ----------------------------------------------------------------------
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry(enabled=True)
+    gauge = registry.gauge("g")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13
+
+
+def test_disabled_gauge_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    gauge = registry.gauge("g")
+    gauge.set(42)
+    gauge.inc()
+    assert gauge.value == 0.0
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+def test_histogram_bucket_placement():
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram("h", bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 2.5, 3.0, 100.0):
+        histogram.observe(value)
+    # Upper bounds are inclusive; the last slot is the +Inf overflow.
+    assert histogram.counts == [2, 0, 2, 1]
+    assert histogram.total == 5
+    assert histogram.sum == pytest.approx(107.0)
+
+
+def test_histogram_cumulative_ends_with_inf():
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram("h", bounds=(1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    histogram.observe(9.0)
+    cumulative = histogram.cumulative()
+    assert cumulative == [(1.0, 1), (2.0, 2), (float("inf"), 3)]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    registry = MetricsRegistry(enabled=True)
+    with pytest.raises(ValueError):
+        registry.histogram("h", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        registry.histogram("h2", bounds=(1.0, 1.0))
+
+
+def test_histogram_default_bounds():
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram("h")
+    assert histogram.bounds == DEFAULT_TIME_BUCKETS
+
+
+def test_disabled_histogram_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    histogram = registry.histogram("h", bounds=(1.0,))
+    histogram.observe(0.5)
+    assert histogram.total == 0 and histogram.sum == 0.0
+
+
+# ----------------------------------------------------------------------
+# Families, labels, registration
+# ----------------------------------------------------------------------
+def test_labels_get_or_create_same_child():
+    registry = MetricsRegistry(enabled=True)
+    family = registry.counter("pkts_total", labels=("core",))
+    family.labels(3).inc()
+    family.labels("3").inc()  # stringified key: same child
+    assert registry.value("pkts_total", 3) == 2
+
+
+def test_labels_arity_checked():
+    registry = MetricsRegistry(enabled=True)
+    family = registry.counter("pkts_total", labels=("core", "reason"))
+    with pytest.raises(ValueError):
+        family.labels(1)
+
+
+def test_reregistration_is_get_or_create():
+    registry = MetricsRegistry(enabled=True)
+    first = registry.counter("c_total", labels=("core",))
+    second = registry.counter("c_total", labels=("core",))
+    assert first is second
+
+
+def test_reregistration_kind_mismatch_raises():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("c_total")
+    with pytest.raises(ValueError):
+        registry.gauge("c_total")
+    with pytest.raises(ValueError):
+        registry.counter("c_total", labels=("core",))
+
+
+def test_sum_values_across_labels():
+    registry = MetricsRegistry(enabled=True)
+    family = registry.counter("c_total", labels=("core",))
+    family.labels(0).inc(3)
+    family.labels(1).inc(4)
+    assert registry.sum_values("c_total") == 7
+
+
+def test_value_on_histogram_raises():
+    registry = MetricsRegistry(enabled=True)
+    registry.histogram("h", bounds=(1.0,))
+    with pytest.raises(TypeError):
+        registry.value("h")
+    assert isinstance(registry.get("h").labels(), Histogram)

@@ -1,0 +1,70 @@
+"""Trace ring buffer: emit, overwrite, filter, format."""
+
+import pytest
+
+from repro.observability import (
+    ALL_HOOKS,
+    HOOK_FDIR_EVICT,
+    HOOK_PPL_DROP,
+    TraceBuffer,
+)
+
+
+def test_emit_and_read_back():
+    buffer = TraceBuffer(capacity=8, enabled=True)
+    buffer.emit(0.5, HOOK_PPL_DROP, core=2, priority=1)
+    buffer.emit(0.7, HOOK_FDIR_EVICT, timeout_at=1.0)
+    events = buffer.events()
+    assert [event.hook for event in events] == [HOOK_PPL_DROP, HOOK_FDIR_EVICT]
+    assert events[0].time == 0.5
+    assert events[0].fields == {"core": 2, "priority": 1}
+
+
+def test_disabled_emit_is_noop():
+    buffer = TraceBuffer(capacity=8, enabled=False)
+    buffer.emit(0.0, HOOK_PPL_DROP)
+    assert len(buffer) == 0 and buffer.emitted == 0
+
+
+def test_ring_overwrites_oldest():
+    buffer = TraceBuffer(capacity=4, enabled=True)
+    for i in range(6):
+        buffer.emit(float(i), HOOK_PPL_DROP, seq=i)
+    assert len(buffer) == 4
+    assert buffer.emitted == 6
+    assert buffer.overwritten == 2
+    assert [event.fields["seq"] for event in buffer.events()] == [2, 3, 4, 5]
+
+
+def test_filter_by_hook():
+    buffer = TraceBuffer(capacity=8, enabled=True)
+    buffer.emit(0.0, HOOK_PPL_DROP)
+    buffer.emit(0.1, HOOK_FDIR_EVICT)
+    buffer.emit(0.2, HOOK_PPL_DROP)
+    assert len(buffer.events(HOOK_PPL_DROP)) == 2
+    assert len(buffer.events(HOOK_FDIR_EVICT)) == 1
+
+
+def test_clear_keeps_counts():
+    buffer = TraceBuffer(capacity=4, enabled=True)
+    buffer.emit(0.0, HOOK_PPL_DROP)
+    buffer.clear()
+    assert len(buffer) == 0 and buffer.emitted == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=0)
+
+
+def test_format_is_one_line_with_fields():
+    buffer = TraceBuffer(capacity=4, enabled=True)
+    buffer.emit(1.25, HOOK_PPL_DROP, core=3, reason="watermark")
+    line = buffer.events()[0].format()
+    assert "\n" not in line
+    assert "ppl_drop" in line and "core=3" in line and "reason=watermark" in line
+
+
+def test_all_hooks_are_unique_strings():
+    assert len(set(ALL_HOOKS)) == len(ALL_HOOKS)
+    assert all(isinstance(hook, str) for hook in ALL_HOOKS)

@@ -141,3 +141,39 @@ def test_gendocs_writes_reference(tmp_path):
     assert "# API reference" in content
     assert "repro.core.api" in content
     assert "ScapSocket" in content
+
+
+def test_stats_prometheus_to_stdout(capsys):
+    assert main(["stats", "--flows", "30", "--rate", "2.0"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE scap_core_packets_total counter" in out
+    assert "scap_softirq_service_seconds_bucket" in out
+
+
+def test_stats_json_to_file(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "stats.json")
+    assert main(
+        ["stats", "--flows", "30", "--rate", "2.0", "--format", "json",
+         "--out", out_path]
+    ) == 0
+    assert "wrote json metrics" in capsys.readouterr().out
+    data = json.load(open(out_path))
+    assert "scap_core_packets_total" in data["metrics"]
+
+
+def test_trace_prints_events(capsys):
+    assert main(["trace", "--flows", "30", "--rate", "2.0", "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "stream_created" in out or "stream_terminated" in out
+    assert "matching events shown" in out
+
+
+def test_trace_hook_filter(capsys):
+    assert main(
+        ["trace", "--flows", "30", "--rate", "2.0", "--hook", "stream_created"]
+    ) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line and not line.startswith("#")]
+    assert lines and all("stream_created" in line for line in lines)
