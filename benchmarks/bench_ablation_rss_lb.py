@@ -56,7 +56,6 @@ def test_ablation_load_balancing(benchmark, emit):
             enable_load_balancing=enable,
         )
         runtime.run(trace, 1e9)
-        per_core = [0] * runtime.host.core_count
         # Count streams whose packets each core received, from NIC stats.
         return runtime, runtime.nic.stats.per_queue
 

@@ -69,8 +69,12 @@ class StreamPair:
         return (self.client, self.server)
 
 
-class FlowTable:
-    """Hash table + LRU access list over :class:`StreamPair` records."""
+class FlowTable:  # scapcheck: single-owner
+    """Hash table + LRU access list over :class:`StreamPair` records.
+
+    Single-owner: only the kernel module mutates the table, from the
+    (serialized) softirq path of the simulated host — no lock needed.
+    """
 
     def __init__(self, max_streams: Optional[int] = None):
         self._table: "OrderedDict[FiveTuple, StreamPair]" = OrderedDict()

@@ -113,6 +113,7 @@ class ScapKernelModule:
         emit_event: Optional[Callable[[int, Event], None]] = None,
         max_streams: Optional[int] = None,
         observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
     ):
         config.validate()
         self.config = config
@@ -121,12 +122,16 @@ class ScapKernelModule:
         self.locality = locality or LocalityProfile()
         self.emit_event = emit_event or (lambda core, event: None)
         self.obs = observability or NULL_OBSERVABILITY
+        self._san = sanitizers
         self.flows = FlowTable(max_streams=max_streams)
-        self.memory = StreamMemory(config.memory_size, observability=self.obs)
+        self.memory = StreamMemory(
+            config.memory_size, observability=self.obs, sanitizers=sanitizers
+        )
         self.ppl = PrioritizedPacketLoss(
             base_threshold=config.base_threshold,
             overload_cutoff=config.overload_cutoff,
             observability=self.obs,
+            sanitizers=sanitizers,
         )
         self.counters = KernelCounters()
         registry = self.obs.registry
@@ -277,7 +282,8 @@ class ScapKernelModule:
             mode = stream.reassembly_mode or self.config.reassembly_mode
             policy = stream.reassembly_policy or self.config.reassembly_policy
             reassembler = TCPDirectionReassembler(
-                mode=mode, policy=policy, observability=self.obs
+                mode=mode, policy=policy, observability=self.obs,
+                sanitizers=self._san,
             )
             pair.reassemblers[direction] = reassembler
         return reassembler
@@ -395,7 +401,6 @@ class ScapKernelModule:
             if reassembler.anchored
             else 0
         )
-        buffered_before = reassembler.buffered_bytes
         delivered = reassembler.on_segment(packet.tcp.seq, packet.payload, now=now)
         stored_any = False
         for piece in delivered:
@@ -611,7 +616,7 @@ class ScapKernelModule:
                     )
             assembler = pair.assemblers.get(direction)
             if assembler is not None:
-                final = assembler.flush(now)
+                final = assembler.flush(now, final=True)
                 if final is not None:
                     self._emit_data(core, stream, final, DataReason.TERMINATION, now)
             if stream.status in (StreamStatus.ACTIVE, StreamStatus.CUTOFF):
@@ -643,6 +648,8 @@ class ScapKernelModule:
             self._terminate(pair, now, pair.core, StreamStatus.TIMED_OUT)
         while self._filter_timeouts and self._filter_timeouts[0][0] <= now:
             _, _, nic_filter, pair = heapq.heappop(self._filter_timeouts)
+            if self._san is not None:
+                self._san.fdir.on_timeout(nic_filter, now)
             if self.nic.fdir.remove_filter(nic_filter):
                 self.counters.fdir_removals += 1
                 self._cycles += self.cost.fdir_filter_update
@@ -664,13 +671,22 @@ class ScapKernelModule:
         offset/flags word for plain-ACK and ACK|PSH segments; RST/FIN
         (and SYN) still reach the kernel for termination tracking.
         """
-        if pair.filter_timeout_interval <= 0:
+        previous_interval = pair.filter_timeout_interval
+        if previous_interval <= 0:
             pair.filter_timeout_interval = self.config.fdir_initial_timeout
         else:
             # Re-install after a timeout removal: double the interval so
             # long-lived flows are evicted only O(log) times.
             pair.filter_timeout_interval *= 2
-            self._m_fdir_doublings.inc()
+            if self.obs.enabled:
+                self._m_fdir_doublings.inc()
+        if self._san is not None:
+            self._san.fdir.on_install(
+                pair.key,
+                pair.filter_timeout_interval,
+                previous_interval,
+                self.config.fdir_initial_timeout,
+            )
         timeout_at = now + pair.filter_timeout_interval
         if self.obs.enabled:
             self.obs.trace.emit(

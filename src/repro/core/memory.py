@@ -90,11 +90,17 @@ class StreamMemory:
     churn.
     """
 
-    def __init__(self, capacity_bytes: int, observability: Optional[Observability] = None):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
+    ):
         self.pool = MemoryPool(capacity_bytes, name="scap-stream-memory")
         self._next_address = 0
         self.allocation_failures = 0
         self._obs = observability or NULL_OBSERVABILITY
+        self._san = sanitizers
         registry = self._obs.registry
         self._m_occupancy = registry.histogram(
             "scap_memory_pool_occupancy",
@@ -121,6 +127,8 @@ class StreamMemory:
             if self._obs.enabled:
                 self._m_stored.inc(nbytes)
                 self._m_occupancy.observe(self.pool.used / self.pool.capacity)
+            if self._san is not None:
+                self._san.memory.on_store(nbytes)
             return True
         self.allocation_failures += 1
         if self._obs.enabled:
@@ -135,10 +143,14 @@ class StreamMemory:
 
     def schedule_release(self, release_time: float, nbytes: int) -> None:
         """Return ``nbytes`` to the pool at ``release_time``."""
+        if self._san is not None:
+            self._san.memory.on_release(nbytes, origin="schedule_release")
         self.pool.schedule_release(release_time, nbytes)
 
     def release_now(self, now: float, nbytes: int) -> None:
         """Immediately return ``nbytes`` (data discarded unprocessed)."""
+        if self._san is not None:
+            self._san.memory.on_release(nbytes, origin="release_now")
         self.pool.release_now(now, nbytes)
 
 
@@ -188,10 +200,13 @@ class ChunkAssembler:
         if state.kept is not None:
             kept = state.kept
             state.kept = None
-            # Prepend the kept chunk's data; it is already accounted.
+            # Prepend the kept chunk's data.  Its pool charge moves to
+            # the merged chunk: the worker skips the release for kept
+            # chunks, so without this transfer the bytes leak forever.
             chunk.segments = list(kept.segments) + chunk.segments
             chunk.length += kept.length
             chunk.stream_offset = kept.stream_offset
+            chunk.accounted_bytes += kept.accounted_bytes
             chunk._joined = None
             kept_length = kept.length
         # A kept chunk's bytes extend the capacity: the next delivery is
@@ -231,9 +246,19 @@ class ChunkAssembler:
                 completed.append(self._finish_chunk(now))
         return completed
 
-    def flush(self, now: float) -> Optional[Chunk]:
-        """Deliver the partial chunk, if any (flush timeout / termination)."""
+    def flush(self, now: float, final: bool = False) -> Optional[Chunk]:
+        """Deliver the partial chunk, if any (flush timeout / termination).
+
+        With ``final=True`` (stream termination) a still-pending kept
+        chunk can never merge into a future delivery, so its pool
+        charge is returned here instead of leaking.
+        """
         state = self._state
+        if final and state.kept is not None:
+            kept = state.kept
+            state.kept = None
+            if kept.accounted_bytes:
+                self._memory.release_now(now, kept.accounted_bytes)
         if state.chunk is None or state.chunk.length == 0:
             return None
         return self._finish_chunk(now)

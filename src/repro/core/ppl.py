@@ -51,11 +51,13 @@ class PrioritizedPacketLoss:
         overload_cutoff: Optional[int] = None,
         priority_levels: int = 1,
         observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
     ):
         if not 0.0 <= base_threshold < 1.0:
             raise ValueError("base_threshold must be in [0, 1)")
         if priority_levels < 1:
             raise ValueError("need at least one priority level")
+        self._san = sanitizers
         self.base_threshold = base_threshold
         self.overload_cutoff = overload_cutoff
         self.priority_levels = priority_levels
@@ -115,6 +117,14 @@ class PrioritizedPacketLoss:
             self._m_checks.inc()
             self._m_fraction.observe(fraction_used)
             self._m_band.set(self.band_index(fraction_used))
+        decision = self._decide(fraction_used, priority, stream_offset)
+        if self._san is not None:
+            self._san.ppl.on_check(self, fraction_used, priority, decision)
+        return decision
+
+    def _decide(
+        self, fraction_used: float, priority: int, stream_offset: int
+    ) -> PPLDecision:
         if fraction_used <= self.base_threshold:
             return PPLDecision(drop=False)
         mark = self.watermark(priority)

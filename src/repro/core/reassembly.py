@@ -83,9 +83,11 @@ class TCPDirectionReassembler:
         fast_hole_bytes: int = 65536,
         fast_hole_segments: int = 64,
         observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
     ):
         if mode not in (SCAP_TCP_STRICT, SCAP_TCP_FAST):
             raise ValueError(f"unknown reassembly mode: {mode}")
+        self._san = sanitizers
         self.mode = mode
         self.policy = ReassemblyPolicy.validate(policy)
         self._fast_hole_bytes = fast_hole_bytes
@@ -203,6 +205,10 @@ class TCPDirectionReassembler:
 
     # ------------------------------------------------------------------
     def _advance(self, data: bytes) -> bytes:
+        if self._san is not None:
+            self._san.reassembly.on_deliver(
+                self, self._expected_offset, self._expected_offset + len(data)
+            )
         self._expected_offset += len(data)
         self._expected_seq = seq_add(self._expected_seq, len(data))
         self.counters.delivered_bytes += len(data)
@@ -312,3 +318,7 @@ class TCPDirectionReassembler:
         self._buffered_bytes = sum(len(interval.data) for interval in self._intervals)
         if self._obs.enabled:
             self._m_ooo_depth.observe(len(self._intervals))
+        if self._san is not None:
+            self._san.reassembly.on_intervals(
+                self, self._intervals, self._expected_offset
+            )

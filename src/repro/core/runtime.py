@@ -29,6 +29,7 @@ from ..nic.fdir import FdirFilter
 from ..nic.nic import SimulatedNIC
 from ..nic.rss import SYMMETRIC_RSS_KEY
 from ..observability import NULL_OBSERVABILITY, Observability
+from ..sanitizers import SanitizerContext, sanitizers_from_env
 from .config import ScapConfig
 from .events import Event, EventType
 from .kernel_module import ScapKernelModule
@@ -78,16 +79,22 @@ class ScapRuntime:
         max_streams: Optional[int] = None,
         enable_load_balancing: bool = False,
         observability: Optional[Observability] = None,
+        sanitizers: Optional["SanitizerContext"] = None,
     ):
         self.config = config or ScapConfig()
         self.config.validate()
         self.cost = cost_model or DEFAULT_COST_MODEL
         self.locality = locality or LocalityProfile()
         self.obs = observability or NULL_OBSERVABILITY
+        # Opt-in runtime invariant checkers: explicit argument wins,
+        # otherwise SCAP_SANITIZE=1 turns them on for every runtime.
+        self.sanitizers = (
+            sanitizers if sanitizers is not None else sanitizers_from_env(self.obs)
+        )
         self.host = Host(core_count, self.cost)
         self.nic = SimulatedNIC(
             queue_count=core_count, rss_key=rss_key, fdir_capacity=fdir_capacity,
-            observability=self.obs,
+            observability=self.obs, sanitizers=self.sanitizers,
         )
         self.callbacks = Callbacks()
         self.kernel = ScapKernelModule(
@@ -98,6 +105,7 @@ class ScapRuntime:
             emit_event=self._collect_event,
             max_streams=max_streams,
             observability=self.obs,
+            sanitizers=self.sanitizers,
         )
         self.workers = WorkerPool(
             worker_count=self.config.worker_threads,
@@ -174,7 +182,8 @@ class ScapRuntime:
         if not server.would_accept(now, 1):
             server.reject()
             self.ring_drops += 1
-            self._m_ring_drops.inc()
+            if self.obs.enabled:
+                self._m_ring_drops.inc()
             return
         self._pending_events.clear()
         cycles = self.kernel.handle_packet(packet, queue)
@@ -194,6 +203,10 @@ class ScapRuntime:
         for core, event in self._pending_events:
             self.workers.dispatch(core, event, end_time)
         self._pending_events.clear()
+        if self.sanitizers is not None:
+            # Teardown invariant: every byte charged to stream memory
+            # must have been returned by now (§5.3 accounting).
+            self.sanitizers.memory.check_teardown(self.kernel.memory.pool)
 
     # ------------------------------------------------------------------
     def run(self, workload, rate_bps: float, name: str = "scap") -> RunResult:

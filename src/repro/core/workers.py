@@ -48,8 +48,13 @@ class Callbacks:
     termination_cost: Optional[Callable[[Event], float]] = None
 
 
-class WorkerPool:
-    """The user-level worker threads of one Scap socket."""
+class WorkerPool:  # scapcheck: single-owner
+    """The user-level worker threads of one Scap socket.
+
+    Single-owner: the runtime drives dispatch from the replay loop;
+    worker "threads" are virtual-time servers, never OS threads, so
+    the pool's counters need no lock.
+    """
 
     def __init__(
         self,

@@ -18,8 +18,12 @@ from typing import Deque, List, Tuple
 __all__ = ["QueueServer", "MemoryPool"]
 
 
-class QueueServer:
+class QueueServer:  # scapcheck: single-owner
     """A single-server FIFO queue with finite capacity.
+
+    Single-owner: a virtual-time primitive driven by exactly one
+    simulated component (a core's softirq, one worker); there is no
+    real concurrency to lock against.
 
     Capacity is in caller-defined *units* (packets for an RX ring,
     bytes for a memory-mapped buffer).  Jobs are offered in
@@ -100,8 +104,11 @@ class QueueServer:
         return max(0.0, self._last_finish - now)
 
 
-class MemoryPool:
+class MemoryPool:  # scapcheck: single-owner
     """A byte pool with time-scheduled reclamation.
+
+    Single-owner: mutated only by the kernel module / workers of one
+    runtime in virtual-time order — no lock needed.
 
     Models the Scap stream-data region: the kernel module allocates
     bytes as payload arrives, and each byte is reclaimed when the worker

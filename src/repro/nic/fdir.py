@@ -67,15 +67,23 @@ class FdirFilter:
     timeout_interval: float = 0.0  # current interval (doubles on re-install)
 
 
-class FlowDirectorTable:
+class FlowDirectorTable:  # scapcheck: single-owner
     """The NIC's filter table: add/remove/match with capacity + eviction.
 
     Matching is exact on the directional five-tuple; a filter with a
     flex tuple additionally requires the flex bytes to equal
     ``flex_value``.  Hardware matching costs the host nothing.
+
+    Single-owner: only the simulated NIC (one per runtime) touches the
+    table; there is no cross-core sharing to lock against.
     """
 
-    def __init__(self, capacity: int = 8192, observability: Optional[Observability] = None):
+    def __init__(
+        self,
+        capacity: int = 8192,
+        observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
+    ):
         if capacity < 1:
             raise ValueError("filter table capacity must be positive")
         self.capacity = capacity
@@ -86,6 +94,7 @@ class FlowDirectorTable:
         self.matched_total = 0
         self.dropped_at_nic = 0
         self._obs = observability or NULL_OBSERVABILITY
+        self._san = sanitizers
         registry = self._obs.registry
         self._m_installs = registry.counter(
             "scap_fdir_installs_total", "FDIR filters installed"
@@ -126,6 +135,8 @@ class FlowDirectorTable:
         if self._obs.enabled:
             self._m_installs.inc()
             self._m_active.set(self._count)
+        if self._san is not None:
+            self._san.fdir.on_table(self)
         return True
 
     def _evict_smallest_timeout(self, now: float = 0.0) -> None:
@@ -138,6 +149,8 @@ class FlowDirectorTable:
                     victim_tuple = five_tuple
         if victim is None or victim_tuple is None:
             return
+        if self._san is not None:
+            self._san.fdir.on_evict(victim, self)
         self._by_tuple[victim_tuple].remove(victim)
         if not self._by_tuple[victim_tuple]:
             del self._by_tuple[victim_tuple]
@@ -161,6 +174,8 @@ class FlowDirectorTable:
         self._count -= len(bucket)
         if self._obs.enabled:
             self._m_active.set(self._count)
+        if self._san is not None:
+            self._san.fdir.on_table(self)
         return len(bucket)
 
     def remove_for_stream(self, five_tuple: FiveTuple) -> int:
@@ -188,7 +203,8 @@ class FlowDirectorTable:
         for candidate in bucket:
             if candidate.flex_value is None:
                 self.matched_total += 1
-                self._m_matches.inc()
+                if self._obs.enabled:
+                    self._m_matches.inc()
                 return candidate
             if (
                 candidate.flex_offset == FLEX_OFFSET_TCP_FLAGS
@@ -196,7 +212,8 @@ class FlowDirectorTable:
                 and flags_word == candidate.flex_value
             ):
                 self.matched_total += 1
-                self._m_matches.inc()
+                if self._obs.enabled:
+                    self._m_matches.inc()
                 return candidate
         return None
 
@@ -220,4 +237,6 @@ class FlowDirectorTable:
         self._count -= 1
         if self._obs.enabled:
             self._m_active.set(self._count)
+        if self._san is not None:
+            self._san.fdir.on_table(self)
         return True

@@ -40,10 +40,13 @@ class SimulatedNIC:
         rss_key: bytes = SYMMETRIC_RSS_KEY,
         fdir_capacity: int = 8192,
         observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
     ):
         self.queue_count = queue_count
         self.rss = RSSHasher(queue_count, key=rss_key)
-        self.fdir = FlowDirectorTable(fdir_capacity, observability=observability)
+        self.fdir = FlowDirectorTable(
+            fdir_capacity, observability=observability, sanitizers=sanitizers
+        )
         self.stats = NICStats(per_queue=[0] * queue_count)
 
     def classify(self, packet: Packet) -> Optional[int]:

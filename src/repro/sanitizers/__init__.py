@@ -1,0 +1,36 @@
+"""Opt-in runtime invariant sanitizers (``SCAP_SANITIZE=1``).
+
+The counterpart of :mod:`repro.staticcheck`: scapcheck proves static
+properties of the source, the sanitizers watch dynamic invariants of a
+*running* pipeline — memory-pool accounting, reassembly ordering, the
+FDIR filter state machine, and PPL watermark monotonicity.  See
+:mod:`repro.sanitizers.invariants` and ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from .invariants import (
+    SANITIZE_ENV,
+    TRACE_TAIL_ENV,
+    FdirStateChecker,
+    InvariantViolation,
+    MemoryAccountingChecker,
+    PplBandChecker,
+    ReassemblyOrderChecker,
+    SanitizerContext,
+    sanitize_enabled,
+    sanitizers_from_env,
+)
+
+__all__ = [
+    "SANITIZE_ENV",
+    "TRACE_TAIL_ENV",
+    "InvariantViolation",
+    "SanitizerContext",
+    "MemoryAccountingChecker",
+    "ReassemblyOrderChecker",
+    "FdirStateChecker",
+    "PplBandChecker",
+    "sanitize_enabled",
+    "sanitizers_from_env",
+]

@@ -1,0 +1,153 @@
+"""The ``scapcheck`` rule framework.
+
+A :class:`Rule` inspects one parsed source file and reports
+:class:`Violation` records.  The framework supplies what every rule
+needs — the AST, the raw source lines (for comment-based directives),
+path scoping, and inline suppressions — so each rule in
+:mod:`~repro.staticcheck.rules` is just the check itself.
+
+Directives (written as comments, checked against the raw line text):
+
+* ``# scapcheck: disable=SC001`` — suppress the named rule(s) on this
+  line; several ids may be comma-separated, and a bare
+  ``# scapcheck: disable`` suppresses every rule on the line.
+* ``# scapcheck: single-owner`` — on a ``class`` or ``def`` line,
+  declares that the object is only ever touched by a single thread
+  (the simulation loop), which satisfies rule SC003's shared-state
+  discipline without a lock.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Type
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "check_source",
+]
+
+_DISABLE_RE = re.compile(r"#\s*scapcheck:\s*disable(?:=([A-Za-z0-9_, ]+))?")
+_SINGLE_OWNER_RE = re.compile(r"#\s*scapcheck:\s*single-owner")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a file position."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: SC00x message`` — the CLI output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class SourceFile:
+    """One parsed source file plus its raw lines for directive lookup."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+
+    def line_text(self, line: int) -> str:
+        """The raw text of 1-indexed ``line`` ("" when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """True if ``line`` carries a disable directive covering ``rule_id``."""
+        match = _DISABLE_RE.search(self.line_text(line))
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True  # bare "disable": everything on this line
+        ids = {item.strip().upper() for item in listed.split(",") if item.strip()}
+        return rule_id.upper() in ids
+
+    def single_owner(self, line: int) -> bool:
+        """True if ``line`` (a class/def line) is annotated single-owner."""
+        return _SINGLE_OWNER_RE.search(self.line_text(line)) is not None
+
+
+class Rule:
+    """Base class for scapcheck rules.
+
+    Subclasses set ``rule_id``/``description``, optionally narrow
+    ``packages`` (path substrings such as ``repro/core``; empty means
+    the whole tree), and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    #: Path fragments the rule is restricted to (empty = everywhere).
+    packages: FrozenSet[str] = frozenset()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule inspects the file at ``path`` at all."""
+        if not self.packages:
+            return True
+        normalized = path.replace("\\", "/")
+        return any(fragment in normalized for fragment in self.packages)
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        """Inspect one file; return all findings (before suppression)."""
+        raise NotImplementedError
+
+    def violation(self, source: SourceFile, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: rule_id -> rule class, filled by the @register_rule decorator.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.rule_id:
+        raise ValueError("rule class must set rule_id")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def check_source(
+    source: SourceFile, rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Run ``rules`` (default: all registered) over one file.
+
+    Inline ``# scapcheck: disable=...`` suppressions are applied here,
+    so rules themselves never need to know about them.
+    """
+    if rules is None:
+        rules = [cls() for cls in RULE_REGISTRY.values()]
+    findings: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(source.path):
+            continue
+        for finding in rule.check(source):
+            if not source.suppressed(finding.line, finding.rule_id):
+                findings.append(finding)
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return findings

@@ -1,0 +1,145 @@
+"""The scapcheck driver: walk files, run rules, report.
+
+Entry points:
+
+* ``python -m repro.staticcheck [paths...]`` — standalone runner;
+* ``repro-scap scapcheck [paths...]`` — the CLI subcommand (same code);
+* :func:`run_paths` — the programmatic API the tests use.
+
+Exit status is 0 when clean, 1 when any violation is reported, 2 on
+usage errors (unreadable path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .framework import RULE_REGISTRY, Rule, SourceFile, Violation, check_source
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+
+__all__ = ["iter_python_files", "run_paths", "build_parser", "main"]
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames if name != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(root, filename)
+        else:
+            raise FileNotFoundError(path)
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if not select:
+        return [cls() for cls in RULE_REGISTRY.values()]
+    chosen: List[Rule] = []
+    for rule_id in select:
+        normalized = rule_id.strip().upper()
+        if normalized not in RULE_REGISTRY:
+            raise KeyError(normalized)
+        chosen.append(RULE_REGISTRY[normalized]())
+    return chosen
+
+
+def run_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> Tuple[List[Violation], List[str]]:
+    """Check every Python file under ``paths``.
+
+    Returns ``(violations, errors)`` where ``errors`` are files that
+    could not be parsed (syntax errors are reported, not fatal — a
+    linter must survive broken input).
+    """
+    rules = _select_rules(select)
+    violations: List[Violation] = []
+    errors: List[str] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            source = SourceFile(filename, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{filename}: {exc}")
+            continue
+        violations.extend(check_source(source, rules))
+    return violations, errors
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the standalone ``python -m repro.staticcheck``."""
+    parser = argparse.ArgumentParser(
+        prog="scapcheck",
+        description="repo-specific static analysis for the Scap reproduction",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="SC00x",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def list_rules() -> str:
+    """The rule catalogue, one ``SC00x  description`` line per rule."""
+    lines = []
+    for rule_id in sorted(RULE_REGISTRY):
+        lines.append(f"{rule_id}  {RULE_REGISTRY[rule_id].description}")
+    return "\n".join(lines)
+
+
+def report(violations: Sequence[Violation], errors: Sequence[str]) -> int:
+    """Print findings to stdout; return the process exit code."""
+    for violation in violations:
+        print(violation.format())
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if violations:
+        print(f"scapcheck: {len(violations)} violation(s)")
+        return 1
+    if errors:
+        return 2
+    print("scapcheck: clean")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        violations, errors = run_paths(args.paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(f"scapcheck: no such path: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"scapcheck: unknown rule {exc.args[0]}", file=sys.stderr)
+        return 2
+    return report(violations, errors)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -13,6 +13,8 @@ Subcommands:
   metrics registry (Prometheus text or JSON; see docs/OBSERVABILITY.md).
 * ``trace``    — run a capture with observability enabled and dump the
   trace-event ring buffer (pipeline decisions in time order).
+* ``scapcheck`` — run the repo-specific static analysis (SC001–SC005)
+  over source paths (see docs/STATIC_ANALYSIS.md).
 
 Examples::
 
@@ -22,6 +24,7 @@ Examples::
     repro-scap analyze --rho 0.5 --slots 1 10 20 50
     repro-scap stats --flows 200 --rate 4.0 --format json
     repro-scap trace --flows 200 --rate 6.0 --hook ppl_drop --limit 20
+    repro-scap scapcheck src/repro
 """
 
 from __future__ import annotations
@@ -144,6 +147,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print at most the last N events")
     trace_cmd.add_argument("--capacity", type=int, default=65536,
                            help="ring-buffer capacity during the run")
+
+    scapcheck = sub.add_parser(
+        "scapcheck", help="repo-specific static analysis (SC001-SC005)"
+    )
+    scapcheck.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    scapcheck.add_argument(
+        "--select", action="append", default=None, metavar="SC00x",
+        help="run only these rule ids (repeatable)",
+    )
+    scapcheck.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
 
     analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
     analyze.add_argument("--rho", type=float, default=0.5)
@@ -373,6 +392,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scapcheck(args: argparse.Namespace) -> int:
+    from ..staticcheck.runner import list_rules, report, run_paths
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        violations, errors = run_paths(args.paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(f"scapcheck: no such path: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"scapcheck: unknown rule {exc.args[0]}", file=sys.stderr)
+        return 2
+    return report(violations, errors)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.rho_high is None:
         print(f"M/M/1/N loss probability at rho={args.rho}")
@@ -406,6 +442,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "scapcheck": _cmd_scapcheck,
     }
     return handlers[args.command](args)
 

@@ -5,7 +5,7 @@ import pytest
 from repro.apps import MonitorApp, StreamDeliveryApp
 from repro.baselines import LibnidsEngine, Stream5Engine, UserStreamEngine
 from repro.core.constants import ReassemblyPolicy
-from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet, make_udp_packet
+from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet
 from repro.traffic import SessionMessage, TCPSessionBuilder, build_udp_flow
 
 

@@ -1,10 +1,7 @@
 """Tests for the YAF flow meter and the PF_PACKET capture path."""
 
-import pytest
-
 from repro.apps import MonitorApp
 from repro.baselines import (
-    DEFAULT_RING_BYTES,
     PcapBasedSystem,
     PcapCapture,
     YAFEngine,

@@ -6,7 +6,6 @@ from repro.core import (
     SCAP_TCP_FAST,
     Parameter,
     ScapSocket,
-    StreamStatus,
     register_device,
     scap_close,
     scap_create,
@@ -15,8 +14,6 @@ from repro.core import (
     scap_get_stats,
     scap_next_stream_packet,
     scap_set_cutoff,
-    scap_set_filter,
-    scap_set_parameter,
     scap_start_capture,
 )
 from repro.core.packet_delivery import ScapPacketHeader

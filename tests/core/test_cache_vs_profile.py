@@ -26,10 +26,6 @@ def _mean_payload(trace):
 def test_profile_tracks_simulator(trace):
     profile = LocalityProfile()
     payload = _mean_payload(trace)
-    # Payload-bearing packets dominate misses; compare per *packet*
-    # (including ACKs), so scale the analytic estimate by the data
-    # packet fraction.
-    data_fraction = sum(1 for p in trace.packets if p.payload) / len(trace.packets)
 
     simulated_nids = pfpacket_misses_per_packet(trace).misses_per_packet
     analytic_nids = profile.pfpacket_user_misses(payload, reassembles=True)

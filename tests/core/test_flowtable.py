@@ -1,7 +1,5 @@
 """Tests for the stream table and access-list expiration."""
 
-import pytest
-
 from repro.core.flowtable import FlowTable
 from repro.netstack import FiveTuple, IPProtocol
 

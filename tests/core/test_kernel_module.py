@@ -5,8 +5,6 @@ queueing model) and verify flow tracking, reassembly integration,
 events, cutoffs, FDIR management, and statistics estimation.
 """
 
-import pytest
-
 from repro.core import (
     SCAP_TCP_FAST,
     SCAP_TCP_STRICT,
@@ -26,7 +24,7 @@ from repro.netstack import (
     make_tcp_packet,
     make_udp_packet,
 )
-from repro.nic import FDIR_DROP, SimulatedNIC
+from repro.nic import SimulatedNIC
 from repro.traffic import SessionMessage, TCPSessionBuilder
 
 
@@ -107,7 +105,7 @@ class TestLifecycle:
 
     def test_stats_track_bytes_and_packets(self):
         h = Harness()
-        ft = h.feed_session(payload=b"q" * 500)
+        h.feed_session(payload=b"q" * 500)
         stream = h.by_type(EventType.STREAM_TERMINATED)[0].stream
         server_side = stream if stream.direction == 1 else stream.opposite
         assert server_side.stats.captured_bytes == 500
@@ -172,7 +170,7 @@ class TestCutoffAndFdir:
     def test_fdir_filters_installed_on_cutoff(self):
         h = Harness(use_fdir=True)
         h.config.cutoffs.set_default(100)
-        ft = h.feed_session(payload=b"D" * 100_000)
+        h.feed_session(payload=b"D" * 100_000)
         # Two ACK-flavour drop filters for the data direction.
         assert h.kernel.counters.fdir_installs >= 2
         # The NIC actually dropped most data packets in "hardware".
@@ -214,7 +212,6 @@ class TestCutoffAndFdir:
         builder = TCPSessionBuilder(ft, packet_gap=0.05)  # slow flow
         packets = builder.build([SessionMessage(1, b"I" * 50_000)])
         h.feed(packets)
-        pair_interval = None
         # After several timeout+reinstall rounds the interval grew.
         assert h.kernel.counters.fdir_removals > 0
         assert h.kernel.counters.fdir_installs > 2

@@ -81,7 +81,20 @@ class TestChunkAssembler:
         second = assembler.append(b"efgh", now=0.0)[0]
         assert second.data == b"abcdefgh"
         assert second.stream_offset == 0
-        assert second.accounted_bytes == 4  # only the new bytes
+        # The kept chunk's pool charge moves to the merged chunk: the
+        # worker skips the release for kept chunks, so the merged
+        # delivery must cover both or the kept bytes leak forever.
+        assert second.accounted_bytes == 8
+
+    def test_final_flush_releases_pending_kept_chunk(self, memory):
+        assembler = ChunkAssembler(memory, chunk_size=4)
+        assert memory.try_store(0.0, 4)
+        first = assembler.append(b"abcd", now=0.0)[0]
+        first.accounted_bytes = 4
+        assembler.keep(first)
+        used_before = memory.pool.used
+        assert assembler.flush(1.0, final=True) is None
+        assert memory.pool.used == used_before - 4
 
     def test_distinct_block_addresses(self, memory):
         assembler = ChunkAssembler(memory, chunk_size=4)

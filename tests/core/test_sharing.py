@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.apps import FlowStatsApp, StreamDeliveryApp
 from repro.core import SCAP_UNLIMITED_CUTOFF, ScapConfig
 from repro.core.sharing import SharedApplication, SharedCaptureRuntime, merge_configs
 from repro.filters import BPFFilter

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     SCAP_TCP_FAST,
-    SCAP_TCP_STRICT,
     SCAP_UNLIMITED_CUTOFF,
     DataReason,
     Event,

@@ -78,7 +78,6 @@ class TestWorkerPool:
         hooks.data_cost = lambda event: 1e12
         pool.dispatch(0, _data_event(stream), ready_time=0.0)
         pool.memory.try_allocate = lambda *a: True  # isolate accounting
-        before = pool.memory.pool.used
         pool.dispatch(0, _data_event(stream), ready_time=0.0)
         assert pool.events_dropped == 1
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.filters import BPFError, BPFFilter, compile_filter
-from repro.netstack import FiveTuple, IPProtocol, ip_to_int, make_tcp_packet, make_udp_packet
+from repro.netstack import ip_to_int, make_tcp_packet, make_udp_packet
 
 
 @pytest.fixture

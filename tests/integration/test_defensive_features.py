@@ -5,11 +5,9 @@ streams that are disproportionately expensive (algorithmic-complexity
 attacks) and discard or deprioritize them mid-capture.
 """
 
-import pytest
-
 from repro.core import Parameter, ScapSocket
 from repro.netstack import FiveTuple, IPProtocol, SERVER_TO_CLIENT
-from repro.traffic import SessionMessage, TCPSessionBuilder, Trace, campus_mix
+from repro.traffic import TCPSessionBuilder, Trace, campus_mix
 
 
 class TestSlowStreamDefense:

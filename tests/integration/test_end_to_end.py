@@ -9,7 +9,6 @@ from repro.core import (
     Parameter,
     ReassemblyPolicy,
     ScapSocket,
-    StreamError,
 )
 from repro.netstack import SERVER_TO_CLIENT, FiveTuple, IPProtocol
 from repro.traffic import (
@@ -162,7 +161,6 @@ class TestDetectionAccuracy:
         trace = Trace(packets)
 
         found = []
-        app = PatternMatchApp([pattern], mode="ac")
         socket = ScapSocket(trace, rate_bps=1e8, memory_size=1 << 22)
         socket.set_parameter(Parameter.CHUNK_SIZE, 512)
         socket.set_parameter(Parameter.OVERLAP_SIZE, len(pattern) - 1)
@@ -183,7 +181,6 @@ class TestOverloadBehaviour:
     def test_graceful_degradation_keeps_stream_starts(self):
         """Under overload with an overload_cutoff, early stream bytes
         survive preferentially (§6.5.1)."""
-        patterns = None
         trace = campus_mix(flow_count=80, seed=15, max_flow_bytes=1_000_000)
         early = {}
         late = {}

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.matching import AhoCorasick, Match, StreamMatcher
+from repro.matching import AhoCorasick, StreamMatcher
 
 
 def _naive_matches(patterns, data):

@@ -50,7 +50,6 @@ def test_save_load_literal_backslash_n(tmp_path):
     assert load_patterns(path) == tricky
 
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.matching.snort_rules import (
-    SnortRule,
     SnortRuleError,
     extract_contents,
     parse_rule,

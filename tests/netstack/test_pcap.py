@@ -4,8 +4,8 @@ import struct
 
 import pytest
 
-from repro.netstack import Packet, make_tcp_packet, make_udp_packet, read_pcap, write_pcap
-from repro.netstack.pcap import PcapReader, PcapWriter
+from repro.netstack import make_tcp_packet, make_udp_packet, read_pcap, write_pcap
+from repro.netstack.pcap import PcapReader
 
 
 def _sample_packets():

@@ -1,0 +1,37 @@
+"""Deliberately broken code: the scapcheck acceptance fixture.
+
+The path contains ``repro/core`` so the hot-path rules apply.  Running
+``scapcheck`` over this directory must exit non-zero and report every
+rule id below; the runner tests assert exactly that.  Never import this
+module from real code.
+"""
+
+import time
+
+
+def sc001_wall_clock():
+    return time.time()
+
+
+class Sc002Pipeline:
+    def step(self, now):
+        self._m_packets.inc()
+        self.obs.trace.emit(now, "hook")
+
+
+class WorkerPool:
+    """SC003: shared class with no lock and no single-owner annotation."""
+
+    def __init__(self):
+        self.jobs = []
+
+    def push(self, job):
+        self.jobs.append(job)
+
+
+def sc004_bad_event(Event, EventType, stream, now):
+    return Event(EventType.STREAM_DATA, stream, now)
+
+
+def scap_sc005_bare(sock, count):
+    return count

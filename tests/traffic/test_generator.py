@@ -1,10 +1,5 @@
 """Tests for the campus traffic generator."""
 
-import statistics
-
-import pytest
-
-from repro.matching import synthetic_web_attack_patterns
 from repro.netstack import IPProtocol, SERVER_TO_CLIENT
 from repro.traffic import CampusTrafficGenerator, TrafficConfig, campus_mix
 

@@ -1,6 +1,5 @@
 """Tests for TCP session synthesis."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
