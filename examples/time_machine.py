@@ -8,16 +8,27 @@ small fraction of the storage.  With Scap the cutoff is enforced in
 the kernel/NIC, so the recorder's CPU cost shrinks along with the
 storage.
 
-This example records the first 10 KB of every stream direction into an
-in-memory store, then reports the storage reduction and per-port
-breakdown.
+This example records the first 10 KB of every stream direction into a
+persistent on-disk stream store (docs/STORE.md), then reports the
+storage reduction, queries a stored connection back out, and replays
+it through a fresh socket — the full record -> query -> replay loop.
 
 Run:  python examples/time_machine.py
 """
 
+import shutil
+import tempfile
 from collections import defaultdict
 
-from repro import scap_create, scap_dispatch_data, scap_set_cutoff, scap_start_capture
+from repro import (
+    scap_create,
+    scap_set_cutoff,
+    scap_set_store,
+    scap_start_capture,
+    scap_store_stats,
+)
+from repro.apps import StreamRecorder
+from repro.store import StreamStore
 from repro.traffic import campus_mix
 
 CUTOFF = 10 * 1024
@@ -29,35 +40,57 @@ def main() -> None:
     print(f"workload: {trace.summary()}")
     print(f"total stream payload on the wire: {total_payload / 1e6:.2f} MB\n")
 
-    store = defaultdict(bytearray)  # (five_tuple, direction) -> bytes
-
-    def record(sd):
-        store[(sd.five_tuple, sd.direction)].extend(sd.data)
+    directory = tempfile.mkdtemp(prefix="scap-time-machine-")
+    store = StreamStore(directory, cores=2, compress=True)
 
     sc = scap_create(trace, 256 << 20, rate_bps=4e9)
     scap_set_cutoff(sc, CUTOFF)
-    scap_dispatch_data(sc, record)
-    result = scap_start_capture(sc, )
+    scap_set_store(sc, StreamRecorder(store))
+    result = scap_start_capture(sc)
 
-    recorded = sum(len(buffer) for buffer in store.values())
+    stats = scap_store_stats(sc)
+    recorded = stats.stored_bytes
     print(f"{result.row()}\n")
     print(f"recorded {recorded / 1e6:6.2f} MB with a {CUTOFF // 1024} KB cutoff")
     print(f"         {total_payload / 1e6:6.2f} MB would have been stored without one")
     print(f"storage reduction: {1 - recorded / total_payload:.1%}")
-    print(f"streams retained:  {len(store)} (every stream keeps its head)\n")
+    print(
+        f"streams retained:  {stats.record_count} records in "
+        f"{stats.segment_count} segments "
+        f"({stats.disk_bytes / 1e6:.2f} MB on disk after zlib, "
+        f"{stats.compressed_saved_bytes / 1e6:.2f} MB saved)\n"
+    )
 
     by_port = defaultdict(int)
-    for (five_tuple, _), buffer in store.items():
-        port = min(five_tuple.src_port, five_tuple.dst_port)
-        by_port[port] += len(buffer)
+    for stream in store.query():
+        port = min(stream.client_tuple.src_port, stream.client_tuple.dst_port)
+        by_port[port] += len(stream.data)
     print("recorded bytes by server port:")
     for port, nbytes in sorted(by_port.items(), key=lambda kv: -kv[1])[:8]:
         print(f"  port {port:<6} {nbytes / 1e3:9.1f} kB")
+
+    # The store is persistent: query one connection back and replay it
+    # through a brand-new socket.
+    connection = store.connections()[0]
+    source = store.replay_source(connection)
+    stored = sum(len(s.data) for s in store.query(connection))
+    store.close()
+    replayed = bytearray()
+    sc2 = scap_create(source.as_trace(), 64 << 20, rate_bps=1e9)
+    from repro import scap_dispatch_data
+
+    scap_dispatch_data(sc2, lambda sd: replayed.extend(sd.data))
+    scap_start_capture(sc2)
     print(
-        f"\nCPU while recording at 4 Gbit/s: {result.user_utilization:.1%} "
+        f"\nreplayed connection {connection}: {len(replayed)} B delivered "
+        f"from {stored} B stored"
+    )
+    print(
+        f"CPU while recording at 4 Gbit/s: {result.user_utilization:.1%} "
         f"(softirq {result.softirq_load:.1%}); packets discarded early: "
         f"{result.discarded_packets}"
     )
+    shutil.rmtree(directory, ignore_errors=True)
 
 
 if __name__ == "__main__":

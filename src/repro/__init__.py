@@ -47,11 +47,13 @@ from .core import (
     scap_set_cutoff,
     scap_set_filter,
     scap_set_parameter,
+    scap_set_store,
     scap_set_stream_cutoff,
     scap_set_stream_parameter,
     scap_set_stream_priority,
     scap_set_worker_threads,
     scap_start_capture,
+    scap_store_stats,
 )
 
 __version__ = "1.0.0"
@@ -88,5 +90,7 @@ __all__ = [
     "scap_keep_stream_chunk",
     "scap_next_stream_packet",
     "scap_get_stats",
+    "scap_set_store",
+    "scap_store_stats",
     "scap_close",
 ]

@@ -5,6 +5,7 @@ from .delivery import StreamDeliveryApp
 from .flowstats import FlowRecord, FlowStatsApp
 from .httpmeta import HttpMetadataApp, HttpTransaction
 from .patternmatch import PatternMatchApp
+from .recorder import StreamRecorder
 from .scap_adapter import attach_app, attach_app_packet_based
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "HttpMetadataApp",
     "HttpTransaction",
     "PatternMatchApp",
+    "StreamRecorder",
     "attach_app",
     "attach_app_packet_based",
 ]

@@ -18,11 +18,13 @@ from .api import (
     scap_set_cutoff,
     scap_set_filter,
     scap_set_parameter,
+    scap_set_store,
     scap_set_stream_cutoff,
     scap_set_stream_parameter,
     scap_set_stream_priority,
     scap_set_worker_threads,
     scap_start_capture,
+    scap_store_stats,
 )
 from .config import DEFAULT_MEMORY_SIZE, ScapConfig
 from .constants import (
@@ -71,6 +73,8 @@ __all__ = [
     "scap_keep_stream_chunk",
     "scap_next_stream_packet",
     "scap_get_stats",
+    "scap_set_store",
+    "scap_store_stats",
     "scap_close",
     "ScapConfig",
     "DEFAULT_MEMORY_SIZE",

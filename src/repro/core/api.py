@@ -18,7 +18,11 @@ pass the name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..apps.recorder import StreamRecorder
+    from ..store.store import StoreStats
 
 from ..results import RunResult
 from ..filters.bpf import BPFFilter
@@ -50,6 +54,8 @@ __all__ = [
     "scap_keep_stream_chunk",
     "scap_next_stream_packet",
     "scap_get_stats",
+    "scap_set_store",
+    "scap_store_stats",
     "scap_close",
 ]
 
@@ -88,6 +94,10 @@ class ScapStats:
     fdir_filters_installed: int = 0
     fdir_filters_evicted: int = 0
     fdir_filters_active: int = 0
+    # --- stream-store extensions (zero unless a store is attached) ----
+    stored_bytes: int = 0
+    evicted_bytes: int = 0
+    writer_queue_drops: int = 0
 
 
 class ScapSocket:
@@ -139,6 +149,7 @@ class ScapSocket:
             "termination": None,
         }
         self._closed = False
+        self._recorder: Optional["StreamRecorder"] = None
         self.last_result: Optional[RunResult] = None
 
     # ------------------------------------------------------------------
@@ -197,6 +208,26 @@ class ScapSocket:
         self.config.validate()
 
     # ------------------------------------------------------------------
+    # Stream store (time-machine recording, §6.6)
+    # ------------------------------------------------------------------
+    def set_store(self, recorder: "StreamRecorder") -> None:
+        """scap_set_store: record delivered streams through ``recorder``.
+
+        The recorder interposes on the data callback when the capture
+        starts (composing with any attached application) and its store
+        is flushed when the run finishes.  With no store attached the
+        capture path is untouched.
+        """
+        self._require_not_started()
+        self._recorder = recorder
+
+    def store_stats(self) -> "StoreStats":
+        """scap_store_stats: the attached store's accounting snapshot."""
+        if self._recorder is None:
+            raise RuntimeError("no store attached; call set_store() first")
+        return self._recorder.store.stats()
+
+    # ------------------------------------------------------------------
     # Callbacks
     # ------------------------------------------------------------------
     def dispatch_creation(
@@ -233,6 +264,8 @@ class ScapSocket:
         runtime.callbacks.creation_cost = self._cost_hooks["creation"]
         runtime.callbacks.data_cost = self._cost_hooks["data"]
         runtime.callbacks.termination_cost = self._cost_hooks["termination"]
+        if self._recorder is not None:
+            self._recorder.bind(runtime)
         return runtime
 
     def start_capture(self, name: str = "scap") -> RunResult:
@@ -244,6 +277,8 @@ class ScapSocket:
         self._require_not_started()
         self._runtime = self._build_runtime()
         self.last_result = self._runtime.run(self._workload, self._rate, name=name)
+        if self._recorder is not None:
+            self._recorder.finish()
         return self.last_result
 
     @property
@@ -325,6 +360,7 @@ class ScapSocket:
         agg = self._runtime.aggregate()
         counters = self._runtime.kernel.counters
         fdir = self._runtime.nic.fdir
+        store = self._recorder.store.stats() if self._recorder is not None else None
         return ScapStats(
             pkts_received=agg.pkts_received,
             pkts_dropped=agg.pkts_dropped,
@@ -340,6 +376,9 @@ class ScapSocket:
             fdir_filters_installed=fdir.installed_total,
             fdir_filters_evicted=fdir.evicted_total,
             fdir_filters_active=len(fdir),
+            stored_bytes=store.stored_bytes if store is not None else 0,
+            evicted_bytes=store.evicted_bytes if store is not None else 0,
+            writer_queue_drops=store.writer_queue_drops if store is not None else 0,
         )
 
     # ------------------------------------------------------------------
@@ -365,7 +404,9 @@ class ScapSocket:
         raise ValueError(f"unknown metrics format: {fmt!r}")
 
     def close(self) -> None:
-        """scap_close: release the socket."""
+        """scap_close: release the socket (and seal an attached store)."""
+        if self._recorder is not None:
+            self._recorder.close()
         self._closed = True
         self._runtime = None
 
@@ -484,6 +525,17 @@ def scap_next_stream_packet(
 def scap_get_stats(sc: ScapSocket) -> ScapStats:
     """Read overall statistics for all streams seen so far."""
     return sc.get_stats()
+
+
+def scap_set_store(sc: ScapSocket, recorder: "StreamRecorder") -> int:
+    """Attach a stream-store recorder: deliveries are persisted (§6.6)."""
+    sc.set_store(recorder)
+    return 0
+
+
+def scap_store_stats(sc: ScapSocket) -> "StoreStats":
+    """Read the attached stream store's accounting snapshot."""
+    return sc.store_stats()
 
 
 def scap_close(sc: ScapSocket) -> None:

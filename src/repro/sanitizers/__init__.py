@@ -18,6 +18,7 @@ from .invariants import (
     PplBandChecker,
     ReassemblyOrderChecker,
     SanitizerContext,
+    StoreAccountingChecker,
     sanitize_enabled,
     sanitizers_from_env,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ReassemblyOrderChecker",
     "FdirStateChecker",
     "PplBandChecker",
+    "StoreAccountingChecker",
     "sanitize_enabled",
     "sanitizers_from_env",
 ]

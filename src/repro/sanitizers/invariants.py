@@ -38,6 +38,7 @@ __all__ = [
     "ReassemblyOrderChecker",
     "FdirStateChecker",
     "PplBandChecker",
+    "StoreAccountingChecker",
     "sanitize_enabled",
     "sanitizers_from_env",
 ]
@@ -109,6 +110,7 @@ class SanitizerContext:
         self.reassembly = ReassemblyOrderChecker(self)
         self.fdir = FdirStateChecker(self)
         self.ppl = PplBandChecker(self)
+        self.store = StoreAccountingChecker(self)
         self.violations_raised = 0
 
     def fail(self, invariant: str, message: str, **details: Any) -> None:
@@ -327,6 +329,89 @@ class FdirStateChecker:
                 timeout_at=nic_filter.timeout_at,
                 now=now,
             )
+
+
+# ----------------------------------------------------------------------
+# Stream-store writer accounting
+# ----------------------------------------------------------------------
+class StoreAccountingChecker:
+    """Ledger over the store's writer queues: enqueues vs writes+drops.
+
+    Every payload byte offered to a spill queue must end up either
+    written into a segment file or counted as an overflow drop — the
+    store's backpressure contract.  ``on_enqueue``/``on_write``/
+    ``on_drop`` mirror the writer pipeline; the outstanding balance can
+    never go negative mid-run and must be exactly zero at teardown
+    (``StoreWriter.close``), or queued bytes silently vanished.
+    """
+
+    invariant = "store-accounting"
+
+    def __init__(self, context: SanitizerContext):
+        self._context = context
+        self.enqueued_total = 0
+        self.written_total = 0
+        self.dropped_total = 0
+
+    @property
+    def outstanding(self) -> int:
+        return self.enqueued_total - self.written_total - self.dropped_total
+
+    def on_enqueue(self, nbytes: int) -> None:
+        """``nbytes`` of payload offered to a spill queue."""
+        if nbytes < 0:
+            self._context.fail(self.invariant, "negative enqueue", nbytes=nbytes)
+        self.enqueued_total += nbytes
+
+    def on_write(self, nbytes: int) -> None:
+        """``nbytes`` of payload appended to a segment file."""
+        if nbytes < 0:
+            self._context.fail(self.invariant, "negative write", nbytes=nbytes)
+        self.written_total += nbytes
+        self._check_balance("write")
+
+    def on_drop(self, nbytes: int) -> None:
+        """``nbytes`` of payload dropped by queue overflow."""
+        if nbytes < 0:
+            self._context.fail(self.invariant, "negative drop", nbytes=nbytes)
+        self.dropped_total += nbytes
+        self._check_balance("drop")
+
+    def _check_balance(self, origin: str) -> None:
+        if self.outstanding < 0:
+            self._context.fail(
+                self.invariant,
+                "wrote or dropped more bytes than were ever enqueued",
+                enqueued=self.enqueued_total,
+                written=self.written_total,
+                dropped=self.dropped_total,
+                origin=origin,
+            )
+
+    def check_teardown(self, writer: Any = None) -> None:
+        """At writer close the ledger (and the queues) must balance."""
+        if self.outstanding != 0:
+            self._context.fail(
+                self.invariant,
+                "store writer-queue accounting did not balance to zero at teardown",
+                enqueued=self.enqueued_total,
+                written=self.written_total,
+                dropped=self.dropped_total,
+                outstanding=self.outstanding,
+            )
+        if writer is not None:
+            if writer.queue_depth_bytes != 0:
+                self._context.fail(
+                    self.invariant,
+                    "spill queues still hold bytes after final drain",
+                    queue_depth_bytes=writer.queue_depth_bytes,
+                )
+            if writer.outstanding_bytes != 0:
+                self._context.fail(
+                    self.invariant,
+                    "writer's own enqueue/write/drop counters do not balance",
+                    outstanding=writer.outstanding_bytes,
+                )
 
 
 # ----------------------------------------------------------------------

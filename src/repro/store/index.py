@@ -1,0 +1,213 @@
+"""In-memory index over the store's segments, rebuilt by scanning.
+
+The index is *derived* state: opening a store directory scans every
+``seg-*.scap`` file with the truncation-tolerant reader, so recovery
+after a crash and a normal open are the same code path.  Per record we
+keep a small :class:`RecordMeta` (identity, time, offset into both the
+stream and the file) grouped per segment, plus two lookup maps — by
+canonical five-tuple and a time-sorted list — so queries never touch
+disk until they need payload bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..netstack.flows import FiveTuple
+from .segment import SegmentInfo, StreamRecord, read_segment
+
+__all__ = ["RecordMeta", "SegmentMeta", "StoreIndex"]
+
+
+@dataclass
+class RecordMeta:
+    """Index entry for one stored record (payload stays on disk)."""
+
+    five_tuple: FiveTuple
+    direction: int
+    stream_offset: int
+    timestamp: float
+    length: int
+    priority: int
+    file_offset: int
+
+    @property
+    def client_tuple(self) -> FiveTuple:
+        """The connection's five-tuple from the client's perspective."""
+        return self.five_tuple if self.direction == 0 else self.five_tuple.reversed()
+
+
+@dataclass
+class SegmentMeta:
+    """One segment file plus the metadata of every record inside it."""
+
+    info: SegmentInfo
+    records: List[RecordMeta] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        """Path of the segment file."""
+        return self.info.path
+
+    @property
+    def payload_bytes(self) -> int:
+        """Live payload bytes indexed in this segment."""
+        return sum(record.length for record in self.records)
+
+
+class StoreIndex:
+    """Lookup structure over all indexed segments of one store.
+
+    Mutated only by the store under its lock (`` # scapcheck: single-owner ``
+    applies to callers); supports add/remove of whole segments (sealing,
+    retention) and in-place replacement after compaction rewrites.
+    """
+
+    def __init__(self):
+        self.segments: Dict[str, SegmentMeta] = {}
+        self._by_tuple: Dict[Tuple[int, int, int, int, int], List[RecordMeta]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Total records indexed across all segments."""
+        return sum(len(segment.records) for segment in self.segments.values())
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total live payload bytes indexed across all segments."""
+        return sum(segment.payload_bytes for segment in self.segments.values())
+
+    @property
+    def disk_bytes(self) -> int:
+        """Total on-disk bytes of all indexed segment files."""
+        return sum(segment.info.disk_bytes for segment in self.segments.values())
+
+    # ------------------------------------------------------------------
+    def scan_directory(self, directory: str) -> List[SegmentMeta]:
+        """(Re)build the index from every segment file in ``directory``."""
+        self.segments.clear()
+        self._by_tuple.clear()
+        added = []
+        for name in sorted(os.listdir(directory)):
+            if not (name.startswith("seg-") and name.endswith(".scap")):
+                continue
+            added.append(self.add_segment_file(os.path.join(directory, name)))
+        return added
+
+    def add_segment_file(self, path: str) -> SegmentMeta:
+        """Scan one segment file and index everything recoverable."""
+        records, info = read_segment(path)
+        metas = [
+            RecordMeta(
+                five_tuple=record.five_tuple,
+                direction=record.direction,
+                stream_offset=record.stream_offset,
+                timestamp=record.timestamp,
+                length=len(record.data),
+                priority=record.priority,
+                file_offset=offset,
+            )
+            for (offset, _length), record in zip(info.frames, records)
+        ]
+        return self._install(SegmentMeta(info=info, records=metas))
+
+    def add_sealed(self, info: SegmentInfo, records: List[Tuple[int, StreamRecord]]) -> SegmentMeta:
+        """Index a segment the writer just sealed, without rescanning."""
+        metas = [
+            RecordMeta(
+                five_tuple=record.five_tuple,
+                direction=record.direction,
+                stream_offset=record.stream_offset,
+                timestamp=record.timestamp,
+                length=len(record.data),
+                priority=record.priority,
+                file_offset=offset,
+            )
+            for offset, record in records
+        ]
+        return self._install(SegmentMeta(info=info, records=metas))
+
+    def _install(self, segment: SegmentMeta) -> SegmentMeta:
+        self.segments[segment.path] = segment
+        for meta in segment.records:
+            key = self._key(meta.client_tuple)
+            self._by_tuple.setdefault(key, []).append(meta)
+        return segment
+
+    def remove_segment(self, path: str) -> Optional[SegmentMeta]:
+        """Drop one segment (and its records) from the index."""
+        segment = self.segments.pop(path, None)
+        if segment is None:
+            return None
+        doomed = {id(meta) for meta in segment.records}
+        for key in {self._key(meta.client_tuple) for meta in segment.records}:
+            bucket = [meta for meta in self._by_tuple.get(key, []) if id(meta) not in doomed]
+            if bucket:
+                self._by_tuple[key] = bucket
+            else:
+                self._by_tuple.pop(key, None)
+        return segment
+
+    def replace_segment(self, path: str, replacement: SegmentMeta) -> None:
+        """Swap a segment's index entry after a compaction rewrite."""
+        self.remove_segment(path)
+        self._install(replacement)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(five_tuple: FiveTuple) -> Tuple[int, int, int, int, int]:
+        canonical = five_tuple.canonical()
+        return (
+            canonical.src_ip,
+            canonical.src_port,
+            canonical.dst_ip,
+            canonical.dst_port,
+            canonical.protocol,
+        )
+
+    def lookup(
+        self,
+        five_tuple: Optional[FiveTuple] = None,
+        start_ts: Optional[float] = None,
+        end_ts: Optional[float] = None,
+    ) -> Iterator[Tuple[SegmentMeta, RecordMeta]]:
+        """Yield ``(segment, record)`` matches for a tuple/time query.
+
+        ``five_tuple`` matches either direction of the connection;
+        ``start_ts``/``end_ts`` bound the record timestamp inclusively.
+        With no arguments, everything is yielded.
+        """
+        wanted = self._key(five_tuple) if five_tuple is not None else None
+        for segment in self._segments_in_time_order():
+            info = segment.info
+            if start_ts is not None and info.record_count and info.last_ts < start_ts:
+                continue
+            if end_ts is not None and info.record_count and info.first_ts > end_ts:
+                continue
+            for meta in segment.records:
+                if wanted is not None and self._key(meta.client_tuple) != wanted:
+                    continue
+                if start_ts is not None and meta.timestamp < start_ts:
+                    continue
+                if end_ts is not None and meta.timestamp > end_ts:
+                    continue
+                yield segment, meta
+
+    def _segments_in_time_order(self) -> List[SegmentMeta]:
+        return sorted(
+            self.segments.values(),
+            key=lambda segment: (segment.info.first_ts, segment.info.path),
+        )
+
+    def connections(self) -> List[FiveTuple]:
+        """All distinct connections stored, as client-perspective tuples."""
+        seen: Dict[Tuple[int, int, int, int, int], FiveTuple] = {}
+        for segment in self._segments_in_time_order():
+            for meta in segment.records:
+                key = self._key(meta.client_tuple)
+                if key not in seen:
+                    seen[key] = meta.client_tuple
+        return list(seen.values())

@@ -1,0 +1,137 @@
+"""Query API: turn indexed records back into reassembled streams.
+
+A query selects records by five-tuple and/or time range through the
+:class:`~repro.store.index.StoreIndex`, reads the matching payloads
+from their segments, and assembles them per stream direction.  Records
+carry their ``stream_offset``, so assembly sorts by offset and trims
+any overlap between adjacent records — re-recorded bytes (chunk
+overlap, retransmission re-delivery) never appear twice in the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..netstack.flows import FiveTuple
+from .index import RecordMeta, SegmentMeta, StoreIndex
+from .segment import StreamRecord, scan_records
+
+__all__ = ["StreamPayload", "QueryResult", "run_query"]
+
+
+@dataclass
+class StreamPayload:
+    """One reassembled stream direction returned by a query."""
+
+    #: Connection identity from the client's perspective.
+    client_tuple: FiveTuple
+    #: 0 = client-to-server bytes, 1 = server-to-client bytes.
+    direction: int
+    #: Reassembled payload (offset-sorted, overlap-deduplicated).
+    data: bytes
+    #: Simulated timestamp of the first contributing record.
+    first_ts: float
+    #: Simulated timestamp of the last contributing record.
+    last_ts: float
+    #: Stream offset of the first stored byte (0 unless the head was evicted).
+    base_offset: int
+    #: Bytes missing to gaps between stored records (eviction holes).
+    gap_bytes: int = 0
+
+    @property
+    def directional_tuple(self) -> FiveTuple:
+        """Five-tuple with the sender of these bytes as the source."""
+        return self.client_tuple if self.direction == 0 else self.client_tuple.reversed()
+
+
+@dataclass
+class QueryResult:
+    """All streams matched by one query, in first-timestamp order."""
+
+    streams: List[StreamPayload] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[StreamPayload]:
+        return iter(self.streams)
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total reassembled payload bytes across all matched streams."""
+        return sum(len(stream.data) for stream in self.streams)
+
+    def connections(self) -> List[FiveTuple]:
+        """Distinct client-perspective connections in this result."""
+        seen = []
+        for stream in self.streams:
+            if stream.client_tuple not in seen:
+                seen.append(stream.client_tuple)
+        return seen
+
+
+def run_query(
+    index: StoreIndex,
+    five_tuple: Optional[FiveTuple] = None,
+    start_ts: Optional[float] = None,
+    end_ts: Optional[float] = None,
+) -> QueryResult:
+    """Select, load, and reassemble matching streams from the store.
+
+    Payloads are read segment-by-segment (one sequential scan per
+    segment that contributed a match), then grouped by connection and
+    direction, offset-sorted, and overlap-trimmed.
+    """
+    matches: Dict[str, List[RecordMeta]] = {}
+    segments: Dict[str, SegmentMeta] = {}
+    for segment, meta in index.lookup(five_tuple, start_ts, end_ts):
+        matches.setdefault(segment.path, []).append(meta)
+        segments[segment.path] = segment
+    groups: Dict[Tuple[Tuple[int, int, int, int, int], int], List[StreamRecord]] = {}
+    group_tuple: Dict[Tuple[Tuple[int, int, int, int, int], int], FiveTuple] = {}
+    for path, metas in matches.items():
+        wanted = {meta.file_offset for meta in metas}
+        for offset, record in scan_records(path):
+            if offset not in wanted:
+                continue
+            key = (StoreIndex._key(record.client_tuple), record.direction)
+            groups.setdefault(key, []).append(record)
+            group_tuple.setdefault(key, record.client_tuple)
+    streams = [
+        _assemble(group_tuple[key], key[1], records) for key, records in groups.items()
+    ]
+    streams.sort(key=lambda stream: (stream.first_ts, stream.client_tuple, stream.direction))
+    return QueryResult(streams=streams)
+
+
+def _assemble(
+    client_tuple: FiveTuple, direction: int, records: List[StreamRecord]
+) -> StreamPayload:
+    """Offset-sort, dedup overlap, and concatenate one direction."""
+    records = sorted(records, key=lambda record: (record.stream_offset, -len(record.data)))
+    parts: List[bytes] = []
+    base_offset = records[0].stream_offset
+    next_offset = base_offset
+    gap_bytes = 0
+    first_ts = min(record.timestamp for record in records)
+    last_ts = max(record.timestamp for record in records)
+    for record in records:
+        end = record.stream_offset + len(record.data)
+        if end <= next_offset:
+            continue  # fully duplicated bytes
+        if record.stream_offset > next_offset:
+            gap_bytes += record.stream_offset - next_offset
+            parts.append(record.data)
+        else:
+            parts.append(record.data[next_offset - record.stream_offset :])
+        next_offset = end
+    return StreamPayload(
+        client_tuple=client_tuple,
+        direction=direction,
+        data=b"".join(parts),
+        first_ts=first_ts,
+        last_ts=last_ts,
+        base_offset=base_offset,
+        gap_bytes=gap_bytes,
+    )

@@ -1,0 +1,372 @@
+"""The store's async writer pipeline: spill queues + writer threads.
+
+Recording must never stall the capture path, so deliveries are
+*enqueued* on bounded per-core spill queues and written to segment
+files by writer threads — the same decoupling the PF_RING/n2disk dump
+pipelines use.  Three properties are enforced here:
+
+* **bounded memory** — each queue holds at most ``queue_bytes`` of
+  payload; an enqueue that does not fit evicts queued records
+  *oldest-lowest-priority first* (mirroring PPL semantics: under
+  pressure, high-priority streams and stream heads survive), and if
+  the incoming record's priority is below everything queued, the
+  incoming record itself is dropped;
+* **balanced accounting** — every enqueued byte is eventually either
+  written to a segment or counted as dropped; the ledger
+  ``enqueued == written + dropped`` must balance to zero outstanding
+  at teardown (checked by the store sanitizer);
+* **deterministic tests** — writer threads are optional.  Without
+  ``start_threads()`` the queues drain synchronously whenever they
+  cross half their bound (and on ``drain()``/``close()``), which makes
+  every byte's fate a pure function of the input sequence.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from threading import Event as _StopFlag
+from typing import Deque, List, Optional, Tuple
+
+from ..observability import NULL_OBSERVABILITY, Observability
+from .segment import SegmentInfo, SegmentWriter, StreamRecord
+
+__all__ = ["SpillQueue", "StoreWriter", "DEFAULT_QUEUE_BYTES", "DEFAULT_SEGMENT_BYTES"]
+
+DEFAULT_QUEUE_BYTES = 4 << 20
+DEFAULT_SEGMENT_BYTES = 16 << 20
+
+
+class SpillQueue:
+    """One core's bounded spill queue of pending stream records.
+
+    All mutations happen under the queue's lock so the optional writer
+    threads and the enqueueing capture path never race; payload bytes
+    are tracked so the bound is a *byte* budget, not a record count.
+    """
+
+    def __init__(self, core: int, queue_bytes: int):
+        if queue_bytes <= 0:
+            raise ValueError("queue_bytes must be positive")
+        self.core = core
+        self.queue_bytes = queue_bytes
+        self._lock = threading.Lock()
+        self._records: Deque[StreamRecord] = deque()
+        self.depth_bytes = 0
+        self.enqueued_records = 0
+        self.enqueued_bytes = 0
+        self.dropped_records = 0
+        self.dropped_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def offer(self, record: StreamRecord) -> Tuple[bool, List[StreamRecord]]:
+        """Enqueue ``record``; return (accepted, victims_evicted).
+
+        Overflow policy mirrors PPL: evict the queued record with the
+        lowest priority (oldest among equals) until the newcomer fits;
+        if the newcomer's priority is strictly below every queued
+        record's, drop the newcomer instead.
+        """
+        size = len(record.data)
+        victims: List[StreamRecord] = []
+        with self._lock:
+            self.enqueued_records += 1
+            self.enqueued_bytes += size
+            if size > self.queue_bytes:
+                self.dropped_records += 1
+                self.dropped_bytes += size
+                return False, victims
+            while self.depth_bytes + size > self.queue_bytes:
+                victim_index = self._lowest_priority_index()
+                victim = self._records[victim_index]
+                if victim.priority > record.priority:
+                    # Everything queued outranks the newcomer: drop it.
+                    self.dropped_records += 1
+                    self.dropped_bytes += size
+                    return False, victims
+                del self._records[victim_index]
+                self.depth_bytes -= len(victim.data)
+                self.dropped_records += 1
+                self.dropped_bytes += len(victim.data)
+                victims.append(victim)
+            self._records.append(record)
+            self.depth_bytes += size
+            return True, victims
+
+    def _lowest_priority_index(self) -> int:
+        """Index of the oldest record among the lowest priority queued."""
+        best_index = 0
+        best_priority = self._records[0].priority
+        for index in range(1, len(self._records)):
+            if self._records[index].priority < best_priority:
+                best_priority = self._records[index].priority
+                best_index = index
+        return best_index
+
+    def pop_all(self) -> List[StreamRecord]:
+        """Remove and return everything queued (drain step)."""
+        with self._lock:
+            drained = list(self._records)
+            self._records.clear()
+            self.depth_bytes = 0
+            return drained
+
+
+class StoreWriter:
+    """Per-core spill queues feeding per-core segment series on disk.
+
+    Each core owns its own segment series (``seg-<core>-<nnnnnn>``), so
+    concurrent writer threads never contend on a file.  Segments roll
+    at ``segment_bytes`` and sealed segments are reported through
+    ``on_seal`` (the store wires this to its index).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        cores: int = 1,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        compress: bool = False,
+        fsync: bool = False,
+        observability: Optional[Observability] = None,
+        sanitizers: Optional[object] = None,
+        on_seal=None,
+        start_sequence: int = 0,
+    ):
+        if cores < 1:
+            raise ValueError("need at least one core queue")
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.compress = compress
+        self.fsync = fsync
+        self.queues = [SpillQueue(core, queue_bytes) for core in range(cores)]
+        self.written_records = 0
+        self.written_bytes = 0
+        self.disk_bytes_sealed = 0
+        self.compressed_saved = 0
+        self.segments_sealed = 0
+        self._active: List[Optional[SegmentWriter]] = [None] * cores
+        self._sequence = start_sequence
+        self._io_lock = threading.Lock()
+        self._on_seal = on_seal
+        self._san = sanitizers
+        self._obs = observability or NULL_OBSERVABILITY
+        registry = self._obs.registry
+        self._m_enqueued = registry.counter(
+            "scap_store_enqueued_bytes_total", "payload bytes offered to the spill queues"
+        )
+        self._m_written = registry.counter(
+            "scap_store_written_bytes_total", "payload bytes appended to segment files"
+        )
+        self._m_dropped = registry.counter(
+            "scap_store_dropped_bytes_total",
+            "payload bytes dropped by spill-queue overflow",
+        )
+        self._m_sealed = registry.counter(
+            "scap_store_segments_sealed_total", "segments sealed (footer + fsync)"
+        )
+        self._m_depth_family = registry.gauge(
+            "scap_store_queue_depth_bytes",
+            "spill-queue occupancy in payload bytes, per core",
+            labels=("core",),
+        )
+        self._m_depth = [self._m_depth_family.labels(core) for core in range(cores)]
+        self._threads: List[threading.Thread] = []
+        self._stop = _StopFlag()
+        self._wakeup = threading.Condition()
+
+    # ------------------------------------------------------------------
+    def attach_sanitizers(self, sanitizers: Optional[object]) -> None:  # scapcheck: single-owner
+        """Late-bind a sanitizer context (e.g. the capture runtime's).
+
+        Only valid before any bytes were enqueued — the ledger must see
+        the writer's whole lifetime or teardown balance is meaningless.
+        """
+        if sanitizers is None or self._san is not None:
+            return
+        if self.enqueued_bytes or self.written_bytes:
+            raise ValueError("cannot attach sanitizers to a writer already in use")
+        self._san = sanitizers
+
+    @property
+    def cores(self) -> int:
+        """Number of per-core spill queues."""
+        return len(self.queues)
+
+    @property
+    def enqueued_bytes(self) -> int:
+        """Total payload bytes ever offered to the queues."""
+        return sum(queue.enqueued_bytes for queue in self.queues)
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Total payload bytes dropped by queue overflow."""
+        return sum(queue.dropped_bytes for queue in self.queues)
+
+    @property
+    def dropped_records(self) -> int:
+        """Records dropped by queue overflow."""
+        return sum(queue.dropped_records for queue in self.queues)
+
+    @property
+    def queue_depth_bytes(self) -> int:
+        """Payload bytes currently sitting in the spill queues."""
+        return sum(queue.depth_bytes for queue in self.queues)
+
+    @property
+    def outstanding_bytes(self) -> int:
+        """Ledger balance: enqueued minus (written + dropped)."""
+        return self.enqueued_bytes - self.written_bytes - self.dropped_bytes
+
+    # ------------------------------------------------------------------
+    def enqueue(self, core: int, record: StreamRecord) -> bool:
+        """Offer a record to ``core``'s queue; False if it was dropped.
+
+        In synchronous mode (no threads running) the queue is drained
+        inline once it crosses half its byte bound, so memory stays
+        bounded without any background machinery.
+        """
+        queue = self.queues[core % len(self.queues)]
+        accepted, _victims = queue.offer(record)
+        if self._san is not None:
+            self._san.store.on_enqueue(len(record.data))
+            if not accepted:
+                self._san.store.on_drop(len(record.data))
+            for victim in _victims:
+                self._san.store.on_drop(len(victim.data))
+        if self._obs.enabled:
+            self._m_enqueued.inc(len(record.data))
+            dropped = (0 if accepted else len(record.data)) + sum(
+                len(victim.data) for victim in _victims
+            )
+            if dropped:
+                self._m_dropped.inc(dropped)
+            self._m_depth[queue.core].set(queue.depth_bytes)
+        if self._threads:
+            with self._wakeup:
+                self._wakeup.notify_all()
+        elif queue.depth_bytes * 2 >= queue.queue_bytes:
+            self.drain(queue.core)
+        return accepted
+
+    def drain(self, core: Optional[int] = None) -> int:
+        """Write queued records to segments; return records written."""
+        cores = range(len(self.queues)) if core is None else [core]
+        written = 0
+        for index in cores:
+            written += self._drain_one(index)
+        return written
+
+    def _drain_one(self, core: int) -> int:
+        queue = self.queues[core]
+        records = queue.pop_all()
+        if not records:
+            return 0
+        with self._io_lock:
+            writer = self._writer_for(core)
+            for record in records:
+                writer.append(record)
+                self.written_records += 1
+                self.written_bytes += len(record.data)
+                if self._san is not None:
+                    self._san.store.on_write(len(record.data))
+                if writer.disk_bytes >= self.segment_bytes:
+                    self._seal_active(core)
+                    writer = self._writer_for(core)
+        if self._obs.enabled:
+            self._m_written.inc(sum(len(record.data) for record in records))
+            self._m_depth[core].set(queue.depth_bytes)
+        return len(records)
+
+    def _writer_for(self, core: int) -> SegmentWriter:  # scapcheck: single-owner
+        writer = self._active[core]
+        if writer is None:
+            name = f"seg-{core}-{self._sequence:06d}.scap"
+            self._sequence += 1
+            writer = SegmentWriter(
+                os.path.join(self.directory, name),
+                core=core,
+                compress=self.compress,
+                fsync=self.fsync,
+            )
+            self._active[core] = writer
+        return writer
+
+    def _seal_active(self, core: int) -> Optional[SegmentInfo]:  # scapcheck: single-owner
+        writer = self._active[core]
+        if writer is None or writer.record_count == 0:
+            if writer is not None:
+                # Empty segment: remove the header-only file.
+                writer.close()
+                os.unlink(writer.path)
+                self._active[core] = None
+            return None
+        self.compressed_saved += writer.compressed_saved
+        info = writer.seal()
+        self._active[core] = None
+        self.segments_sealed += 1
+        self.disk_bytes_sealed += info.disk_bytes
+        if self._obs.enabled:
+            self._m_sealed.inc()
+        if self._on_seal is not None:
+            self._on_seal(info)
+        return info
+
+    def seal_all(self) -> List[SegmentInfo]:
+        """Drain every queue and seal every active segment."""
+        self.drain()
+        infos = []
+        with self._io_lock:
+            for core in range(len(self.queues)):
+                info = self._seal_active(core)
+                if info is not None:
+                    infos.append(info)
+        return infos
+
+    # ------------------------------------------------------------------
+    # Optional background writer threads
+    # ------------------------------------------------------------------
+    def start_threads(self) -> None:  # scapcheck: single-owner
+        """Start one writer thread per core queue."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for core in range(len(self.queues)):
+            thread = threading.Thread(
+                target=self._thread_main, args=(core,), name=f"store-writer-{core}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop_threads(self) -> None:  # scapcheck: single-owner
+        """Stop the writer threads after draining their queues."""
+        if not self._threads:
+            return
+        self._stop.set()
+        with self._wakeup:
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self.drain()
+
+    def _thread_main(self, core: int) -> None:
+        while not self._stop.is_set():
+            if self._drain_one(core) == 0:
+                with self._wakeup:
+                    self._wakeup.wait(timeout=0.05)
+        self._drain_one(core)
+
+    # ------------------------------------------------------------------
+    def close(self) -> List[SegmentInfo]:
+        """Stop threads, drain, seal; verify the byte ledger balances."""
+        self.stop_threads()
+        infos = self.seal_all()
+        if self._san is not None:
+            self._san.store.check_teardown(self)
+        return infos

@@ -15,6 +15,12 @@ Subcommands:
   trace-event ring buffer (pipeline decisions in time order).
 * ``scapcheck`` — run the repo-specific static analysis (SC001–SC005)
   over source paths (see docs/STATIC_ANALYSIS.md).
+* ``record``   — capture a trace under a cutoff and persist the
+  delivered streams into an on-disk stream store (docs/STORE.md).
+* ``query``    — look up stored streams by five-tuple / time range and
+  print (or dump) the reassembled payloads.
+* ``replay``   — re-inject a stored query result through a fresh Scap
+  socket, closing the record→query→replay loop.
 
 Examples::
 
@@ -25,6 +31,9 @@ Examples::
     repro-scap stats --flows 200 --rate 4.0 --format json
     repro-scap trace --flows 200 --rate 6.0 --hook ppl_drop --limit 20
     repro-scap scapcheck src/repro
+    repro-scap record --flows 200 --cutoff 10240 --store /tmp/tm
+    repro-scap query --store /tmp/tm --flow 10.0.0.1:1234-10.1.0.1:80/tcp
+    repro-scap replay --store /tmp/tm --rate 0.5
 """
 
 from __future__ import annotations
@@ -163,6 +172,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+
+    record = sub.add_parser(
+        "record", help="capture a trace into a persistent stream store"
+    )
+    record_source = record.add_mutually_exclusive_group(required=False)
+    record_source.add_argument("--pcap", help="read packets from a pcap file")
+    record_source.add_argument("--flows", type=int, default=300,
+                               help="or synthesize this many flows")
+    record.add_argument("--seed", type=int, default=7)
+    record.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
+    record.add_argument("--cutoff", type=int, default=None,
+                        help="per-stream byte cutoff (time-machine head)")
+    record.add_argument("--memory-mb", type=int, default=64)
+    record.add_argument("--store", required=True, help="store directory")
+    record.add_argument("--cores", type=int, default=2,
+                        help="writer spill queues / segment series")
+    record.add_argument("--compress", action="store_true",
+                        help="zlib-compress record bodies")
+    record.add_argument("--segment-mb", type=int, default=16,
+                        help="roll segments at this size")
+    record.add_argument("--queue-kb", type=int, default=4096,
+                        help="per-core spill-queue byte bound")
+    record.add_argument("--max-bytes", type=int, default=None,
+                        help="retention: cap the store's disk footprint")
+    record.add_argument("--max-age", type=float, default=None,
+                        help="retention: drop records older than this (sim s)")
+    record.add_argument("--class-quota", action="append", default=None,
+                        metavar="BPF=BYTES",
+                        help="retention: per-BPF-class payload budget "
+                             "(repeatable), e.g. 'port 80=1000000'")
+
+    query = sub.add_parser("query", help="look up streams in a stream store")
+    query.add_argument("--store", required=True, help="store directory")
+    query.add_argument("--flow", default=None, metavar="IP:PORT-IP:PORT/PROTO",
+                       help="five-tuple filter, e.g. 10.0.0.1:1234-10.1.0.1:80/tcp")
+    query.add_argument("--start", type=float, default=None,
+                       help="earliest record timestamp (sim s)")
+    query.add_argument("--end", type=float, default=None,
+                       help="latest record timestamp (sim s)")
+    query.add_argument("--dump", metavar="DIR", default=None,
+                       help="write each stream payload to a file under DIR")
+    query.add_argument("--limit", type=int, default=20,
+                       help="print at most N streams (0 = all)")
+
+    replay = sub.add_parser(
+        "replay", help="re-inject stored streams through a fresh Scap socket"
+    )
+    replay.add_argument("--store", required=True, help="store directory")
+    replay.add_argument("--flow", default=None, metavar="IP:PORT-IP:PORT/PROTO",
+                        help="five-tuple filter (default: everything stored)")
+    replay.add_argument("--start", type=float, default=None)
+    replay.add_argument("--end", type=float, default=None)
+    replay.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
+    replay.add_argument("--cutoff", type=int, default=None)
+    replay.add_argument("--memory-mb", type=int, default=64)
 
     analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
     analyze.add_argument("--rho", type=float, default=0.5)
@@ -409,6 +473,171 @@ def _cmd_scapcheck(args: argparse.Namespace) -> int:
     return report(violations, errors)
 
 
+def _parse_flow(text: str):
+    """Parse ``IP:PORT-IP:PORT/proto`` into a FiveTuple."""
+    from ..netstack.addresses import ip_to_int
+    from ..netstack.flows import FiveTuple
+    from ..netstack.ip import IPProtocol
+
+    body, _, proto_name = text.partition("/")
+    proto = {
+        "": IPProtocol.TCP,
+        "tcp": IPProtocol.TCP,
+        "udp": IPProtocol.UDP,
+    }.get(proto_name.lower())
+    if proto is None:
+        raise ValueError(f"unknown protocol {proto_name!r} (use tcp or udp)")
+    try:
+        src_part, dst_part = body.split("-")
+        src_ip, src_port = src_part.rsplit(":", 1)
+        dst_ip, dst_port = dst_part.rsplit(":", 1)
+        return FiveTuple(
+            src_ip=ip_to_int(src_ip),
+            src_port=int(src_port),
+            dst_ip=ip_to_int(dst_ip),
+            dst_port=int(dst_port),
+            protocol=int(proto),
+        )
+    except ValueError as exc:
+        raise ValueError(
+            f"bad flow spec {text!r}; expected IP:PORT-IP:PORT/tcp|udp"
+        ) from exc
+
+
+def _flow_label(five_tuple, protocol: Optional[int] = None) -> str:
+    """Render a five-tuple back into the CLI's flow-spec syntax."""
+    proto = protocol if protocol is not None else five_tuple.protocol
+    name = "udp" if proto == 17 else "tcp"
+    return (
+        f"{int_to_ip(five_tuple.src_ip)}:{five_tuple.src_port}-"
+        f"{int_to_ip(five_tuple.dst_ip)}:{five_tuple.dst_port}/{name}"
+    )
+
+
+def _open_store(args: argparse.Namespace, **kwargs):
+    """Open the store directory named by ``args.store``."""
+    from ..store import StreamStore
+
+    return StreamStore(args.store, **kwargs)
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from ..apps import StreamRecorder
+    from ..store import ClassQuota, RetentionPolicy
+
+    quotas = []
+    for spec in args.class_quota or ():
+        expression, _, budget = spec.rpartition("=")
+        if not expression:
+            print(f"record: bad --class-quota {spec!r}; expected BPF=BYTES",
+                  file=sys.stderr)
+            return 2
+        quotas.append(ClassQuota(expression=expression, max_bytes=int(budget)))
+    retention = RetentionPolicy(
+        max_bytes=args.max_bytes,
+        max_age=args.max_age,
+        class_quotas=tuple(quotas),
+    )
+    trace = _load_source(args)
+    print(trace.summary())
+    store = _open_store(
+        args,
+        cores=args.cores,
+        queue_bytes=args.queue_kb << 10,
+        segment_bytes=args.segment_mb << 20,
+        compress=args.compress,
+        retention=retention,
+    )
+    recorder = StreamRecorder(store)
+    socket = ScapSocket(
+        trace, rate_bps=args.rate * GBIT, memory_size=args.memory_mb << 20
+    )
+    if args.cutoff is not None:
+        socket.set_cutoff(args.cutoff)
+    attach_app(socket, StreamDeliveryApp())
+    socket.set_store(recorder)
+    result = socket.start_capture(name="scap-record")
+    stats = store.close()
+    print(result.row())
+    wire = trace.total_wire_bytes
+    print(
+        f"stored {stats.stored_bytes / 1e6:.2f} MB in {stats.record_count} "
+        f"records across {stats.segment_count} segments "
+        f"({stats.disk_bytes / 1e6:.2f} MB on disk)"
+    )
+    if stats.writer_queue_drops or stats.evicted_records:
+        print(
+            f"writer queue dropped {stats.writer_queue_drops} records "
+            f"({stats.writer_queue_drop_bytes} B); retention evicted "
+            f"{stats.evicted_records} records ({stats.evicted_bytes} B)"
+        )
+    if wire:
+        print(
+            f"storage reduction: {stats.stored_bytes / 1e6:.2f} MB kept of "
+            f"{wire / 1e6:.2f} MB on the wire "
+            f"({100.0 * (1 - stats.stored_bytes / wire):.1f}% saved)"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import os
+
+    store = _open_store(args)
+    flow = _parse_flow(args.flow) if args.flow else None
+    result = store.query(flow, start_ts=args.start, end_ts=args.end)
+    store.close(enforce_retention=False)
+    print(
+        f"{len(result.streams)} streams / {len(result.connections())} connections, "
+        f"{result.total_bytes} payload bytes"
+    )
+    shown = result.streams[: args.limit] if args.limit > 0 else result.streams
+    for stream in shown:
+        arrow = "->" if stream.direction == 0 else "<-"
+        print(
+            f"  {_flow_label(stream.client_tuple)} {arrow} "
+            f"{len(stream.data)} B @ offset {stream.base_offset} "
+            f"[{stream.first_ts:.6f}, {stream.last_ts:.6f}]"
+            + (f" ({stream.gap_bytes} B gaps)" if stream.gap_bytes else "")
+        )
+    if len(shown) < len(result.streams):
+        print(f"  ... {len(result.streams) - len(shown)} more")
+    if args.dump:
+        os.makedirs(args.dump, exist_ok=True)
+        for number, stream in enumerate(result.streams):
+            name = f"stream-{number:04d}-dir{stream.direction}.bin"
+            with open(os.path.join(args.dump, name), "wb") as handle:
+                handle.write(stream.data)
+        print(f"dumped {len(result.streams)} payloads to {args.dump}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    flow = _parse_flow(args.flow) if args.flow else None
+    source = store.replay_source(flow, start_ts=args.start, end_ts=args.end)
+    store.close(enforce_retention=False)
+    trace = source.as_trace()
+    if not trace.packets:
+        print("nothing stored matches the selection; nothing to replay")
+        return 1
+    print(trace.summary())
+    socket = ScapSocket(
+        trace, rate_bps=args.rate * GBIT, memory_size=args.memory_mb << 20
+    )
+    if args.cutoff is not None:
+        socket.set_cutoff(args.cutoff)
+    app = StreamDeliveryApp()
+    attach_app(socket, app)
+    result = socket.start_capture(name="scap-replay")
+    print(result.row())
+    print(
+        f"replayed {result.delivered_bytes / 1e6:.2f} MB in "
+        f"{result.delivered_events} events; {result.streams_created} streams"
+    )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.rho_high is None:
         print(f"M/M/1/N loss probability at rho={args.rho}")
@@ -443,6 +672,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "scapcheck": _cmd_scapcheck,
+        "record": _cmd_record,
+        "query": _cmd_query,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args)
 

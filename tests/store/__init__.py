@@ -1,0 +1,1 @@
+"""Tests for the persistent stream store (src/repro/store)."""

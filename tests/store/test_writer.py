@@ -1,0 +1,144 @@
+"""Writer pipeline: bounded queues, PPL-style overflow, balanced ledger."""
+
+import pytest
+
+from repro.netstack import FiveTuple, IPProtocol
+from repro.sanitizers import InvariantViolation, SanitizerContext
+from repro.store import SpillQueue, StoreWriter, StreamRecord, StreamStore
+
+
+def _record(n=0, size=100, priority=0):
+    return StreamRecord(
+        five_tuple=FiveTuple(10, 1000 + n, 20, 80, IPProtocol.TCP),
+        direction=0,
+        stream_offset=0,
+        timestamp=float(n),
+        data=bytes([n % 251]) * size,
+        priority=priority,
+    )
+
+
+class TestSpillQueue:
+    def test_accepts_until_full(self):
+        queue = SpillQueue(0, queue_bytes=250)
+        assert queue.offer(_record(0))[0]
+        assert queue.offer(_record(1))[0]
+        assert queue.depth_bytes == 200
+
+    def test_overflow_evicts_lowest_priority_oldest_first(self):
+        queue = SpillQueue(0, queue_bytes=300)
+        low_old = _record(0, priority=1)
+        low_new = _record(1, priority=1)
+        high = _record(2, priority=5)
+        for record in (low_old, low_new, high):
+            assert queue.offer(record)[0]
+        accepted, victims = queue.offer(_record(3, priority=5))
+        assert accepted
+        assert victims == [low_old]  # oldest among the lowest priority
+        assert queue.dropped_bytes == 100
+
+    def test_newcomer_dropped_when_outranked(self):
+        queue = SpillQueue(0, queue_bytes=200)
+        for n in range(2):
+            assert queue.offer(_record(n, priority=9))[0]
+        accepted, victims = queue.offer(_record(2, priority=0))
+        assert not accepted and victims == []
+        assert queue.depth_bytes == 200  # high-priority work untouched
+        assert queue.dropped_records == 1
+
+    def test_oversized_record_dropped_outright(self):
+        queue = SpillQueue(0, queue_bytes=100)
+        accepted, victims = queue.offer(_record(0, size=101))
+        assert not accepted and victims == []
+        assert queue.depth_bytes == 0
+
+
+class TestStoreWriter:
+    def test_ledger_balances_at_close(self, tmp_path):
+        writer = StoreWriter(str(tmp_path), cores=2, queue_bytes=1 << 20)
+        total = 0
+        for n in range(50):
+            assert writer.enqueue(n % 2, _record(n))
+            total += 100
+        writer.close()
+        assert writer.written_bytes == total
+        assert writer.dropped_bytes == 0
+        assert writer.outstanding_bytes == 0
+        assert writer.queue_depth_bytes == 0
+
+    def test_overflow_counts_into_ledger(self, tmp_path):
+        # Queue bound of 250 B and 100 B records: inline drain triggers
+        # at >=125 B depth, so no overflow happens synchronously; force
+        # it by offering an oversized record.
+        writer = StoreWriter(str(tmp_path), cores=1, queue_bytes=250)
+        assert writer.enqueue(0, _record(0))
+        assert not writer.enqueue(0, _record(1, size=300))
+        writer.close()
+        assert writer.written_bytes == 100
+        assert writer.dropped_bytes == 300
+        assert writer.outstanding_bytes == 0
+
+    def test_segments_roll_at_size(self, tmp_path):
+        sealed = []
+        writer = StoreWriter(
+            str(tmp_path), cores=1, segment_bytes=1000, on_seal=sealed.append
+        )
+        for n in range(30):
+            writer.enqueue(0, _record(n, size=200))
+        writer.close()
+        assert writer.segments_sealed == len(sealed) >= 2
+        assert sum(info.record_count for info in sealed) == 30
+
+    def test_per_core_segment_series(self, tmp_path):
+        writer = StoreWriter(str(tmp_path), cores=3)
+        for core in range(3):
+            writer.enqueue(core, _record(core))
+        infos = writer.close()
+        assert sorted(info.core for info in infos) == [0, 1, 2]
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert [name.split("-")[1] for name in names] == ["0", "1", "2"]
+
+    def test_threaded_writers_drain_everything(self, tmp_path):
+        store = StreamStore(str(tmp_path), cores=2, use_threads=True)
+        for n in range(200):
+            store.append(_record(n), core=n % 2)
+        stats = store.close()
+        assert stats.written_bytes == 200 * 100
+        assert stats.queue_depth_bytes == 0
+        assert stats.stored_bytes == 200 * 100
+
+    def test_attach_sanitizers_rejected_once_in_use(self, tmp_path):
+        writer = StoreWriter(str(tmp_path), cores=1)
+        writer.enqueue(0, _record(0))
+        with pytest.raises(ValueError):
+            writer.attach_sanitizers(SanitizerContext())
+        writer.close()
+
+
+class TestStoreSanitizer:
+    def test_silent_on_balanced_pipeline(self, tmp_path):
+        san = SanitizerContext()
+        writer = StoreWriter(str(tmp_path), cores=1, sanitizers=san)
+        for n in range(20):
+            writer.enqueue(0, _record(n))
+        writer.close()  # runs check_teardown; must not raise
+        assert san.store.outstanding == 0
+
+    def test_seeded_vanishing_bytes_fire_at_teardown(self, tmp_path):
+        """Seeded violation: bytes popped from a queue but never written
+        or counted as dropped must trip the store-accounting sanitizer."""
+        san = SanitizerContext()
+        writer = StoreWriter(str(tmp_path), cores=1, queue_bytes=1 << 20, sanitizers=san)
+        writer.enqueue(0, _record(0))
+        writer.queues[0].pop_all()  # simulate a buggy drain losing records
+        with pytest.raises(InvariantViolation) as excinfo:
+            writer.close()
+        assert excinfo.value.invariant == "store-accounting"
+        assert excinfo.value.details["outstanding"] == 100
+
+    def test_seeded_overcounted_write_fires_immediately(self):
+        san = SanitizerContext()
+        san.store.on_enqueue(50)
+        with pytest.raises(InvariantViolation) as excinfo:
+            san.store.on_write(80)  # wrote more than was ever enqueued
+        assert excinfo.value.invariant == "store-accounting"
