@@ -7,8 +7,12 @@ benchmark replays the same workload three ways — no Observability
 object (baseline), Observability(enabled=False), and
 Observability(enabled=True) — and reports wall-clock per replay.
 
-Acceptance gate: disabled overhead within 3% of baseline (asserted
-with headroom for timer noise on shared CI runners).
+Acceptance gate: disabled overhead within 2% of baseline.  That
+includes the stage profiler's bookkeeping — per-stage cycle buckets are
+maintained unconditionally (identical code enabled or disabled), so
+profiling must not move the disabled/baseline ratio.  Wall-clock noise
+is tamed by interleaving the configurations round-robin and taking the
+best of several rounds.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from repro.observability import Observability
 from repro.traffic import campus_mix
 
 GBIT = 1e9
-ROUNDS = 3
+ROUNDS = 5
 RATE = 4.0 * GBIT
 
 
@@ -39,11 +43,20 @@ def _run_once(trace, memory_size: int, observability=None) -> float:
     return time.perf_counter() - start
 
 
-def _best_of(trace, memory_size: int, make_obs) -> float:
-    """Best-of-ROUNDS wall-clock for one configuration."""
-    return min(
-        _run_once(trace, memory_size, make_obs()) for _ in range(ROUNDS)
-    )
+def _best_of_interleaved(trace, memory_size: int, factories) -> list:
+    """Best-of-ROUNDS wall-clock per configuration, interleaved.
+
+    Running the configurations round-robin (instead of all rounds of
+    one, then the next) spreads slow-host drift evenly across them, so
+    a background hiccup cannot systematically penalize one side of the
+    comparison.
+    """
+    best = [float("inf")] * len(factories)
+    for _ in range(ROUNDS):
+        for index, make_obs in enumerate(factories):
+            elapsed = _run_once(trace, memory_size, make_obs())
+            best[index] = min(best[index], elapsed)
+    return best
 
 
 def test_observability_overhead(emit):
@@ -57,12 +70,16 @@ def test_observability_overhead(emit):
         1 << 19, int(trace.total_wire_bytes * scale.scap_memory_fraction)
     )
 
-    baseline = _best_of(trace, memory_size, lambda: None)
-    disabled = _best_of(
-        trace, memory_size, lambda: Observability(enabled=False)
-    )
-    enabled = _best_of(
-        trace, memory_size, lambda: Observability(enabled=True)
+    # Warm up allocators and code paths before timing anything.
+    _run_once(trace, memory_size, None)
+    baseline, disabled, enabled = _best_of_interleaved(
+        trace,
+        memory_size,
+        [
+            lambda: None,
+            lambda: Observability(enabled=False),
+            lambda: Observability(enabled=True),
+        ],
     )
 
     rows = [
@@ -76,8 +93,9 @@ def test_observability_overhead(emit):
         lines.append(f"{label:<30} {seconds:>9.4f} {ratio:>11.3f}x")
     emit("\n".join(lines), name="observability_overhead")
 
-    # Disabled hooks are a single boolean check; allow generous timer
-    # noise but catch anything structurally expensive sneaking in.
-    assert disabled <= baseline * 1.10, (disabled, baseline)
+    # Disabled hooks are a single boolean check, and the profiler's
+    # record() sites sit behind those same guards; anything beyond 2%
+    # means structural cost leaked onto the unobserved hot path.
+    assert disabled <= baseline * 1.02, (disabled, baseline)
     # Enabled is allowed to cost more, but not pathologically so.
     assert enabled <= baseline * 2.0, (enabled, baseline)

@@ -24,6 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..apps.recorder import StreamRecorder
     from ..store.store import StoreStats
 
+from ..observability import ProfileReport, StreamTimeline, TimelineReconstructor
+
 from ..results import RunResult
 from ..filters.bpf import BPFFilter
 from .config import DEFAULT_MEMORY_SIZE, ScapConfig
@@ -54,6 +56,8 @@ __all__ = [
     "scap_keep_stream_chunk",
     "scap_next_stream_packet",
     "scap_get_stats",
+    "scap_profile",
+    "scap_stream_timeline",
     "scap_set_store",
     "scap_store_stats",
     "scap_close",
@@ -389,6 +393,24 @@ class ScapSocket:
         """The run's :class:`~repro.observability.Observability` context."""
         return self.runtime.obs
 
+    def profile(self) -> ProfileReport:
+        """The run's per-stage breakdown of simulated busy time.
+
+        Requires an enabled observability context for the capture; with
+        observability off, the report is empty (coverage 0).
+        """
+        return self.runtime.profile()
+
+    def stream_timeline(self, five_tuple: Any) -> Optional[StreamTimeline]:
+        """One connection's reconstructed lifecycle from the trace ring.
+
+        ``five_tuple`` is a :class:`~repro.netstack.flows.FiveTuple`
+        (either direction) or its string form; returns None when the
+        ring retained no events for that connection.
+        """
+        reconstructor = TimelineReconstructor(self.runtime.obs.trace)
+        return reconstructor.for_stream(five_tuple)
+
     def export_metrics(self, fmt: str = "prometheus", indent: Optional[int] = None) -> str:
         """Serialize the run's metrics registry.
 
@@ -525,6 +547,16 @@ def scap_next_stream_packet(
 def scap_get_stats(sc: ScapSocket) -> ScapStats:
     """Read overall statistics for all streams seen so far."""
     return sc.get_stats()
+
+
+def scap_profile(sc: ScapSocket) -> ProfileReport:
+    """Read the per-stage breakdown of the run's simulated busy time."""
+    return sc.profile()
+
+
+def scap_stream_timeline(sc: ScapSocket, five_tuple: Any) -> Optional[StreamTimeline]:
+    """Reconstruct one connection's lifecycle from the trace ring."""
+    return sc.stream_timeline(five_tuple)
 
 
 def scap_set_store(sc: ScapSocket, recorder: "StreamRecorder") -> int:

@@ -52,6 +52,13 @@ from .stream import StreamDescriptor
 
 __all__ = ["ScapKernelModule", "KernelCounters"]
 
+# Indices into ``ScapKernelModule.stage_cycles`` — same order as
+# ``repro.observability.profiler.KERNEL_STAGES``.
+_ST_RECV = 0      # packet_receive: softirq base, BPF, FDIR management
+_ST_LOOKUP = 1    # flow_lookup: flow-table hashing + stream-state updates
+_ST_REASM = 2     # reassembly: defrag, segment ordering, payload copy
+_ST_ENQ = 3       # event_enqueue: event construction
+
 
 @dataclass
 class KernelCounters:
@@ -159,8 +166,13 @@ class ScapKernelModule:
         self._filter_timeouts: List[Tuple[float, int, FdirFilter, StreamPair]] = []
         self._filter_seq = 0
         self._last_sweep = 0.0
-        # Charged cycles for the packet currently being processed.
+        # Charged cycles for the packet currently being processed, with
+        # a per-stage breakdown (indices above) read by the runtime to
+        # feed the stage profiler.  Both are maintained unconditionally:
+        # the split costs one list index per charge whether or not
+        # observability is on, keeping the two paths identical.
         self._cycles = 0.0
+        self.stage_cycles: List[float] = [0.0, 0.0, 0.0, 0.0]
 
     # ------------------------------------------------------------------
     # Per-core metric handles
@@ -179,12 +191,23 @@ class ScapKernelModule:
         return handles
 
     # ------------------------------------------------------------------
+    # Cycle charging
+    # ------------------------------------------------------------------
+    def _charge(self, stage: int, cycles: float) -> None:
+        """Charge softirq cycles, attributed to one kernel stage."""
+        self._cycles += cycles
+        self.stage_cycles[stage] += cycles
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, core: int) -> float:
         """Process one packet on ``core``; return softirq cycles charged."""
         now = packet.timestamp
-        self._cycles = self.cost.softirq_per_packet
+        self._cycles = 0.0
+        stages = self.stage_cycles
+        stages[0] = stages[1] = stages[2] = stages[3] = 0.0
+        self._charge(_ST_RECV, self.cost.softirq_per_packet)
         self.counters.packets_seen += 1
         self.counters.bytes_seen += packet.wire_len
         if self.obs.enabled:
@@ -196,12 +219,12 @@ class ScapKernelModule:
         if not self.config.bpf.matches(packet):
             # Early in-kernel discard: headers touched, nothing copied.
             self.counters.filtered_out += 1
-            self._cycles += 40.0
+            self._charge(_ST_RECV, 40.0)
             return self._cycles
 
         if packet.ip is not None and packet.ip.is_fragment:
             self.counters.fragment_packets += 1
-            self._cycles += self.cost.reassembly_per_segment
+            self._charge(_ST_REASM, self.cost.reassembly_per_segment)
             whole = self._fragments.push(packet)
             if whole is None:
                 return self._cycles
@@ -211,7 +234,7 @@ class ScapKernelModule:
         if five_tuple is None:
             return self._cycles  # non-IP frames are ignored by Scap
 
-        self._cycles += self.cost.hash_lookup
+        self._charge(_ST_LOOKUP, self.cost.hash_lookup)
         if (
             packet.tcp is not None
             and not packet.payload
@@ -229,7 +252,7 @@ class ScapKernelModule:
             self._terminate(victim, now, victim.core, StreamStatus.TIMED_OUT)
         if created:
             pair.core = core
-            self._cycles += self.cost.stream_update
+            self._charge(_ST_LOOKUP, self.cost.stream_update)
             self._emit(core, Event(EventType.STREAM_CREATED, pair.client, now))
             if self.obs.enabled:
                 self.obs.trace.emit(
@@ -238,7 +261,7 @@ class ScapKernelModule:
                 )
         direction = pair.direction_of(five_tuple)
         stream = pair.descriptor(direction)
-        self._cycles += self.cost.stream_update
+        self._charge(_ST_LOOKUP, self.cost.stream_update)
         self._update_stats(stream, packet, now)
         self.counters.packets_by_priority[stream.priority] = (
             self.counters.packets_by_priority.get(stream.priority, 0) + 1
@@ -284,6 +307,7 @@ class ScapKernelModule:
             reassembler = TCPDirectionReassembler(
                 mode=mode, policy=policy, observability=self.obs,
                 sanitizers=self._san,
+                stream_label=str(stream.five_tuple),
             )
             pair.reassemblers[direction] = reassembler
         return reassembler
@@ -390,10 +414,11 @@ class ScapKernelModule:
                 self.obs.trace.emit(
                     now, HOOK_PPL_DROP, core=core, priority=stream.priority,
                     reason=decision.reason, bytes=len(packet.payload),
+                    five_tuple=str(stream.five_tuple),
                 )
             return
 
-        self._cycles += self.cost.reassembly_per_segment
+        self._charge(_ST_REASM, self.cost.reassembly_per_segment)
         # Compute the packet's stream position before reassembly moves
         # the expected pointer (needed for per-packet delivery records).
         record_offset = (
@@ -479,6 +504,7 @@ class ScapKernelModule:
                 self.obs.trace.emit(
                     now, HOOK_PPL_DROP, core=core, priority=stream.priority,
                     reason=decision.reason, bytes=len(payload),
+                    five_tuple=str(stream.five_tuple),
                 )
             return
         record_offset = assembler.stream_offset
@@ -521,7 +547,7 @@ class ScapKernelModule:
             data = data[:remaining]
             truncated = True
         if data:
-            if not self.memory.try_store(now, len(data)):
+            if not self.memory.try_store(now, len(data), str(stream.five_tuple)):
                 self.counters.dropped_memory += 1
                 # Memory exhaustion is the overload drop of last resort;
                 # account it per priority like a PPL drop so the PPL
@@ -536,8 +562,10 @@ class ScapKernelModule:
                 return False
             if follows_hole:
                 stream.set_error(StreamError.REASSEMBLY_HOLE)
-            self._cycles += self.cost.copy_cost(len(data))
-            self._cycles += self.cost.miss_cost(self.locality.scap_kernel_misses(len(data)))
+            self._charge(_ST_REASM, self.cost.copy_cost(len(data)))
+            self._charge(
+                _ST_REASM, self.cost.miss_cost(self.locality.scap_kernel_misses(len(data)))
+            )
             self.counters.stored_bytes += len(data)
             stream.stats.captured_bytes += len(data)
             for chunk in assembler.append(data, now, had_hole=follows_hole):
@@ -630,6 +658,13 @@ class ScapKernelModule:
             self.obs.trace.emit(
                 now, HOOK_STREAM_TERMINATED, core=core, status=status,
                 five_tuple=str(pair.client.five_tuple),
+                # Connection totals across both directions; ``bytes`` may
+                # exceed ``captured_bytes`` when FIN/RST seq numbers
+                # recovered the size of NIC-dropped data (§5.5).
+                bytes=pair.client.stats.bytes + pair.server.stats.bytes,
+                captured_bytes=(
+                    pair.client.stats.captured_bytes + pair.server.stats.captured_bytes
+                ),
             )
 
     def expire_and_drain(self, now: float) -> None:
@@ -652,7 +687,7 @@ class ScapKernelModule:
                 self._san.fdir.on_timeout(nic_filter, now)
             if self.nic.fdir.remove_filter(nic_filter):
                 self.counters.fdir_removals += 1
-                self._cycles += self.cost.fdir_filter_update
+                self._charge(_ST_RECV, self.cost.fdir_filter_update)
                 pair.nic_filters_installed = False
                 if self.obs.enabled:
                     self.obs.trace.emit(
@@ -709,14 +744,14 @@ class ScapKernelModule:
                 self._filter_timeouts, (timeout_at, self._filter_seq, nic_filter, pair)
             )
             self.counters.fdir_installs += 1
-            self._cycles += self.cost.fdir_filter_update
+            self._charge(_ST_RECV, self.cost.fdir_filter_update)
         pair.nic_filters_installed = True
 
     def _remove_filters(self, pair: StreamPair, now: float) -> None:
         removed = self.nic.fdir.remove_for_stream(pair.key)
         if removed:
             self.counters.fdir_removals += removed
-            self._cycles += self.cost.fdir_filter_update * removed
+            self._charge(_ST_RECV, self.cost.fdir_filter_update * removed)
         pair.nic_filters_installed = False
 
     def _estimate_from_seq(
@@ -745,6 +780,6 @@ class ScapKernelModule:
         self._emit(core, Event(EventType.STREAM_DATA, stream, now, chunk=chunk, reason=reason))
 
     def _emit(self, core: int, event: Event) -> None:
-        self._cycles += self.cost.event_create
+        self._charge(_ST_ENQ, self.cost.event_create)
         self.counters.events_emitted += 1
         self.emit_event(core, event)

@@ -121,8 +121,14 @@ class StreamMemory:
         self._next_address += size
         return base
 
-    def try_store(self, now: float, nbytes: int) -> bool:
-        """Account ``nbytes`` of stream data; False if memory is exhausted."""
+    def try_store(
+        self, now: float, nbytes: int, stream_label: Optional[str] = None
+    ) -> bool:
+        """Account ``nbytes`` of stream data; False if memory is exhausted.
+
+        ``stream_label`` is the owning stream's five-tuple string, used
+        only to attribute the exhaustion trace event to its stream.
+        """
         if self.pool.try_allocate(now, nbytes):
             if self._obs.enabled:
                 self._m_stored.inc(nbytes)
@@ -134,7 +140,9 @@ class StreamMemory:
         if self._obs.enabled:
             self._m_failures.inc()
             self._m_occupancy.observe(self.pool.used / self.pool.capacity)
-            self._obs.trace.emit(now, HOOK_MEMORY_EXHAUSTED, bytes=nbytes)
+            self._obs.trace.emit(
+                now, HOOK_MEMORY_EXHAUSTED, five_tuple=stream_label, bytes=nbytes
+            )
         return False
 
     def fraction_used(self, now: float) -> float:

@@ -18,7 +18,7 @@ Below ``base_threshold`` nothing is ever dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..observability import (
     DEFAULT_FRACTION_BUCKETS,
@@ -82,6 +82,9 @@ class PrioritizedPacketLoss:
             "scap_ppl_band",
             "watermark band of the last check (0 = below base threshold)",
         )
+        # Pre-resolved (priority, reason) drop counters: one dict hit on
+        # first use, then the enabled path is a bare Counter.inc.
+        self._drop_counters: Dict[Tuple[int, str], object] = {}
 
     def ensure_level(self, priority: int) -> None:
         """Grow the number of levels to cover ``priority``."""
@@ -144,4 +147,8 @@ class PrioritizedPacketLoss:
     def _count(self, priority: int, reason: str) -> None:
         self.dropped_by_priority[priority] = self.dropped_by_priority.get(priority, 0) + 1
         if self._obs.enabled:
-            self._m_drops.labels(priority, reason).inc()
+            drop_counter = self._drop_counters.get((priority, reason))
+            if drop_counter is None:
+                drop_counter = self._m_drops.labels(priority, reason)
+                self._drop_counters[(priority, reason)] = drop_counter
+            drop_counter.inc()

@@ -84,6 +84,7 @@ class TCPDirectionReassembler:
         fast_hole_segments: int = 64,
         observability: Optional[Observability] = None,
         sanitizers: Optional[object] = None,
+        stream_label: Optional[str] = None,
     ):
         if mode not in (SCAP_TCP_STRICT, SCAP_TCP_FAST):
             raise ValueError(f"unknown reassembly mode: {mode}")
@@ -100,11 +101,19 @@ class TCPDirectionReassembler:
         self.mid_stream = False
         self._obs = observability or NULL_OBSERVABILITY
         registry = self._obs.registry
+        #: The stream's directional five-tuple string, attached to trace
+        #: events so the flight recorder can attribute them (None for a
+        #: reassembler constructed outside a stream context).
+        self._stream_label = stream_label
         self._m_overlaps = registry.counter(
             "scap_reassembly_overlap_decisions_total",
             "overlapping-retransmission resolutions, by which copy won",
             labels=("winner",),
         )
+        # Pre-resolved winner children (registry contract: no .labels()
+        # lookups on the hot path).
+        self._m_overlap_new = self._m_overlaps.labels("new")
+        self._m_overlap_existing = self._m_overlaps.labels("existing")
         self._m_holes = registry.counter(
             "scap_reassembly_holes_skipped_total",
             "holes skipped by FAST-mode delivery",
@@ -246,6 +255,7 @@ class TCPDirectionReassembler:
             self._obs.trace.emit(
                 self._now,
                 HOOK_HOLE_SKIPPED,
+                five_tuple=self._stream_label,
                 hole_bytes=first.start - self._expected_offset,
                 resume_offset=first.start,
             )
@@ -281,10 +291,14 @@ class TCPDirectionReassembler:
             )
             if self._obs.enabled:
                 winner = "new" if new_wins else "existing"
-                self._m_overlaps.labels(winner).inc()
+                winner_counter = (
+                    self._m_overlap_new if new_wins else self._m_overlap_existing
+                )
+                winner_counter.inc()
                 self._obs.trace.emit(
                     self._now,
                     HOOK_OVERLAP_RESOLVED,
+                    five_tuple=self._stream_label,
                     winner=winner,
                     policy=self.policy,
                     start=overlap_start,

@@ -28,7 +28,13 @@ from ..netstack.packet import Packet
 from ..nic.fdir import FdirFilter
 from ..nic.nic import SimulatedNIC
 from ..nic.rss import SYMMETRIC_RSS_KEY
-from ..observability import NULL_OBSERVABILITY, Observability
+from ..observability import (
+    KERNEL_STAGES,
+    NULL_OBSERVABILITY,
+    STAGE_PACKET_RECEIVE,
+    Observability,
+    ProfileReport,
+)
 from ..sanitizers import SanitizerContext, sanitizers_from_env
 from .config import ScapConfig
 from .events import Event, EventType
@@ -192,6 +198,18 @@ class ScapRuntime:
             self._m_softirq_service.observe(service)
             self._m_softirq_depth[queue].set(server.occupancy(now))
         kernel_finish = server.push(now, 1, service)
+        if self.obs.enabled:
+            profiler = self.obs.profiler
+            stage_cycles = self.kernel.stage_cycles
+            for index, stage in enumerate(KERNEL_STAGES):
+                if stage_cycles[index]:
+                    profiler.record(
+                        stage, queue, self.cost.seconds(stage_cycles[index])
+                    )
+            # The packet's wait in the RX ring before its softirq ran.
+            profiler.record_wait(
+                STAGE_PACKET_RECEIVE, queue, kernel_finish - service - now
+            )
         for core, event in self._pending_events:
             self.workers.dispatch(core, event, kernel_finish)
         self._pending_events.clear()
@@ -217,6 +235,22 @@ class ScapRuntime:
             last_time = packet.timestamp
         self.finalize(last_time + self.config.inactivity_timeout + 1.0)
         return self.result(rate_bps, name=name)
+
+    def busy_seconds(self) -> float:
+        """Total simulated busy time across softirq cores and workers."""
+        return (
+            sum(server.busy_seconds for server in self.host.softirq)
+            + self.workers.busy_seconds()
+        )
+
+    def profile(self) -> ProfileReport:
+        """The per-stage critical-path breakdown of this run.
+
+        Coverage is scored against the busy time measured at the
+        virtual-time servers; with observability enabled for the whole
+        run the stage attributions reconstruct it (nearly) exactly.
+        """
+        return self.obs.profiler.report(busy_seconds=self.busy_seconds())
 
     def aggregate(self) -> AggregateStats:
         """Reduce all counters to totals — the single aggregation path.

@@ -174,8 +174,8 @@ class SharedCaptureRuntime:
                 server.reject()
                 workers.events_dropped += 1
                 continue
-            cycles = workers._service_cycles(event)
-            service = self.cost.seconds(cycles)
+            dispatch_cycles, app_cycles = workers._service_cycles(event)
+            service = self.cost.seconds(dispatch_cycles + app_cycles)
             finish = server.push(ready_time, 1, service)
             latest_finish = max(latest_finish, finish)
             workers._run_callback(event, service)  # also counts bytes

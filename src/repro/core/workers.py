@@ -12,7 +12,7 @@ virtual completion time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..kernelsim.cache import LocalityProfile
 from ..kernelsim.costmodel import CostModel
@@ -20,6 +20,8 @@ from ..kernelsim.server import QueueServer
 from ..observability import (
     HOOK_EVENT_DROPPED,
     NULL_OBSERVABILITY,
+    STAGE_EVENT_DEQUEUE,
+    STAGE_WORKER_CALLBACK,
     Observability,
 )
 from .events import Event, EventType
@@ -140,38 +142,58 @@ class WorkerPool:  # scapcheck: single-owner
                 self.obs.trace.emit(
                     ready_time, HOOK_EVENT_DROPPED, worker=worker,
                     event_type=event.event_type,
+                    five_tuple=str(event.stream.five_tuple),
                 )
             if event.chunk is not None:
                 # The data will never be consumed; reclaim immediately.
                 self.memory.release_now(ready_time, event.chunk.accounted_bytes)
             return
-        cycles = self._service_cycles(event)
-        service = self.cost.seconds(cycles)
+        dispatch_cycles, app_cycles = self._service_cycles(event)
+        service = self.cost.seconds(dispatch_cycles + app_cycles)
         finish = server.push(ready_time, 1, service)
         if self.obs.enabled:
             self._m_service.observe(service)
             self._m_depth[worker].set(server.occupancy(ready_time))
+            profiler = self.obs.profiler
+            profiler.record(
+                STAGE_EVENT_DEQUEUE, worker, self.cost.seconds(dispatch_cycles)
+            )
+            profiler.record(
+                STAGE_WORKER_CALLBACK, worker, self.cost.seconds(app_cycles)
+            )
+            # Time the event sat in the queue before its service began.
+            profiler.record_wait(
+                STAGE_EVENT_DEQUEUE, worker, finish - service - ready_time
+            )
         self._run_callback(event, service)
         if event.chunk is not None and not event.chunk.keep:
             self.memory.schedule_release(finish, event.chunk.accounted_bytes)
         self.events_processed += 1
 
-    def _service_cycles(self, event: Event) -> float:
-        cycles = self.cost.scap_event_dispatch + self.cost.user_wakeup_cost()
+    def _service_cycles(self, event: Event) -> Tuple[float, float]:
+        """(stub dispatch cycles, application/callback cycles) for one event.
+
+        The split feeds the stage profiler: queue pop + wakeup is the
+        ``event_dequeue`` stage, everything the event's payload costs
+        (byte touches, cache misses, the app's own cost hooks) is the
+        ``worker_callback`` stage.
+        """
+        dispatch = self.cost.scap_event_dispatch + self.cost.user_wakeup_cost()
+        app = 0.0
         callbacks = self.callbacks
         if event.event_type == EventType.STREAM_DATA:
             length = event.data_len
-            cycles += self.cost.scap_per_byte_touch * length
-            cycles += self.cost.miss_cost(self.locality.scap_user_misses(length))
+            app += self.cost.scap_per_byte_touch * length
+            app += self.cost.miss_cost(self.locality.scap_user_misses(length))
             if callbacks.data_cost is not None:
-                cycles += callbacks.data_cost(event)
+                app += callbacks.data_cost(event)
         elif event.event_type == EventType.STREAM_CREATED:
             if callbacks.creation_cost is not None:
-                cycles += callbacks.creation_cost(event)
+                app += callbacks.creation_cost(event)
         else:
             if callbacks.termination_cost is not None:
-                cycles += callbacks.termination_cost(event)
-        return cycles
+                app += callbacks.termination_cost(event)
+        return dispatch, app
 
     def _run_callback(self, event: Event, service: float) -> None:
         stream = event.stream

@@ -32,7 +32,21 @@ See ``docs/OBSERVABILITY.md`` for the metric and hook inventory.
 
 from __future__ import annotations
 
-from .exporters import snapshot, to_json, to_prometheus
+from .exporters import parity_errors, snapshot, to_json, to_prometheus
+from .profiler import (
+    ALL_STAGES,
+    KERNEL_STAGES,
+    STAGE_EVENT_DEQUEUE,
+    STAGE_EVENT_ENQUEUE,
+    STAGE_FLOW_LOOKUP,
+    STAGE_PACKET_RECEIVE,
+    STAGE_REASSEMBLY,
+    STAGE_STORE_DRAIN,
+    STAGE_WORKER_CALLBACK,
+    ProfileReport,
+    StageProfile,
+    StageProfiler,
+)
 from .registry import (
     DEFAULT_FRACTION_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -58,6 +72,7 @@ from .tracing import (
     TraceBuffer,
     TraceEvent,
 )
+from .timeline import StreamTimeline, TimelineReconstructor, canonical_tuple_str
 
 __all__ = [
     "Observability",
@@ -86,6 +101,22 @@ __all__ = [
     "to_prometheus",
     "to_json",
     "snapshot",
+    "parity_errors",
+    "StageProfiler",
+    "StageProfile",
+    "ProfileReport",
+    "ALL_STAGES",
+    "KERNEL_STAGES",
+    "STAGE_PACKET_RECEIVE",
+    "STAGE_FLOW_LOOKUP",
+    "STAGE_REASSEMBLY",
+    "STAGE_EVENT_ENQUEUE",
+    "STAGE_EVENT_DEQUEUE",
+    "STAGE_WORKER_CALLBACK",
+    "STAGE_STORE_DRAIN",
+    "StreamTimeline",
+    "TimelineReconstructor",
+    "canonical_tuple_str",
 ]
 
 
@@ -101,6 +132,9 @@ class Observability:
     def __init__(self, enabled: bool = False, trace_capacity: int = 4096):
         self.registry = MetricsRegistry(enabled=enabled)
         self.trace = TraceBuffer(capacity=trace_capacity, enabled=enabled)
+        #: Per-stage attribution of simulated time; its record() call
+        #: sites sit behind the components' ``obs.enabled`` guards.
+        self.profiler = StageProfiler(self.registry)
         self.enabled = enabled
 
     def enable(self) -> None:

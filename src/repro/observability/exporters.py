@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .registry import Gauge, Histogram, MetricsRegistry
 
-__all__ = ["to_prometheus", "snapshot", "to_json"]
+__all__ = ["to_prometheus", "snapshot", "to_json", "parity_errors"]
 
 
 def _format_value(value: float) -> str:
@@ -101,3 +101,62 @@ def to_json(
 ) -> str:
     """JSON text of :func:`snapshot`."""
     return json.dumps(snapshot(registry, now), indent=indent)
+
+
+def parity_errors(registry: MetricsRegistry) -> List[str]:
+    """Cross-check the Prometheus and JSON exporters against each other.
+
+    Re-parses :func:`to_prometheus`'s text output into samples and
+    compares every one against :func:`snapshot` (and vice versa); any
+    value present in one export but missing or different in the other
+    is returned as a human-readable mismatch line.  An empty list means
+    the two exporters agree sample-for-sample.
+    """
+    _LabelKey = Tuple[Tuple[str, str], ...]
+    prometheus: Dict[Tuple[str, _LabelKey], float] = {}
+    for line in to_prometheus(registry).splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_text = line.rpartition(" ")
+        name = name_part
+        labels: _LabelKey = ()
+        if "{" in name_part:
+            name, _, body = name_part.partition("{")
+            pairs = []
+            # Label values here are metric-internal tokens (core ids,
+            # stage names, bucket bounds) — never contain ',' or '"'.
+            for item in body[:-1].split(","):
+                key, _, value = item.partition("=")
+                pairs.append((key, value.strip('"')))
+            labels = tuple(sorted(pairs))
+        value = math.inf if value_text == "+Inf" else float(value_text)
+        prometheus[(name, labels)] = value
+
+    errors: List[str] = []
+
+    def check(name: str, labels: List[Tuple[str, str]], expected: float) -> None:
+        key = (name, tuple(sorted(labels)))
+        actual = prometheus.pop(key, None)
+        if actual is None:
+            errors.append(f"{name}{dict(labels)}: missing from Prometheus export")
+        elif not math.isclose(actual, expected, rel_tol=1e-9, abs_tol=0.0):
+            errors.append(
+                f"{name}{dict(labels)}: prometheus={actual!r} != json={expected!r}"
+            )
+
+    for name, family in snapshot(registry)["metrics"].items():
+        for entry in family["values"]:
+            labels = list(entry["labels"].items())
+            if family["type"] == "histogram":
+                for bucket in entry["buckets"]:
+                    bound = (
+                        "+Inf" if bucket["le"] == "+Inf" else _format_value(bucket["le"])
+                    )
+                    check(f"{name}_bucket", labels + [("le", bound)], bucket["count"])
+                check(f"{name}_sum", labels, entry["sum"])
+                check(f"{name}_count", labels, entry["count"])
+            else:
+                check(name, labels, entry["value"])
+    for name, labels in prometheus:
+        errors.append(f"{name}{dict(labels)}: missing from JSON snapshot")
+    return errors

@@ -128,6 +128,27 @@ class Histogram:
         out.append((float("inf"), running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket bounds.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * total`` (the Prometheus convention, without
+        intra-bucket interpolation).  Samples past the last finite
+        bound are reported as the last finite bound; an empty histogram
+        reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            if running >= target:
+                return bound
+        return self.bounds[-1] if self.bounds else 0.0
+
 
 class MetricFamily:
     """All children of one metric name, keyed by label values."""

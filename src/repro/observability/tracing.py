@@ -107,6 +107,37 @@ class TraceBuffer:
             return list(self._events)
         return [event for event in self._events if event.hook == hook]
 
+    def by_hook(self, *hooks: str) -> List[TraceEvent]:
+        """The retained events at any of the named hook points."""
+        wanted = set(hooks)
+        unknown = wanted - set(ALL_HOOKS)
+        if unknown:
+            raise ValueError(f"unknown hook(s): {sorted(unknown)}")
+        return [event for event in self._events if event.hook in wanted]
+
+    def by_stream(self, five_tuple) -> List[TraceEvent]:
+        """The retained events carrying a stream's five-tuple.
+
+        ``five_tuple`` is a :class:`~repro.netstack.flows.FiveTuple`
+        (either direction) or its string form; events whose
+        ``five_tuple`` field matches the tuple or its reverse are
+        returned, so both directions of a connection fold together.
+        """
+        wanted = {str(five_tuple)}
+        reverse = getattr(five_tuple, "reversed", None)
+        if callable(reverse):
+            wanted.add(str(reverse()))
+        elif isinstance(five_tuple, str) and " > " in five_tuple:
+            # "src:sp > dst:dp/proto" — reverse the textual endpoints.
+            src, _, rest = five_tuple.partition(" > ")
+            dst, _, proto = rest.rpartition("/")
+            wanted.add(f"{dst} > {src}/{proto}")
+        return [
+            event
+            for event in self._events
+            if event.fields.get("five_tuple") in wanted
+        ]
+
     def clear(self) -> None:
         """Drop all retained events (counts are kept)."""
         self._events.clear()

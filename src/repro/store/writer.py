@@ -29,7 +29,7 @@ from collections import deque
 from threading import Event as _StopFlag
 from typing import Deque, List, Optional, Tuple
 
-from ..observability import NULL_OBSERVABILITY, Observability
+from ..observability import NULL_OBSERVABILITY, STAGE_STORE_DRAIN, Observability
 from .segment import SegmentInfo, SegmentWriter, StreamRecord
 
 __all__ = ["SpillQueue", "StoreWriter", "DEFAULT_QUEUE_BYTES", "DEFAULT_SEGMENT_BYTES"]
@@ -280,6 +280,18 @@ class StoreWriter:
         if self._obs.enabled:
             self._m_written.inc(sum(len(record.data) for record in records))
             self._m_depth[core].set(queue.depth_bytes)
+            # Spill-queue wait, in *simulated* time: the drain happens no
+            # earlier than the newest record in the batch, so each
+            # record waited at least (newest - its own timestamp).  The
+            # drain itself costs no simulated service time (writer
+            # threads are off the capture path), so store_drain is a
+            # wait-only stage.
+            profiler = self._obs.profiler
+            drained_at = max(record.timestamp for record in records)
+            for record in records:
+                profiler.record_wait(
+                    STAGE_STORE_DRAIN, core, drained_at - record.timestamp
+                )
         return len(records)
 
     def _writer_for(self, core: int) -> SegmentWriter:  # scapcheck: single-owner

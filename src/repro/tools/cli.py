@@ -13,6 +13,12 @@ Subcommands:
   metrics registry (Prometheus text or JSON; see docs/OBSERVABILITY.md).
 * ``trace``    — run a capture with observability enabled and dump the
   trace-event ring buffer (pipeline decisions in time order).
+* ``profile``  — run a capture with observability enabled and print the
+  per-stage breakdown of simulated busy time (service %, p50/p99,
+  queue waits — see docs/OBSERVABILITY.md).
+* ``timeline`` — reconstruct per-stream lifecycles from the trace ring
+  (the stream flight recorder); one five-tuple's full story, or a
+  summary line per connection.
 * ``scapcheck`` — run the repo-specific static analysis (SC001–SC005)
   over source paths (see docs/STATIC_ANALYSIS.md).
 * ``record``   — capture a trace under a cutoff and persist the
@@ -30,6 +36,8 @@ Examples::
     repro-scap analyze --rho 0.5 --slots 1 10 20 50
     repro-scap stats --flows 200 --rate 4.0 --format json
     repro-scap trace --flows 200 --rate 6.0 --hook ppl_drop --limit 20
+    repro-scap profile --flows 200 --rate 6.0
+    repro-scap timeline 10.0.0.1:1234-10.1.0.1:80/tcp --flows 200 --rate 6.0
     repro-scap scapcheck src/repro
     repro-scap record --flows 200 --cutoff 10240 --store /tmp/tm
     repro-scap query --store /tmp/tm --flow 10.0.0.1:1234-10.1.0.1:80/tcp
@@ -136,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", choices=("prometheus", "json"),
                        default="prometheus", help="exporter format")
     stats.add_argument("--out", help="write the export here instead of stdout")
+    stats.add_argument("--check-parity", action="store_true",
+                       help="verify the JSON snapshot agrees sample-for-sample "
+                            "with the Prometheus export (exit 1 on mismatch)")
 
     trace_cmd = sub.add_parser(
         "trace", help="run a capture with observability on; dump trace events"
@@ -152,10 +163,50 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=ALL_HOOKS, metavar="HOOK",
                            help="only these hook points (repeatable): "
                                 + ", ".join(ALL_HOOKS))
+    trace_cmd.add_argument("--stream", default=None,
+                           metavar="IP:PORT-IP:PORT/PROTO",
+                           help="only events of this connection "
+                                "(either direction)")
     trace_cmd.add_argument("--limit", type=int, default=50,
                            help="print at most the last N events")
     trace_cmd.add_argument("--capacity", type=int, default=65536,
                            help="ring-buffer capacity during the run")
+
+    profile = sub.add_parser(
+        "profile", help="run a capture with observability on; print the "
+                        "per-stage time breakdown"
+    )
+    profile_source = profile.add_mutually_exclusive_group(required=False)
+    profile_source.add_argument("--pcap", help="read packets from a pcap file")
+    profile_source.add_argument("--flows", type=int, default=300,
+                                help="or synthesize this many flows")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
+    profile.add_argument("--cutoff", type=int, default=None)
+    profile.add_argument("--memory-mb", type=int, default=64)
+    profile.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of a table")
+
+    timeline_cmd = sub.add_parser(
+        "timeline", help="reconstruct per-stream lifecycles from the trace ring"
+    )
+    timeline_cmd.add_argument("flow", nargs="?", default=None,
+                              metavar="IP:PORT-IP:PORT/PROTO",
+                              help="one connection's full lifecycle "
+                                   "(omit to list every reconstructed stream)")
+    timeline_source = timeline_cmd.add_mutually_exclusive_group(required=False)
+    timeline_source.add_argument("--pcap", help="read packets from a pcap file")
+    timeline_source.add_argument("--flows", type=int, default=300,
+                                 help="or synthesize this many flows")
+    timeline_cmd.add_argument("--seed", type=int, default=7)
+    timeline_cmd.add_argument("--rate", type=float, default=1.0,
+                              help="replay Gbit/s")
+    timeline_cmd.add_argument("--cutoff", type=int, default=None)
+    timeline_cmd.add_argument("--memory-mb", type=int, default=64)
+    timeline_cmd.add_argument("--limit", type=int, default=30,
+                              help="summary mode: print at most N streams")
+    timeline_cmd.add_argument("--capacity", type=int, default=65536,
+                              help="ring-buffer capacity during the run")
 
     scapcheck = sub.add_parser(
         "scapcheck", help="repo-specific static analysis (SC001-SC005)"
@@ -437,13 +488,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} metrics to {args.out}")
     else:
         print(text, end="" if text.endswith("\n") else "\n")
+    if args.check_parity:
+        from ..observability import parity_errors
+
+        errors = parity_errors(socket.observability.registry)
+        if errors:
+            for error in errors[:20]:
+                print(f"parity: {error}", file=sys.stderr)
+            print(
+                f"# exporter parity check FAILED: {len(errors)} mismatches",
+                file=sys.stderr,
+            )
+            return 1
+        print("# exporter parity check passed")
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     socket = _observed_run(args, trace_capacity=args.capacity)
     buffer = socket.observability.trace
-    events = buffer.events()
+    if args.stream:
+        events = buffer.by_stream(_parse_flow(args.stream))
+    else:
+        events = buffer.events()
     if args.hook:
         events = [event for event in events if event.hook in args.hook]
     shown = events[-args.limit:] if args.limit > 0 else events
@@ -452,6 +519,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(
         f"# {len(shown)} of {len(events)} matching events shown "
         f"({buffer.emitted} emitted, {buffer.overwritten} overwritten)"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    socket = _observed_run(args)
+    report = socket.profile()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from ..observability import TimelineReconstructor
+
+    socket = _observed_run(args, trace_capacity=args.capacity)
+    reconstructor = TimelineReconstructor(socket.observability.trace)
+    if args.flow:
+        timeline = reconstructor.for_stream(_parse_flow(args.flow))
+        if timeline is None:
+            print(f"no retained trace events for {args.flow}")
+            return 1
+        print(timeline.format())
+        return 0
+    timelines = reconstructor.timelines()
+    shown = timelines[: args.limit] if args.limit > 0 else timelines
+    for timeline in shown:
+        print(timeline.summary())
+    if len(shown) < len(timelines):
+        print(f"# ... {len(timelines) - len(shown)} more")
+    print(
+        f"# {len(timelines)} connections reconstructed "
+        f"({reconstructor.unattributed} events unattributed)"
     )
     return 0
 
@@ -671,6 +775,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
+        "timeline": _cmd_timeline,
         "scapcheck": _cmd_scapcheck,
         "record": _cmd_record,
         "query": _cmd_query,

@@ -1,0 +1,107 @@
+"""The perf-regression gate: passes at baseline, trips on a slowdown."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from benchmarks import regression
+
+BASELINE = regression.BASELINE_PATH
+
+
+# ---------------------------------------------------------------------------
+# compare(): the gating arithmetic
+# ---------------------------------------------------------------------------
+def _payload(value, worse="higher"):
+    return {
+        "version": 1,
+        "tolerance": 0.15,
+        "scenarios": {
+            "s": {"metrics": {"m": {"value": value, "worse": worse}}},
+        },
+    }
+
+
+@pytest.mark.parametrize(
+    "worse,base,current,fails",
+    [
+        ("higher", 100.0, 114.0, False),   # +14%: inside tolerance
+        ("higher", 100.0, 116.0, True),    # +16%: regression
+        ("higher", 100.0, 50.0, False),    # improvement never fails
+        ("lower", 100.0, 86.0, False),     # -14%: inside tolerance
+        ("lower", 100.0, 84.0, True),      # -16%: regression
+        ("lower", 100.0, 200.0, False),    # improvement never fails
+        ("either", 100.0, 84.0, True),     # behaviour change, both ways
+        ("either", 100.0, 116.0, True),
+        ("either", 100.0, 110.0, False),
+        ("higher", 0.0, 0.0, False),       # zero baseline, unchanged
+        ("higher", 0.0, 1.0, True),        # zero baseline, appeared
+    ],
+)
+def test_compare_directions(worse, base, current, fails):
+    failures, rows = regression.compare(
+        _payload(base, worse), _payload(current, worse), tolerance=0.15
+    )
+    assert bool(failures) == fails
+    assert rows[0]["failed"] == fails
+
+
+def test_compare_flags_missing_metrics_and_scenarios():
+    base = _payload(1.0)
+    failures, _ = regression.compare(
+        base, {"scenarios": {"s": {"metrics": {}}}}, tolerance=0.15
+    )
+    assert any("missing" in failure for failure in failures)
+    failures, _ = regression.compare(base, {"scenarios": {}}, tolerance=0.15)
+    assert failures == ["s: scenario missing from current run"]
+
+
+# ---------------------------------------------------------------------------
+# The committed baseline vs live runs
+# ---------------------------------------------------------------------------
+def test_baseline_file_is_committed_and_well_formed():
+    assert os.path.exists(BASELINE), "BENCH_BASELINE.json must be committed"
+    payload = json.load(open(BASELINE))
+    assert payload["version"] == 1
+    assert set(payload["scenarios"]) == set(regression.SCENARIOS)
+    for scenario in payload["scenarios"].values():
+        assert scenario["metrics"], "every scenario must gate some metrics"
+        for entry in scenario["metrics"].values():
+            assert entry["worse"] in ("higher", "lower", "either")
+
+
+def test_gate_passes_at_baseline(capsys, tmp_path):
+    """The check mode reproduces the committed numbers exactly."""
+    out = str(tmp_path / "cmp.json")
+    assert regression.main(["--check", "--out", out]) == 0
+    assert "baseline check passed" in capsys.readouterr().out
+    report = json.load(open(out))
+    assert report["failures"] == []
+    # The simulator is deterministic: every gated metric matches the
+    # committed baseline exactly, not merely within tolerance.
+    assert all(row["change"] == 0.0 for row in report["rows"])
+    # Wall clock rides along as context but is never a gated metric.
+    assert all(
+        "wall_clock" not in row["metric"] for row in report["rows"]
+    )
+    assert "wall_clock_seconds" in report["informational"]["delivery"]["current"]
+
+
+def test_gate_fails_on_seeded_slowdown(monkeypatch, capsys, tmp_path):
+    """A 50% packet-receive slowdown must trip the 15% gate."""
+    slow = dataclasses.replace(
+        regression.DEFAULT_COST_MODEL,
+        softirq_per_packet=regression.DEFAULT_COST_MODEL.softirq_per_packet * 1.5,
+    )
+    monkeypatch.setattr(regression, "COST_MODEL", slow)
+    out = str(tmp_path / "cmp.json")
+    assert regression.main(["--check", "--out", out]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED" in captured.err
+    assert "stage_packet_receive_seconds" in captured.err
+    # The comparison artifact names the offending metric too.
+    report = json.load(open(out))
+    failing = {row["metric"] for row in report["rows"] if row["failed"]}
+    assert "stage_packet_receive_seconds" in failing

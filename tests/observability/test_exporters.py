@@ -69,3 +69,29 @@ def test_observability_export_passthroughs():
     obs.registry.counter("c_total", "count").inc(2)
     assert "c_total 2" in obs.export_prometheus()
     assert json.loads(obs.export_json())["metrics"]["c_total"]["values"][0]["value"] == 2
+
+
+def test_parity_errors_empty_on_agreeing_exporters():
+    from repro.observability import parity_errors
+
+    assert parity_errors(_populated_registry()) == []
+    # An instrumented end-to-end run agrees too (histograms, labels, inf).
+    obs = Observability(enabled=True)
+    obs.registry.histogram("h_seconds", "h", labels=("stage",)).labels("x").observe(0.2)
+    assert parity_errors(obs.registry) == []
+
+
+def test_parity_errors_reports_a_seeded_divergence(monkeypatch):
+    from repro.observability import exporters
+
+    registry = _populated_registry()
+    real = exporters.to_prometheus
+
+    def corrupted(reg):
+        # Flip one counter sample so the two exports disagree.
+        return real(reg).replace('pkts_total{core="0"} 5', 'pkts_total{core="0"} 6')
+
+    monkeypatch.setattr(exporters, "to_prometheus", corrupted)
+    errors = exporters.parity_errors(registry)
+    assert len(errors) == 1
+    assert "pkts_total" in errors[0] and "6" in errors[0] and "5" in errors[0]

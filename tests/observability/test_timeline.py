@@ -1,0 +1,165 @@
+"""Flight recorder: canonical keys, folding, and lifecycle reconstruction."""
+
+from repro.apps import StreamDeliveryApp, attach_app
+from repro.core import ScapSocket, scap_stream_timeline
+from repro.netstack.flows import FiveTuple
+from repro.observability import (
+    HOOK_CUTOFF_REACHED,
+    HOOK_FDIR_INSTALL,
+    HOOK_PPL_DROP,
+    HOOK_STREAM_CREATED,
+    HOOK_STREAM_TERMINATED,
+    Observability,
+    TimelineReconstructor,
+    TraceBuffer,
+    canonical_tuple_str,
+)
+from repro.traffic import campus_mix
+
+GBIT = 1e9
+
+CLIENT = "10.0.0.1:40000 > 10.0.0.2:80/6"
+SERVER = "10.0.0.2:80 > 10.0.0.1:40000/6"
+
+
+# ---------------------------------------------------------------------------
+# Canonical connection keys
+# ---------------------------------------------------------------------------
+def test_both_directions_share_one_key():
+    assert canonical_tuple_str(CLIENT) == canonical_tuple_str(SERVER)
+
+
+def test_canonical_key_matches_five_tuple_objects():
+    tuple_obj = FiveTuple(0x0A000001, 40000, 0x0A000002, 80, 6)
+    assert canonical_tuple_str(tuple_obj) == canonical_tuple_str(CLIENT)
+    assert canonical_tuple_str(tuple_obj.reversed()) == canonical_tuple_str(CLIENT)
+
+
+def test_non_tuple_text_passes_through():
+    assert canonical_tuple_str("not a five tuple") == "not a five tuple"
+
+
+# ---------------------------------------------------------------------------
+# Folding synthetic traces
+# ---------------------------------------------------------------------------
+def _trace(*emits):
+    buffer = TraceBuffer(capacity=64, enabled=True)
+    for time, hook, fields in emits:
+        buffer.emit(time, hook, **fields)
+    return buffer
+
+
+def test_fold_merges_directions_into_one_timeline():
+    buffer = _trace(
+        (0.1, HOOK_STREAM_CREATED, {"five_tuple": CLIENT}),
+        (0.2, HOOK_CUTOFF_REACHED, {"five_tuple": SERVER, "captured_bytes": 4096}),
+        (0.5, HOOK_STREAM_TERMINATED,
+         {"five_tuple": CLIENT, "status": "closed",
+          "captured_bytes": 4200, "bytes": 9000}),
+    )
+    recon = TimelineReconstructor(buffer)
+    assert len(recon) == 1
+    timeline = recon.for_stream(SERVER)
+    assert timeline is not None
+    assert timeline.created_at == 0.1
+    assert timeline.cutoff_at == 0.2
+    assert timeline.terminated_at == 0.5
+    assert timeline.status == "closed"
+    assert timeline.captured_bytes == 4200
+    assert timeline.recovered_bytes == 9000
+    assert timeline.complete
+    assert len(timeline.events) == 3
+
+
+def test_fold_counts_losses_and_unattributed():
+    buffer = _trace(
+        (0.1, HOOK_STREAM_CREATED, {"five_tuple": CLIENT}),
+        (0.2, HOOK_PPL_DROP, {"five_tuple": CLIENT, "bytes": 1400}),
+        (0.3, HOOK_PPL_DROP, {"five_tuple": CLIENT, "bytes": 600}),
+        (0.4, HOOK_PPL_DROP, {}),  # no five_tuple: unattributable
+    )
+    recon = TimelineReconstructor(buffer)
+    timeline = recon.for_stream(CLIENT)
+    assert timeline.ppl_drops == 2
+    assert timeline.ppl_dropped_bytes == 2000
+    assert timeline.lost_data()
+    assert recon.unattributed == 1
+
+
+def test_timelines_sorted_by_creation_time():
+    other = "10.0.0.3:1234 > 10.0.0.4:443/6"
+    buffer = _trace(
+        (0.5, HOOK_STREAM_CREATED, {"five_tuple": other}),
+        (0.1, HOOK_STREAM_CREATED, {"five_tuple": CLIENT}),
+    )
+    # The buffer iterates in insertion order; sorting is by created_at.
+    keys = [t.key for t in TimelineReconstructor(buffer).timelines()]
+    assert keys == [canonical_tuple_str(CLIENT), canonical_tuple_str(other)]
+
+
+def test_summary_and_format_mention_the_lifecycle():
+    buffer = _trace(
+        (0.1, HOOK_STREAM_CREATED, {"five_tuple": CLIENT}),
+        (0.2, HOOK_CUTOFF_REACHED, {"five_tuple": CLIENT, "captured_bytes": 4096}),
+        (0.3, HOOK_FDIR_INSTALL, {"five_tuple": CLIENT, "timeout_interval": 2.0}),
+    )
+    timeline = TimelineReconstructor(buffer).for_stream(CLIENT)
+    summary = timeline.summary()
+    assert "cutoff@" in summary and "fdir=1" in summary
+    text = timeline.format()
+    assert text.splitlines()[0] == summary
+    assert "fdir_install" in text and "stream_created" in text
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: a real capture run, cutoff stream reconstructed end to end
+# ---------------------------------------------------------------------------
+def test_capture_run_reconstructs_cutoff_stream_lifecycle():
+    trace = campus_mix(flow_count=40, max_flow_bytes=200_000, seed=9)
+    obs = Observability(enabled=True, trace_capacity=65536)
+    socket = ScapSocket(
+        trace, rate_bps=6.0 * GBIT, memory_size=1 << 20, observability=obs
+    )
+    socket.set_cutoff(4096)
+    attach_app(socket, StreamDeliveryApp())
+    socket.start_capture(name="flight-recorder")
+
+    recon = TimelineReconstructor(obs.trace)
+    assert len(recon) > 0
+    assert recon.unattributed == 0
+
+    cutoff_streams = [t for t in recon.timelines() if t.cutoff_at is not None]
+    assert cutoff_streams, "expected at least one stream past the 4 KiB cutoff"
+    timeline = cutoff_streams[0]
+
+    # Full lifecycle: creation, cutoff, FDIR offload, termination —
+    # in time order within the reconstructed event list.
+    assert timeline.complete
+    assert timeline.created_at <= timeline.cutoff_at <= timeline.terminated_at
+    hooks = [event.hook for event in timeline.events]
+    assert hooks[0] == HOOK_STREAM_CREATED
+    assert hooks[-1] == HOOK_STREAM_TERMINATED
+    assert HOOK_CUTOFF_REACHED in hooks
+    assert timeline.fdir_installs >= 1
+    times = [event.time for event in timeline.events]
+    assert times == sorted(times)
+
+    # Byte accounting: captured stops near the cutoff, while the
+    # seq-recovered flow size (§5.5) sees the discarded remainder.
+    assert timeline.captured_bytes >= 4096
+    assert timeline.recovered_bytes > timeline.captured_bytes
+
+    # The same lifecycle is reachable through the public API, keyed by
+    # either direction of the five-tuple.
+    via_api = scap_stream_timeline(socket, timeline.key)
+    assert via_api is not None and via_api.key == timeline.key
+
+
+def test_socket_timeline_returns_none_for_unknown_stream():
+    trace = campus_mix(flow_count=10, max_flow_bytes=50_000, seed=3)
+    obs = Observability(enabled=True)
+    socket = ScapSocket(trace, rate_bps=1.0 * GBIT, observability=obs)
+    attach_app(socket, StreamDeliveryApp())
+    socket.start_capture(name="no-such-stream")
+    missing = FiveTuple(0x01020304, 1, 0x05060708, 2, 17)
+    assert socket.stream_timeline(missing) is None

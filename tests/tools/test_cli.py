@@ -177,3 +177,83 @@ def test_trace_hook_filter(capsys):
     out = capsys.readouterr().out
     lines = [line for line in out.splitlines() if line and not line.startswith("#")]
     assert lines and all("stream_created" in line for line in lines)
+
+
+def _flow_arg_from_key(key):
+    """``"a:p > b:q/6"`` -> the CLI flow syntax ``"a:p-b:q/tcp"``."""
+    src, _, rest = key.partition(" > ")
+    dst, _, _proto = rest.rpartition("/")
+    return f"{src}-{dst}/tcp"
+
+
+def test_stats_parity_check_passes(capsys, tmp_path):
+    out_path = str(tmp_path / "stats.prom")
+    assert main(
+        ["stats", "--flows", "30", "--rate", "2.0", "--check-parity",
+         "--out", out_path]
+    ) == 0
+    assert "parity check passed" in capsys.readouterr().out
+
+
+def test_trace_stream_filter(capsys):
+    assert main(
+        ["timeline", "--flows", "30", "--rate", "4.0", "--cutoff", "4096",
+         "--limit", "1"]
+    ) == 0
+    key = capsys.readouterr().out.splitlines()[0].split("  ")[0]
+    flow = _flow_arg_from_key(key)
+    assert main(
+        ["trace", "--flows", "30", "--rate", "4.0", "--cutoff", "4096",
+         "--stream", flow]
+    ) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line and not line.startswith("#")]
+    assert lines, "expected the stream's own trace events"
+    assert all("five_tuple=" in line for line in lines)
+    src = key.partition(" > ")[0]
+    assert all(src in line for line in lines)
+
+
+def test_profile_prints_stage_table(capsys):
+    assert main(["profile", "--flows", "30", "--rate", "4.0"]) == 0
+    out = capsys.readouterr().out
+    assert "stage" in out and "reassembly" in out and "worker_callback" in out
+    total = [line for line in out.splitlines() if line.startswith("total")][0]
+    coverage = float(total.split()[1].rstrip("%"))
+    assert coverage >= 95.0
+
+
+def test_profile_json(capsys):
+    import json
+
+    assert main(["profile", "--flows", "30", "--rate", "4.0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["coverage"] >= 0.95
+    assert any(s["stage"] == "reassembly" for s in payload["stages"])
+
+
+def test_timeline_lists_connections(capsys):
+    assert main(
+        ["timeline", "--flows", "30", "--rate", "4.0", "--limit", "5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "connections reconstructed" in out
+    assert "status=" in out
+
+
+def test_timeline_single_flow_lifecycle(capsys):
+    args = ["--flows", "30", "--rate", "4.0", "--cutoff", "4096"]
+    assert main(["timeline"] + args + ["--limit", "1"]) == 0
+    key = capsys.readouterr().out.splitlines()[0].split("  ")[0]
+    assert main(["timeline", _flow_arg_from_key(key)] + args) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith(key)
+    assert "stream_created" in out and "stream_terminated" in out
+
+
+def test_timeline_unknown_flow_fails(capsys):
+    assert main(
+        ["timeline", "203.0.113.1:1-203.0.113.2:2/tcp", "--flows", "10",
+         "--rate", "2.0"]
+    ) == 1
+    assert "no retained trace events" in capsys.readouterr().out
