@@ -15,6 +15,7 @@ of always storing newer streams (§6.4).
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -81,6 +82,11 @@ class FlowTable:  # scapcheck: single-owner
         self.max_streams = max_streams
         self.created_total = 0
         self.evicted_total = 0
+        # Stream ids are allocated per table, not from the module-global
+        # counter: ids must restart at 0 for every capture so that
+        # id-derived decisions (worker affinity, store queue mapping)
+        # are reproducible run over run within one process.
+        self._ids = itertools.count()
 
     def __len__(self) -> int:
         return len(self._table)
@@ -122,11 +128,13 @@ class FlowTable:  # scapcheck: single-owner
             five_tuple=five_tuple,
             direction=CLIENT_TO_SERVER,
             protocol=five_tuple.protocol,
+            stream_id=next(self._ids),
         )
         server = StreamDescriptor(
             five_tuple=five_tuple.reversed(),
             direction=SERVER_TO_CLIENT,
             protocol=five_tuple.protocol,
+            stream_id=next(self._ids),
         )
         client.opposite = server
         server.opposite = client

@@ -105,3 +105,34 @@ class TestExpiration:
         # Only the first 10 are older than the cutoff.
         expired = table.expire_idle(now=20.0, default_timeout=10.0)
         assert len(expired) == 10
+
+
+class TestStreamIdAllocation:
+    def test_stream_ids_restart_per_table(self):
+        """Stream ids are a per-table sequence, not a process-global one.
+
+        Id-derived decisions (the recorder's stream-to-writer-queue
+        mapping, worker affinity) must be identical when the same
+        workload is captured twice in one process; a module-global
+        counter broke exactly that (caught by the chaos soak's
+        cross-run digest check).
+        """
+        def ids_for(table):
+            out = []
+            for i in range(4):
+                pair, _, _ = table.lookup_or_create(_ft(i), now=0.0)
+                out.append((pair.client.stream_id, pair.server.stream_id))
+            return out
+
+        first = ids_for(FlowTable())
+        second = ids_for(FlowTable())
+        assert first == second
+        assert first[0][0] == 0
+
+    def test_ids_unique_and_dense_within_table(self):
+        table = FlowTable()
+        ids = []
+        for i in range(6):
+            pair, _, _ = table.lookup_or_create(_ft(i), now=0.0)
+            ids.extend([pair.client.stream_id, pair.server.stream_id])
+        assert sorted(ids) == list(range(12))
