@@ -189,6 +189,11 @@ class ChunkAssembler:
         self.overlap = overlap
         self._state = _AssemblerState()
         self._pending_overlap: bytes = b""
+        # The chunk the pending overlap tail was cut from: if that very
+        # chunk is then kept (scap_keep_stream_chunk), its whole body is
+        # merged into the next chunk and repeating its tail would
+        # duplicate bytes mid-stream.
+        self._overlap_source: Optional[Chunk] = None
         # Capacity of the chunk being filled: chunk_size of *new* bytes
         # plus whatever was carried over (kept chunk, overlap tail).
         self._current_capacity = chunk_size
@@ -199,6 +204,9 @@ class ChunkAssembler:
         base = self._memory.allocate_block(self.chunk_size)
         chunk = Chunk(stream_offset=state.stream_offset, base_address=base)
         kept_length = 0
+        if state.kept is not None and state.kept is self._overlap_source:
+            self._pending_overlap = b""
+        self._overlap_source = None
         if self._pending_overlap:
             # The overlap tail is copied into the new block, so it
             # consumes part of the block's chunk_size capacity.
@@ -231,6 +239,7 @@ class ChunkAssembler:
         if self.overlap:
             tail = chunk.data[-self.overlap :]
             self._pending_overlap = tail
+            self._overlap_source = chunk
         return chunk
 
     def append(self, data: bytes, now: float, had_hole: bool = False) -> List[Chunk]:

@@ -96,6 +96,25 @@ class TestChunkAssembler:
         assert assembler.flush(1.0, final=True) is None
         assert memory.pool.used == used_before - 4
 
+    def test_keep_with_overlap_does_not_duplicate_tail(self, memory):
+        """Keeping a chunk that also seeded the overlap tail must not
+        repeat that tail inside the merged delivery: the kept chunk
+        already contains those bytes."""
+        assembler = ChunkAssembler(memory, chunk_size=8, overlap=4)
+        first = assembler.append(b"ABCDEFGH", now=0.0)[0]
+        assembler.keep(first)
+        merged = assembler.append(b"IJKLMNOPQRST", now=1.0)
+        assert merged[0].data == b"ABCDEFGHIJKLMNOP"
+        assert merged[0].stream_offset == 0
+        # Overlap resumes normally on the chunk after the merge.
+        assert merged[1].data == b"MNOPQRST"
+        assert merged[1].stream_offset == 12
+
+    def test_overlap_without_keep_unaffected(self, memory):
+        assembler = ChunkAssembler(memory, chunk_size=8, overlap=4)
+        chunks = assembler.append(b"ABCDEFGHIJKL", now=0.0)
+        assert [c.data for c in chunks] == [b"ABCDEFGH", b"EFGHIJKL"]
+
     def test_distinct_block_addresses(self, memory):
         assembler = ChunkAssembler(memory, chunk_size=4)
         chunks = assembler.append(b"z" * 12, now=0.0)
