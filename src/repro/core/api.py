@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..apps.recorder import StreamRecorder
+    from ..faultinject import FaultPlan
     from ..store.store import StoreStats
 
 from ..observability import ProfileReport, StreamTimeline, TimelineReconstructor
@@ -102,6 +103,11 @@ class ScapStats:
     stored_bytes: int = 0
     evicted_bytes: int = 0
     writer_queue_drops: int = 0
+    # --- fault-injection extensions (zero unless a fault plan ran) ----
+    faults_injected_total: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    #: Frames the NIC dropped for a bad checksum (part of pkts_dropped).
+    nic_fcs_errors: int = 0
 
 
 class ScapSocket:
@@ -115,6 +121,7 @@ class ScapSocket:
         need_pkts: int = 0,
         rate_bps: Optional[float] = None,
         core_count: int = 8,
+        fault_plan: Optional["FaultPlan"] = None,
         **runtime_kwargs: Any,
     ):
         if isinstance(device, str):
@@ -154,6 +161,10 @@ class ScapSocket:
         }
         self._closed = False
         self._recorder: Optional["StreamRecorder"] = None
+        self._fault_plan = fault_plan
+        #: The run's FaultInjector, built when the capture starts (None
+        #: without a fault plan); exposes schedule/counts/digest.
+        self.fault_injector: Optional[Any] = None
         self.last_result: Optional[RunResult] = None
 
     # ------------------------------------------------------------------
@@ -257,9 +268,17 @@ class ScapSocket:
     # Capture
     # ------------------------------------------------------------------
     def _build_runtime(self) -> ScapRuntime:
+        if self._fault_plan is not None:
+            from ..faultinject import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                self._fault_plan,
+                observability=self._runtime_kwargs.get("observability"),
+            )
         runtime = ScapRuntime(
             config=self.config,
             core_count=self._core_count,
+            fault_injector=self.fault_injector,
             **self._runtime_kwargs,
         )
         runtime.callbacks.on_creation = self._callbacks["creation"]
@@ -270,6 +289,8 @@ class ScapSocket:
         runtime.callbacks.termination_cost = self._cost_hooks["termination"]
         if self._recorder is not None:
             self._recorder.bind(runtime)
+            if self.fault_injector is not None:
+                self._recorder.store.attach_fault_injector(self.fault_injector)
         return runtime
 
     def start_capture(self, name: str = "scap") -> RunResult:
@@ -383,6 +404,17 @@ class ScapSocket:
             stored_bytes=store.stored_bytes if store is not None else 0,
             evicted_bytes=store.evicted_bytes if store is not None else 0,
             writer_queue_drops=store.writer_queue_drops if store is not None else 0,
+            faults_injected_total=(
+                self.fault_injector.total_injected
+                if self.fault_injector is not None
+                else 0
+            ),
+            faults_injected=(
+                self.fault_injector.counts_by_key()
+                if self.fault_injector is not None
+                else {}
+            ),
+            nic_fcs_errors=agg.nic_fcs_errors,
         )
 
     # ------------------------------------------------------------------
@@ -441,10 +473,20 @@ def scap_create(
     memory_size: int = SCAP_DEFAULT,
     reassembly_mode: int = SCAP_TCP_FAST,
     need_pkts: int = 0,
+    fault_plan: Optional["FaultPlan"] = None,
     **kwargs: Any,
 ) -> ScapSocket:
-    """Create an Scap socket bound to a device/workload (Table 1)."""
-    return ScapSocket(device, memory_size, reassembly_mode, need_pkts, **kwargs)
+    """Create an Scap socket bound to a device/workload (Table 1).
+
+    ``fault_plan`` attaches a deterministic
+    :class:`~repro.faultinject.FaultPlan`; the run then injects the
+    plan's faults and exposes them through ``sc.fault_injector`` and
+    the ``faults_injected*`` fields of :func:`scap_get_stats`.
+    """
+    return ScapSocket(
+        device, memory_size, reassembly_mode, need_pkts,
+        fault_plan=fault_plan, **kwargs,
+    )
 
 
 def scap_set_filter(sc: ScapSocket, bpf_filter: str) -> int:

@@ -121,6 +121,7 @@ class ScapKernelModule:
         max_streams: Optional[int] = None,
         observability: Optional[Observability] = None,
         sanitizers: Optional[object] = None,
+        fault_injector: Optional[object] = None,
     ):
         config.validate()
         self.config = config
@@ -132,7 +133,10 @@ class ScapKernelModule:
         self._san = sanitizers
         self.flows = FlowTable(max_streams=max_streams)
         self.memory = StreamMemory(
-            config.memory_size, observability=self.obs, sanitizers=sanitizers
+            config.memory_size,
+            observability=self.obs,
+            sanitizers=sanitizers,
+            fault_injector=fault_injector,
         )
         self.ppl = PrioritizedPacketLoss(
             base_threshold=config.base_threshold,
@@ -559,6 +563,13 @@ class ScapKernelModule:
                 stream.stats.dropped_bytes += len(data)
                 if self.obs.enabled:
                     self._core(core)[3].inc()
+                if truncated:
+                    # The cutoff decision is independent of whether the
+                    # final piece could be stored: the stream must still
+                    # transition to CUTOFF (and install FDIR drop
+                    # filters), or an exhausted pool would keep cutoff
+                    # traffic flowing to the kernel forever.
+                    self._cutoff_reached(pair, stream, direction, now, core)
                 return False
             if follows_hole:
                 stream.set_error(StreamError.REASSEMBLY_HOLE)

@@ -95,12 +95,15 @@ class StreamMemory:
         capacity_bytes: int,
         observability: Optional[Observability] = None,
         sanitizers: Optional[object] = None,
+        fault_injector: Optional[object] = None,
     ):
         self.pool = MemoryPool(capacity_bytes, name="scap-stream-memory")
         self._next_address = 0
         self.allocation_failures = 0
+        self.injected_failures = 0
         self._obs = observability or NULL_OBSERVABILITY
         self._san = sanitizers
+        self._fault = fault_injector
         registry = self._obs.registry
         self._m_occupancy = registry.histogram(
             "scap_memory_pool_occupancy",
@@ -129,6 +132,20 @@ class StreamMemory:
         ``stream_label`` is the owning stream's five-tuple string, used
         only to attribute the exhaustion trace event to its stream.
         """
+        if self._fault is not None and self._fault.memory_alloc_fails(
+            now, nbytes, stream_label or ""
+        ):
+            # Injected failure: the ledger never sees the store, so the
+            # pool's accounting stays balanced; callers observe the
+            # exact same refusal an exhausted pool produces.
+            self.allocation_failures += 1
+            self.injected_failures += 1
+            if self._obs.enabled:
+                self._m_failures.inc()
+                self._obs.trace.emit(
+                    now, HOOK_MEMORY_EXHAUSTED, five_tuple=stream_label, bytes=nbytes
+                )
+            return False
         if self.pool.try_allocate(now, nbytes):
             if self._obs.enabled:
                 self._m_stored.inc(nbytes)
@@ -146,8 +163,15 @@ class StreamMemory:
         return False
 
     def fraction_used(self, now: float) -> float:
-        """Occupied fraction of the pool at time ``now``."""
-        return self.pool.fraction_used(now)
+        """Occupied fraction of the pool at time ``now``.
+
+        When a fault plan applies memory pressure, the fraction PPL
+        sees is boosted here — the pool's real accounting is untouched.
+        """
+        fraction = self.pool.fraction_used(now)
+        if self._fault is not None:
+            fraction = self._fault.memory_pressure(now, fraction)
+        return fraction
 
     def schedule_release(self, release_time: float, nbytes: int) -> None:
         """Return ``nbytes`` to the pool at ``release_time``."""

@@ -64,6 +64,9 @@ class AggregateStats:
     events_processed: int = 0
     ring_drops: int = 0
     nic_filter_drops: int = 0
+    #: Frames dropped by the NIC MAC for a bad checksum (wire-plane
+    #: fault injection is currently the only source).
+    nic_fcs_errors: int = 0
     #: Per-core breakdowns from the metrics registry (empty unless
     #: observability was enabled for the run).
     per_core_packets: Dict[int, int] = field(default_factory=dict)
@@ -86,6 +89,7 @@ class ScapRuntime:
         enable_load_balancing: bool = False,
         observability: Optional[Observability] = None,
         sanitizers: Optional["SanitizerContext"] = None,
+        fault_injector: Optional[object] = None,
     ):
         self.config = config or ScapConfig()
         self.config.validate()
@@ -97,6 +101,7 @@ class ScapRuntime:
         self.sanitizers = (
             sanitizers if sanitizers is not None else sanitizers_from_env(self.obs)
         )
+        self.fault_injector = fault_injector
         self.host = Host(core_count, self.cost)
         self.nic = SimulatedNIC(
             queue_count=core_count, rss_key=rss_key, fdir_capacity=fdir_capacity,
@@ -112,6 +117,7 @@ class ScapRuntime:
             max_streams=max_streams,
             observability=self.obs,
             sanitizers=self.sanitizers,
+            fault_injector=fault_injector,
         )
         self.workers = WorkerPool(
             worker_count=self.config.worker_threads,
@@ -121,6 +127,7 @@ class ScapRuntime:
             memory=self.kernel.memory,
             callbacks=self.callbacks,
             observability=self.obs,
+            fault_injector=fault_injector,
         )
         registry = self.obs.registry
         self._m_softirq_service = registry.histogram(
@@ -229,6 +236,8 @@ class ScapRuntime:
     # ------------------------------------------------------------------
     def run(self, workload, rate_bps: float, name: str = "scap") -> RunResult:
         """Replay ``workload`` at ``rate_bps`` through this runtime."""
+        if self.fault_injector is not None:
+            workload = self.fault_injector.wrap_workload(workload)
         last_time = 0.0
         for packet in workload.replay(rate_bps):
             self.process_packet(packet)
@@ -264,7 +273,11 @@ class ScapRuntime:
         counters = self.kernel.counters
         agg = AggregateStats(
             pkts_received=counters.packets_seen,
-            pkts_dropped=self.ring_drops + counters.unintentional_drops(),
+            pkts_dropped=(
+                self.ring_drops
+                + self.nic.stats.fcs_errors
+                + counters.unintentional_drops()
+            ),
             pkts_discarded=self.nic.stats.dropped_at_nic + counters.early_discards(),
             bytes_received=counters.bytes_seen,
             bytes_delivered=self.workers.bytes_delivered,
@@ -272,6 +285,7 @@ class ScapRuntime:
             events_processed=self.workers.events_processed,
             ring_drops=self.ring_drops,
             nic_filter_drops=self.nic.stats.dropped_at_nic,
+            nic_fcs_errors=self.nic.stats.fcs_errors,
         )
         packets_family = self.obs.registry.get("scap_core_packets_total")
         bytes_family = self.obs.registry.get("scap_core_bytes_total")

@@ -67,6 +67,7 @@ class WorkerPool:  # scapcheck: single-owner
         memory: StreamMemory,
         callbacks: Callbacks,
         observability: Optional[Observability] = None,
+        fault_injector: Optional[object] = None,
     ):
         if worker_count < 1:
             raise ValueError("need at least one worker thread")
@@ -74,12 +75,14 @@ class WorkerPool:  # scapcheck: single-owner
         self.locality = locality
         self.memory = memory
         self.callbacks = callbacks
+        self._fault = fault_injector
         self.servers: List[QueueServer] = [
             QueueServer(event_queue_capacity, name=f"worker-{index}")
             for index in range(worker_count)
         ]
         self.events_processed = 0
         self.events_dropped = 0
+        self.events_dropped_injected = 0
         self.bytes_delivered = 0
         self.obs = observability or NULL_OBSERVABILITY
         registry = self.obs.registry
@@ -134,9 +137,16 @@ class WorkerPool:  # scapcheck: single-owner
         """Queue ``event`` (made ready by the kernel at ``ready_time``)."""
         worker = self.worker_for_event(core, event)
         server = self.servers[worker]
-        if not server.would_accept(ready_time, 1):
+        injected = self._fault is not None and self._fault.sched_backpressure(
+            ready_time, worker
+        )
+        if injected or not server.would_accept(ready_time, 1):
+            # An injected backpressure fault takes the exact organic
+            # reject path, so chunk memory is reclaimed identically.
             server.reject()
             self.events_dropped += 1
+            if injected:
+                self.events_dropped_injected += 1
             if self.obs.enabled:
                 self._m_dropped.inc()
                 self.obs.trace.emit(
@@ -150,6 +160,8 @@ class WorkerPool:  # scapcheck: single-owner
             return
         dispatch_cycles, app_cycles = self._service_cycles(event)
         service = self.cost.seconds(dispatch_cycles + app_cycles)
+        if self._fault is not None:
+            service += self._fault.sched_stall(ready_time, worker)
         finish = server.push(ready_time, 1, service)
         if self.obs.enabled:
             self._m_service.observe(service)

@@ -1,0 +1,463 @@
+"""Chaos soak: run the full pipeline under a fault plan, assert invariants.
+
+The harness builds a fully deterministic TCP workload whose payload is
+*self-describing*: every stream is a sequence of fixed-size 16-byte
+records ``(magic, flow, direction, index)`` and every segment, chunk,
+and cutoff boundary is record-aligned.  That turns the paper's graceful
+-degradation claim into checkable invariants — whatever subset of the
+traffic survives the injected faults, each delivered chunk must parse
+into valid records for the right stream with strictly increasing
+indices (prefix-consistent, in-order subset delivery), with no
+``InvariantViolation`` escaping the enabled sanitizers, the injected
+fault counts reconciling exactly against the observed drop counters,
+and (when only the pressure plane is active) lower-priority streams
+degrading before higher-priority ones.
+
+This module deliberately lives outside the package ``__init__`` —
+it drives :mod:`repro.core`, which imports :mod:`repro.faultinject`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import Parameter, ScapStats, scap_create, scap_get_stats, scap_start_capture
+from ..netstack.packet import Packet, make_tcp_packet
+from ..netstack.tcp import TCPFlags
+from ..results import RunResult
+from ..sanitizers import SanitizerContext
+from ..traffic.trace import Trace
+from .plan import FaultPlan
+
+__all__ = ["SoakReport", "build_soak_trace", "run_chaos_soak", "RECORD_SIZE"]
+
+#: One self-describing payload record: magic, flow, direction, index.
+RECORD_SIZE = 16
+_RECORD = struct.Struct("!IIII")
+_MAGIC = 0x5CA9BEEF
+
+_CLIENT_IP_BASE = 0x0A000001
+_SERVER_IP_BASE = 0x0B000001
+_CLIENT_PORT_BASE = 40000
+_SERVER_PORT_BASE = 8000
+_PRIORITY_LEVELS = 3
+
+
+def _flow_priority(flow: int) -> int:
+    return flow % _PRIORITY_LEVELS
+
+
+def _records_blob(flow: int, direction: int, start: int, count: int) -> bytes:
+    return b"".join(
+        _RECORD.pack(_MAGIC, flow, direction, start + index)
+        for index in range(count)
+    )
+
+
+def build_soak_trace(
+    flows: int = 24,
+    records_per_direction: int = 48,
+    records_per_segment: int = 4,
+    start_spacing: float = 0.0004,
+    packet_spacing: float = 0.00002,
+) -> Trace:
+    """A deterministic workload of record-structured TCP connections.
+
+    Each flow performs a proper handshake, sends
+    ``records_per_direction`` records in each direction in
+    record-aligned segments, and closes with FINs.  Everything —
+    addresses, ports, sequence numbers, timestamps, payload — is a pure
+    function of the arguments, so the same call always produces the
+    same trace (a precondition for the determinism contract).
+    """
+    if flows < 1 or records_per_direction < 1 or records_per_segment < 1:
+        raise ValueError("flows, records, and segment size must be positive")
+    packets: List[Packet] = []
+    for flow in range(flows):
+        client_ip = _CLIENT_IP_BASE + flow
+        server_ip = _SERVER_IP_BASE + (flow % 7)
+        client_port = _CLIENT_PORT_BASE + flow
+        server_port = _SERVER_PORT_BASE + flow
+        client_isn = 1000 + flow
+        server_isn = 500000 + flow
+        now = flow * start_spacing
+
+        def c2s(**kwargs) -> Packet:
+            return make_tcp_packet(
+                client_ip, client_port, server_ip, server_port, **kwargs
+            )
+
+        def s2c(**kwargs) -> Packet:
+            return make_tcp_packet(
+                server_ip, server_port, client_ip, client_port, **kwargs
+            )
+
+        packets.append(
+            c2s(seq=client_isn, flags=TCPFlags.SYN, timestamp=now)
+        )
+        now += packet_spacing
+        packets.append(
+            s2c(
+                seq=server_isn, ack=client_isn + 1,
+                flags=TCPFlags.SYN | TCPFlags.ACK, timestamp=now,
+            )
+        )
+        now += packet_spacing
+        # Record-aligned data segments, alternating directions.
+        total = records_per_direction
+        sent = [0, 0]  # records sent per direction
+        offsets = [0, 0]  # byte offsets per direction
+        isns = (client_isn, server_isn)
+        makers = (c2s, s2c)
+        while sent[0] < total or sent[1] < total:
+            for direction in (0, 1):
+                if sent[direction] >= total:
+                    continue
+                count = min(records_per_segment, total - sent[direction])
+                blob = _records_blob(flow, direction, sent[direction], count)
+                packets.append(
+                    makers[direction](
+                        seq=isns[direction] + 1 + offsets[direction],
+                        flags=TCPFlags.ACK | TCPFlags.PSH,
+                        payload=blob,
+                        timestamp=now,
+                    )
+                )
+                sent[direction] += count
+                offsets[direction] += len(blob)
+                now += packet_spacing
+        packets.append(
+            c2s(
+                seq=client_isn + 1 + offsets[0],
+                flags=TCPFlags.FIN | TCPFlags.ACK, timestamp=now,
+            )
+        )
+        now += packet_spacing
+        packets.append(
+            s2c(
+                seq=server_isn + 1 + offsets[1],
+                flags=TCPFlags.FIN | TCPFlags.ACK, timestamp=now,
+            )
+        )
+    return Trace(packets, name="chaos-soak")
+
+
+@dataclass
+class SoakReport:
+    """The outcome of one chaos soak run."""
+
+    plan: FaultPlan
+    ok: bool = True
+    failures: List[str] = field(default_factory=list)
+    schedule_digest: str = ""
+    #: The formatted fault schedule (one line per injected fault).
+    schedule: List[str] = field(default_factory=list)
+    stats: Optional[ScapStats] = None
+    result: Optional[RunResult] = None
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    delivered_streams: int = 0
+    delivered_records: int = 0
+    #: Per-priority (packets, ppl+memory drops) from the kernel counters.
+    per_priority: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    store_segments_read: int = 0
+    store_segments_torn: int = 0
+
+    def fail(self, message: str) -> None:
+        """Record one invariant violation."""
+        self.ok = False
+        self.failures.append(message)
+
+    def summary(self) -> str:
+        """One human-readable block (CLI output)."""
+        lines = [
+            f"chaos soak: {'PASS' if self.ok else 'FAIL'}",
+            f"  injected: {self.faults_injected or '{}'}",
+            f"  streams delivered: {self.delivered_streams} "
+            f"({self.delivered_records} records)",
+        ]
+        if self.stats is not None:
+            lines.append(
+                f"  pkts received={self.stats.pkts_received} "
+                f"dropped={self.stats.pkts_dropped} "
+                f"discarded={self.stats.pkts_discarded}"
+            )
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+class _Collector:
+    """Accumulates delivered chunks per stream, in delivery order."""
+
+    def __init__(self) -> None:
+        self.chunks: Dict[str, List[Tuple[int, bytes]]] = {}
+
+    def on_data(self, stream) -> None:
+        self.chunks.setdefault(str(stream.five_tuple), []).append(
+            (stream.data_offset, bytes(stream.data))
+        )
+
+
+def run_chaos_soak(
+    plan: FaultPlan,
+    flows: int = 24,
+    records_per_direction: int = 48,
+    memory_size: int = 64 << 20,
+    chunk_size: int = 256,
+    store_dir: Optional[str] = None,
+    observability=None,
+) -> SoakReport:
+    """Run the pipeline under ``plan`` with sanitizers on; verify invariants.
+
+    ``store_dir`` additionally attaches a stream store (exercising the
+    store fault plane) and verifies that every produced segment —
+    including torn ones — reads back through the recovery path.
+    """
+    plan.validate()
+    report = SoakReport(plan=plan)
+    trace = build_soak_trace(flows=flows, records_per_direction=records_per_direction)
+    sanitizers = SanitizerContext(observability)
+    collector = _Collector()
+
+    sc = scap_create(
+        trace,
+        memory_size=memory_size,
+        rate_bps=trace.native_rate_bps,
+        fault_plan=plan,
+        sanitizers=sanitizers,
+        observability=observability,
+    )
+    sc.set_parameter(Parameter.CHUNK_SIZE, chunk_size)
+    sc.set_parameter(Parameter.OVERLAP_SIZE, 0)
+
+    def on_creation(stream) -> None:
+        # The server port encodes the flow index; priority derives from it.
+        flow = stream.five_tuple.dst_port - _SERVER_PORT_BASE
+        if 0 <= flow < flows:
+            sc.set_stream_priority(stream, _flow_priority(flow))
+
+    sc.dispatch_creation(on_creation)
+    sc.dispatch_data(collector.on_data)
+
+    recorder = None
+    if store_dir is not None:
+        from ..apps.recorder import StreamRecorder
+        from ..store.store import StreamStore
+
+        store = StreamStore(store_dir, cores=2, segment_bytes=8192)
+        recorder = StreamRecorder(store)
+        sc.set_store(recorder)
+
+    try:
+        report.result = scap_start_capture(sc)
+    except Exception as error:  # the soak's whole point: nothing may escape
+        report.fail(f"pipeline raised {type(error).__name__}: {error}")
+        return report
+
+    report.stats = scap_get_stats(sc)
+    injector = sc.fault_injector
+    if injector is not None:
+        report.schedule_digest = injector.schedule_digest()
+        report.schedule = [record.format() for record in injector.schedule]
+        report.faults_injected = injector.counts_by_key()
+
+    _check_delivery(report, collector, flows)
+    _check_reconciliation(report, sc, trace)
+    _check_priority_degradation(report, sc)
+    if recorder is not None:
+        _check_store(report, sc, recorder, store_dir)
+    sc.close()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Invariant checks
+# ----------------------------------------------------------------------
+def _check_delivery(report: SoakReport, collector: _Collector, flows: int) -> None:
+    """Delivered bytes must be an in-order, record-aligned subset."""
+    wire = report.plan.wire
+    verify_payload = wire.corrupt_rate == 0.0 and wire.truncate_rate == 0.0
+    report.delivered_streams = len(collector.chunks)
+    for key, chunks in collector.chunks.items():
+        previous_end = -1
+        last_index = -1
+        flow = direction = None
+        for offset, data in chunks:
+            if offset < previous_end:
+                report.fail(
+                    f"{key}: chunk at offset {offset} overlaps previous "
+                    f"delivery ending at {previous_end}"
+                )
+                break
+            previous_end = offset + len(data)
+            if not verify_payload:
+                continue
+            if len(data) % RECORD_SIZE:
+                report.fail(
+                    f"{key}: delivered chunk of {len(data)} bytes is not "
+                    f"record-aligned"
+                )
+                break
+            for start in range(0, len(data), RECORD_SIZE):
+                magic, rec_flow, rec_dir, index = _RECORD.unpack_from(data, start)
+                if magic != _MAGIC or not 0 <= rec_flow < flows:
+                    report.fail(f"{key}: corrupt record at offset {offset + start}")
+                    break
+                if flow is None:
+                    flow, direction = rec_flow, rec_dir
+                elif (rec_flow, rec_dir) != (flow, direction):
+                    report.fail(
+                        f"{key}: record from stream {rec_flow}/{rec_dir} "
+                        f"delivered into stream {flow}/{direction}"
+                    )
+                    break
+                if index <= last_index:
+                    report.fail(
+                        f"{key}: record index {index} not increasing "
+                        f"(previous {last_index}) — delivery is not "
+                        f"prefix-consistent"
+                    )
+                    break
+                last_index = index
+                report.delivered_records += 1
+            else:
+                continue
+            break
+
+
+def _check_reconciliation(report: SoakReport, sc, trace: Trace) -> None:
+    """Injected fault counts must reconcile exactly with observed stats."""
+    injector = sc.fault_injector
+    if injector is None:
+        return
+    runtime = sc.runtime
+    checks = [
+        (
+            "wire.fcs_corrupt",
+            injector.count("wire", "fcs_corrupt"),
+            runtime.nic.stats.fcs_errors,
+        ),
+        (
+            "memory.alloc_failure",
+            injector.count("memory", "alloc_failure"),
+            runtime.kernel.memory.injected_failures,
+        ),
+        (
+            "sched.backpressure",
+            injector.count("sched", "backpressure"),
+            runtime.workers.events_dropped_injected,
+        ),
+        (
+            "offered packets",
+            len(trace)
+            - injector.count("wire", "drop")
+            + injector.count("wire", "duplicate"),
+            runtime.packets_offered,
+        ),
+    ]
+    for name, injected, observed in checks:
+        if injected != observed:
+            report.fail(
+                f"reconciliation: {name} injected={injected} observed={observed}"
+            )
+    if report.stats is not None:
+        if report.stats.faults_injected_total != injector.total_injected:
+            report.fail("scap_get_stats faults_injected_total disagrees with injector")
+
+
+def _check_priority_degradation(report: SoakReport, sc) -> None:
+    """Lower-priority streams must degrade before higher-priority ones.
+
+    The PPL drops every packet whose stream priority sits below the
+    current watermark, so over any run the set of priorities that saw
+    PPL drops must be *downward-closed*: drops at priority ``p`` imply
+    drops at every lower priority that carried traffic.  We assert that
+    plus a rate comparison between the extremes.  (Adjacent-priority
+    rate comparisons are deliberately avoided: priorities are assigned
+    by the creation callback, which runs asynchronously, so a stream's
+    first packets are attributed to the default priority 0.)
+
+    Only enforced for plans where PPL pressure is the sole loss source
+    (pressure boost on; allocation failures and event backpressure off),
+    since those two planes drop blindly with respect to priority.
+    """
+    plan = report.plan
+    counters = sc.runtime.kernel.counters
+    for priority in counters.packets_by_priority:
+        report.per_priority[priority] = (
+            counters.packets_by_priority.get(priority, 0),
+            counters.ppl_drops_by_priority.get(priority, 0),
+        )
+    if not (
+        plan.memory.pressure_boost > 0.0
+        and plan.memory.alloc_failure_rate == 0.0
+        and plan.sched.backpressure_rate == 0.0
+    ):
+        return
+    minimum_sample = 40
+    tolerance = 0.05
+    sampled = {
+        priority: (packets, drops)
+        for priority, (packets, drops) in report.per_priority.items()
+        if packets >= minimum_sample
+    }
+    for priority, (_packets, drops) in sampled.items():
+        if drops == 0:
+            continue
+        for lower in sampled:
+            if lower < priority and sampled[lower][1] == 0:
+                report.fail(
+                    f"priority inversion: priority {priority} saw {drops} "
+                    f"PPL drops while lower priority {lower} saw none"
+                )
+    if len(sampled) >= 2:
+        lowest, highest = min(sampled), max(sampled)
+        rate_low = sampled[lowest][1] / sampled[lowest][0]
+        rate_high = sampled[highest][1] / sampled[highest][0]
+        if rate_low + tolerance < rate_high:
+            report.fail(
+                f"priority inversion: priority {lowest} lost "
+                f"{rate_low:.3f} of its packets but higher priority "
+                f"{highest} lost {rate_high:.3f}"
+            )
+
+
+def _check_store(report: SoakReport, sc, recorder, store_dir: str) -> None:
+    """Store-plane faults must reconcile; every segment must read back."""
+    import glob
+    import os
+
+    from ..store.segment import read_segment
+
+    injector = sc.fault_injector
+    writer = recorder.store.writer
+    sc.close()  # seals segments (idempotent with the caller's close)
+    if injector is not None:
+        if writer.write_errors != injector.count("store", "write_error"):
+            report.fail(
+                f"store write errors: writer={writer.write_errors} "
+                f"injected={injector.count('store', 'write_error')}"
+            )
+        if writer.segments_torn != injector.count("store", "torn_write"):
+            report.fail(
+                f"torn segments: writer={writer.segments_torn} "
+                f"injected={injector.count('store', 'torn_write')}"
+            )
+    report.store_segments_torn = writer.segments_torn
+    torn_seen = 0
+    for path in sorted(glob.glob(os.path.join(store_dir, "seg-*.scap"))):
+        try:
+            _records, info = read_segment(path)
+        except Exception as error:
+            report.fail(f"segment {os.path.basename(path)} unreadable: {error}")
+            continue
+        report.store_segments_read += 1
+        if not info.sealed:
+            torn_seen += 1
+    if torn_seen < writer.segments_torn:
+        report.fail(
+            f"only {torn_seen} unsealed segments on disk but "
+            f"{writer.segments_torn} torn writes were injected"
+        )

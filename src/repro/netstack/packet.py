@@ -39,6 +39,9 @@ class Packet:
     wire_len: int = 0
     #: 802.1Q VLAN id when the frame carried a tag (None otherwise).
     vlan_id: "int | None" = None
+    #: Set when the frame's checksum is bad on the wire; the NIC drops
+    #: such frames before RSS (counted in ``NICStats.fcs_errors``).
+    fcs_corrupt: bool = False
 
     def __post_init__(self) -> None:
         if self.wire_len == 0:

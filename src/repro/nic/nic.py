@@ -28,6 +28,7 @@ class NICStats:
     received: int = 0
     dropped_at_nic: int = 0
     steered_by_fdir: int = 0
+    fcs_errors: int = 0
     per_queue: List[int] = field(default_factory=list)
 
 
@@ -56,6 +57,11 @@ class SimulatedNIC:
         82599.
         """
         self.stats.received += 1
+        if packet.fcs_corrupt:
+            # Bad checksum: the MAC drops the frame before FDIR/RSS
+            # ever see it; only the error counter records it existed.
+            self.stats.fcs_errors += 1
+            return None
         matched = self.fdir.match(packet)
         if matched is not None:
             if matched.action_queue == FDIR_DROP:

@@ -60,6 +60,7 @@ from .tracing import (
     ALL_HOOKS,
     HOOK_CUTOFF_REACHED,
     HOOK_EVENT_DROPPED,
+    HOOK_FAULT_INJECTED,
     HOOK_FDIR_EVICT,
     HOOK_FDIR_INSTALL,
     HOOK_FDIR_TIMEOUT,
@@ -98,6 +99,7 @@ __all__ = [
     "HOOK_HOLE_SKIPPED",
     "HOOK_OVERLAP_RESOLVED",
     "HOOK_EVENT_DROPPED",
+    "HOOK_FAULT_INJECTED",
     "to_prometheus",
     "to_json",
     "snapshot",

@@ -29,6 +29,7 @@ __all__ = [
     "HOOK_HOLE_SKIPPED",
     "HOOK_OVERLAP_RESOLVED",
     "HOOK_EVENT_DROPPED",
+    "HOOK_FAULT_INJECTED",
     "ALL_HOOKS",
 ]
 
@@ -44,6 +45,7 @@ HOOK_FDIR_TIMEOUT = "fdir_timeout"
 HOOK_HOLE_SKIPPED = "hole_skipped"
 HOOK_OVERLAP_RESOLVED = "overlap_resolved"
 HOOK_EVENT_DROPPED = "event_dropped"
+HOOK_FAULT_INJECTED = "fault_injected"
 
 ALL_HOOKS = (
     HOOK_STREAM_CREATED,
@@ -57,6 +59,7 @@ ALL_HOOKS = (
     HOOK_HOLE_SKIPPED,
     HOOK_OVERLAP_RESOLVED,
     HOOK_EVENT_DROPPED,
+    HOOK_FAULT_INJECTED,
 )
 
 

@@ -34,7 +34,14 @@ __all__ = [
 
 #: Packages that run in simulated time on the capture hot path.
 HOT_PATH_PACKAGES = frozenset(
-    {"repro/core", "repro/nic", "repro/kernelsim", "repro/netstack", "repro/store"}
+    {
+        "repro/core",
+        "repro/nic",
+        "repro/kernelsim",
+        "repro/netstack",
+        "repro/store",
+        "repro/faultinject",
+    }
 )
 
 

@@ -122,6 +122,10 @@ class StreamStore:
         """Late-bind a sanitizer context to the writer pipeline."""
         self.writer.attach_sanitizers(sanitizers)
 
+    def attach_fault_injector(self, fault_injector: Optional[object]) -> None:
+        """Late-bind a fault injector (store plane) to the writer."""
+        self.writer.attach_fault_injector(fault_injector)
+
     # ------------------------------------------------------------------
     def _on_seal(self, info: SegmentInfo) -> None:
         with self._lock:

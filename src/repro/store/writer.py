@@ -136,6 +136,7 @@ class StoreWriter:
         sanitizers: Optional[object] = None,
         on_seal=None,
         start_sequence: int = 0,
+        fault_injector: Optional[object] = None,
     ):
         if cores < 1:
             raise ValueError("need at least one core queue")
@@ -149,6 +150,14 @@ class StoreWriter:
         self.disk_bytes_sealed = 0
         self.compressed_saved = 0
         self.segments_sealed = 0
+        self._fault = fault_injector
+        # Store-plane fault accounting.  Errored records count as
+        # dropped in the byte ledger (enqueued == written + dropped).
+        self.write_errors = 0
+        self.write_error_bytes = 0
+        self.fsync_stall_seconds_total = 0.0
+        self.segments_torn = 0
+        self._last_record_ts = 0.0
         self._active: List[Optional[SegmentWriter]] = [None] * cores
         self._sequence = start_sequence
         self._io_lock = threading.Lock()
@@ -192,6 +201,18 @@ class StoreWriter:
             raise ValueError("cannot attach sanitizers to a writer already in use")
         self._san = sanitizers
 
+    def attach_fault_injector(self, fault_injector: Optional[object]) -> None:  # scapcheck: single-owner
+        """Late-bind the run's fault injector (store plane).
+
+        Like :meth:`attach_sanitizers`, only valid before any bytes
+        were enqueued, so the whole lifetime runs under one plan.
+        """
+        if fault_injector is None or self._fault is not None:
+            return
+        if self.enqueued_bytes or self.written_bytes:
+            raise ValueError("cannot attach a fault injector to a writer already in use")
+        self._fault = fault_injector
+
     @property
     def cores(self) -> int:
         """Number of per-core spill queues."""
@@ -204,13 +225,18 @@ class StoreWriter:
 
     @property
     def dropped_bytes(self) -> int:
-        """Total payload bytes dropped by queue overflow."""
-        return sum(queue.dropped_bytes for queue in self.queues)
+        """Total payload bytes dropped (queue overflow + write errors)."""
+        return (
+            sum(queue.dropped_bytes for queue in self.queues)
+            + self.write_error_bytes
+        )
 
     @property
     def dropped_records(self) -> int:
-        """Records dropped by queue overflow."""
-        return sum(queue.dropped_records for queue in self.queues)
+        """Records dropped (queue overflow + write errors)."""
+        return (
+            sum(queue.dropped_records for queue in self.queues) + self.write_errors
+        )
 
     @property
     def queue_depth_bytes(self) -> int:
@@ -266,19 +292,37 @@ class StoreWriter:
         records = queue.pop_all()
         if not records:
             return 0
+        written_payload = 0
+        errored_payload = 0
         with self._io_lock:
             writer = self._writer_for(core)
             for record in records:
+                self._last_record_ts = max(self._last_record_ts, record.timestamp)
+                if self._fault is not None and self._fault.store_write_error(
+                    record.timestamp, len(record.data)
+                ):
+                    # Simulated EIO: the record is lost; its bytes move
+                    # to the dropped side of the ledger so accounting
+                    # still balances at teardown.
+                    self.write_errors += 1
+                    self.write_error_bytes += len(record.data)
+                    errored_payload += len(record.data)
+                    if self._san is not None:
+                        self._san.store.on_drop(len(record.data))
+                    continue
                 writer.append(record)
                 self.written_records += 1
                 self.written_bytes += len(record.data)
+                written_payload += len(record.data)
                 if self._san is not None:
                     self._san.store.on_write(len(record.data))
                 if writer.disk_bytes >= self.segment_bytes:
                     self._seal_active(core)
                     writer = self._writer_for(core)
         if self._obs.enabled:
-            self._m_written.inc(sum(len(record.data) for record in records))
+            self._m_written.inc(written_payload)
+            if errored_payload:
+                self._m_dropped.inc(errored_payload)
             self._m_depth[core].set(queue.depth_bytes)
             # Spill-queue wait, in *simulated* time: the drain happens no
             # earlier than the newest record in the batch, so each
@@ -318,6 +362,22 @@ class StoreWriter:
                 self._active[core] = None
             return None
         self.compressed_saved += writer.compressed_saved
+        if self._fault is not None:
+            tear = self._fault.store_torn_write(self._last_record_ts)
+            if tear:
+                # Simulated crash mid-seal: close without a footer and
+                # chop the tail, leaving exactly the torn segment the
+                # reader's truncation recovery is built for.
+                writer.close()
+                size = os.path.getsize(writer.path)
+                with open(writer.path, "r+b") as handle:
+                    handle.truncate(max(size - tear, 1))
+                self._active[core] = None
+                self.segments_torn += 1
+                return None
+            self.fsync_stall_seconds_total += self._fault.store_fsync_stall(
+                self._last_record_ts
+            )
         info = writer.seal()
         self._active[core] = None
         self.segments_sealed += 1

@@ -27,6 +27,9 @@ Subcommands:
   print (or dump) the reassembled payloads.
 * ``replay``   — re-inject a stored query result through a fresh Scap
   socket, closing the record→query→replay loop.
+* ``chaos``    — run the deterministic chaos soak: the full pipeline
+  under a seeded fault plan with sanitizers on, asserting the
+  degradation invariants (docs/FAULT_INJECTION.md).
 
 Examples::
 
@@ -42,6 +45,7 @@ Examples::
     repro-scap record --flows 200 --cutoff 10240 --store /tmp/tm
     repro-scap query --store /tmp/tm --flow 10.0.0.1:1234-10.1.0.1:80/tcp
     repro-scap replay --store /tmp/tm --rate 0.5
+    repro-scap chaos --seed 42 --intensity 0.05 --store /tmp/chaos
 """
 
 from __future__ import annotations
@@ -278,6 +282,26 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--rate", type=float, default=1.0, help="replay Gbit/s")
     replay.add_argument("--cutoff", type=int, default=None)
     replay.add_argument("--memory-mb", type=int, default=64)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic chaos soak under a seeded fault plan"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (same seed, same faults)")
+    chaos.add_argument("--intensity", type=float, default=0.05,
+                       help="upper bound on the randomized per-plane rates")
+    chaos.add_argument("--flows", type=int, default=24,
+                       help="soak workload connections")
+    chaos.add_argument("--records", type=int, default=48,
+                       help="payload records per flow direction")
+    chaos.add_argument("--memory-mb", type=int, default=64)
+    chaos.add_argument("--store", default=None, metavar="DIR",
+                       help="also exercise the store fault plane into DIR")
+    chaos.add_argument("--runs", type=int, default=1,
+                       help="repeat the identical plan N times and require "
+                            "byte-identical fault schedules")
+    chaos.add_argument("--schedule", action="store_true",
+                       help="print the full injected-fault schedule")
 
     analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
     analyze.add_argument("--rho", type=float, default=0.5)
@@ -742,6 +766,46 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from ..faultinject import FaultPlan
+    from ..faultinject.soak import run_chaos_soak
+
+    plan = FaultPlan.randomized(seed=args.seed, intensity=args.intensity)
+    print(plan.describe())
+    reports = []
+    for run in range(max(1, args.runs)):
+        store_dir = None
+        if args.store is not None:
+            store_dir = args.store if args.runs <= 1 else f"{args.store}-{run}"
+        reports.append(
+            run_chaos_soak(
+                plan,
+                flows=args.flows,
+                records_per_direction=args.records,
+                memory_size=args.memory_mb << 20,
+                store_dir=store_dir,
+            )
+        )
+    report = reports[0]
+    print(report.summary())
+    print(f"  schedule digest: {report.schedule_digest}")
+    status = 0 if report.ok else 1
+    for run, other in enumerate(reports[1:], start=2):
+        if other.schedule_digest != report.schedule_digest:
+            print(f"  FAIL: run {run} diverged — determinism broken "
+                  f"({other.schedule_digest} != {report.schedule_digest})")
+            status = 1
+        elif not other.ok:
+            print(f"  FAIL: run {run}: {'; '.join(other.failures)}")
+            status = 1
+        else:
+            print(f"  run {run}: identical fault schedule, invariants hold")
+    if args.schedule:
+        for line in report.schedule:
+            print(f"  {line}")
+    return status
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.rho_high is None:
         print(f"M/M/1/N loss probability at rho={args.rho}")
@@ -778,6 +842,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "timeline": _cmd_timeline,
         "scapcheck": _cmd_scapcheck,
+        "chaos": _cmd_chaos,
         "record": _cmd_record,
         "query": _cmd_query,
         "replay": _cmd_replay,

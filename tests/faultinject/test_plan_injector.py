@@ -1,0 +1,212 @@
+"""FaultPlan validation and FaultInjector determinism / plane draws."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faultinject import (
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    MemoryFaults,
+    SchedFaults,
+    StoreFaults,
+    WireFaults,
+)
+
+
+class TestPlanValidation:
+    def test_default_plan_is_inactive(self):
+        plan = FaultPlan()
+        plan.validate()
+        assert not plan.active()
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(wire=WireFaults(drop_rate=1.5)).validate()
+        with pytest.raises(ValueError):
+            FaultPlan(memory=MemoryFaults(alloc_failure_rate=-0.1)).validate()
+
+    def test_pressure_boost_must_leave_headroom(self):
+        with pytest.raises(ValueError):
+            FaultPlan(memory=MemoryFaults(pressure_boost=1.0)).validate()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultWindow(start=2.0, end=1.0).validate()
+
+    def test_window_containment_is_half_open(self):
+        window = FaultWindow(start=1.0, end=2.0)
+        assert window.contains(1.0)
+        assert window.contains(1.999)
+        assert not window.contains(2.0)
+        assert not window.contains(0.999)
+
+    def test_randomized_is_reproducible_and_valid(self):
+        first = FaultPlan.randomized(seed=9, intensity=0.1)
+        second = FaultPlan.randomized(seed=9, intensity=0.1)
+        assert first == second
+        first.validate()
+        assert first.active()
+        # Payload-integrity faults stay off in randomized plans so the
+        # soak can assert byte-exact delivery.
+        assert first.wire.corrupt_rate == 0.0
+        assert first.wire.truncate_rate == 0.0
+
+    def test_describe_mentions_active_planes(self):
+        plan = FaultPlan(seed=3, store=StoreFaults(write_error_rate=0.5))
+        text = plan.describe()
+        assert "seed=3" in text
+        assert "write_error_rate=0.5" in text
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_same_draw_sequence(self):
+        plan = FaultPlan(
+            seed=17,
+            memory=MemoryFaults(alloc_failure_rate=0.3),
+            sched=SchedFaults(stall_rate=0.3, backpressure_rate=0.3),
+        )
+
+        def drive(injector):
+            out = []
+            for step in range(200):
+                now = step / 1000.0
+                out.append(injector.memory_alloc_fails(now, 64, "s"))
+                out.append(injector.sched_backpressure(now, worker=0))
+                out.append(injector.sched_stall(now, worker=0))
+            return out, injector.schedule_digest()
+
+        first, digest_a = drive(FaultInjector(plan))
+        second, digest_b = drive(FaultInjector(plan))
+        assert first == second
+        assert digest_a == digest_b
+
+    def test_planes_draw_independently(self):
+        """Consuming one plane's RNG must not shift another plane's."""
+        base = FaultPlan(
+            seed=17,
+            memory=MemoryFaults(alloc_failure_rate=0.5),
+            store=StoreFaults(write_error_rate=0.5),
+        )
+        lone = FaultInjector(base)
+        mixed = FaultInjector(base)
+        lone_draws = [lone.store_write_error(0.0, 64) for _ in range(50)]
+        mixed_draws = []
+        for n in range(50):
+            mixed.memory_alloc_fails(0.0, 64, "s")  # interleaved other-plane draw
+            mixed_draws.append(mixed.store_write_error(0.0, 64))
+        assert lone_draws == mixed_draws
+
+    def test_counts_match_schedule(self):
+        plan = FaultPlan(seed=2, memory=MemoryFaults(alloc_failure_rate=0.5))
+        injector = FaultInjector(plan)
+        hits = sum(
+            injector.memory_alloc_fails(n / 100.0, 32, "x") for n in range(100)
+        )
+        assert hits > 0
+        assert injector.count("memory", "alloc_failure") == hits
+        assert injector.total_injected == len(injector.schedule)
+        assert injector.counts_by_key()["memory.alloc_failure"] == hits
+
+    def test_window_gates_draws(self):
+        window = FaultWindow(start=0.5, end=0.6)
+        plan = FaultPlan(
+            seed=2, memory=MemoryFaults(alloc_failure_rate=1.0, window=window)
+        )
+        injector = FaultInjector(plan)
+        assert not injector.memory_alloc_fails(0.0, 32, "x")
+        assert injector.memory_alloc_fails(0.5, 32, "x")
+        assert not injector.memory_alloc_fails(0.7, 32, "x")
+
+    def test_pressure_boost_caps_below_one(self):
+        plan = FaultPlan(seed=0, memory=MemoryFaults(pressure_boost=0.9))
+        injector = FaultInjector(plan)
+        assert injector.memory_pressure(0.0, 0.5) < 1.0
+        assert injector.memory_pressure(0.0, 0.2) == pytest.approx(0.999999)
+        # Pressure never lowers the organic fraction.
+        assert injector.memory_pressure(0.0, 0.9999995) >= 0.9999995
+
+
+class TestWirePlane:
+    def _trace(self, flows=4):
+        from repro.faultinject.soak import build_soak_trace
+
+        return build_soak_trace(flows=flows, records_per_direction=8)
+
+    def _replayed(self, plan, trace):
+        injector = FaultInjector(plan)
+        wrapped = injector.wrap_workload(trace)
+        packets = list(wrapped.replay(1e9))
+        return injector, packets
+
+    def test_drop_removes_packets(self):
+        trace = self._trace()
+        plan = FaultPlan(seed=1, wire=WireFaults(drop_rate=0.2))
+        injector, packets = self._replayed(plan, trace)
+        dropped = injector.count("wire", "drop")
+        assert dropped > 0
+        assert len(packets) == len(trace) - dropped
+
+    def test_duplicate_adds_packets(self):
+        trace = self._trace()
+        plan = FaultPlan(seed=1, wire=WireFaults(duplicate_rate=0.2))
+        injector, packets = self._replayed(plan, trace)
+        duplicated = injector.count("wire", "duplicate")
+        assert duplicated > 0
+        assert len(packets) == len(trace) + duplicated
+
+    def test_reorder_keeps_arrival_monotonic(self):
+        trace = self._trace()
+        plan = FaultPlan(seed=1, wire=WireFaults(reorder_rate=0.3))
+        injector, packets = self._replayed(plan, trace)
+        assert injector.count("wire", "reorder") > 0
+        times = [packet.timestamp for packet in packets]
+        assert times == sorted(times)
+
+    def test_corruption_flips_exactly_one_bit(self):
+        trace = self._trace()
+        plan = FaultPlan(seed=4, wire=WireFaults(corrupt_rate=0.3))
+        injector, packets = self._replayed(plan, trace)
+        corrupted = injector.count("wire", "corrupt")
+        assert corrupted > 0
+        clean = {id(p): p.payload for p in trace.packets}
+        flipped = 0
+        for original, mutated in zip(trace.packets, packets):
+            if original.payload != mutated.payload:
+                assert len(original.payload) == len(mutated.payload)
+                delta = sum(
+                    bin(a ^ b).count("1")
+                    for a, b in zip(original.payload, mutated.payload)
+                )
+                assert delta == 1
+                flipped += 1
+        assert flipped == corrupted
+
+    def test_faults_never_mutate_the_source_trace(self):
+        trace = self._trace()
+        originals = [(p.payload, p.wire_len, p.fcs_corrupt) for p in trace.packets]
+        plan = FaultPlan(
+            seed=4,
+            wire=WireFaults(
+                corrupt_rate=0.3, truncate_rate=0.2, fcs_corrupt_rate=0.2
+            ),
+        )
+        self._replayed(plan, trace)
+        assert originals == [
+            (p.payload, p.wire_len, p.fcs_corrupt) for p in trace.packets
+        ]
+
+    def test_fcs_corrupt_flag_set_on_copy(self):
+        trace = self._trace()
+        plan = FaultPlan(seed=4, wire=WireFaults(fcs_corrupt_rate=0.2))
+        injector, packets = self._replayed(plan, trace)
+        marked = sum(packet.fcs_corrupt for packet in packets)
+        assert marked == injector.count("wire", "fcs_corrupt") > 0
+
+    def test_plan_is_frozen(self):
+        plan = FaultPlan(seed=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.seed = 2

@@ -257,3 +257,26 @@ def test_timeline_unknown_flow_fails(capsys):
          "--rate", "2.0"]
     ) == 1
     assert "no retained trace events" in capsys.readouterr().out
+
+
+def test_chaos_passes_and_is_deterministic(tmp_path, capsys):
+    store = str(tmp_path / "chaos-store")
+    code = main(
+        ["chaos", "--seed", "42", "--flows", "12", "--records", "24",
+         "--runs", "2", "--store", store]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "chaos soak: PASS" in out
+    assert "schedule digest:" in out
+    assert "identical fault schedule" in out
+
+
+def test_chaos_schedule_listing(capsys):
+    code = main(
+        ["chaos", "--seed", "7", "--intensity", "0.1", "--flows", "8",
+         "--records", "16", "--schedule"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert " wire " in out or " memory " in out or " sched " in out
