@@ -1,0 +1,212 @@
+"""Differential parity: baseline engines vs the core Scap pipeline.
+
+Libnids and Stream5 share Scap's reassembly engine (that is the point
+of §6's apples-to-apples comparison), so on a clean, SYN-complete
+trace every per-direction stream must reconstruct byte-identically in
+all three systems.  Where the systems *intentionally* diverge, the
+divergence itself is pinned here:
+
+* **Midstream pickup** — Libnids/Stream5 require the three-way
+  handshake (``require_syn=True``); Scap's FAST mode picks up
+  mid-stream flows, estimating the ISN from the first payload segment
+  (its STRICT mode normalizes like Libnids and discards them).
+* **Overlap policy** — Stream5's target-based configuration can
+  resolve conflicting overlaps with a different OS policy (e.g.
+  WINDOWS keeps the original copy) than the core's Linux default,
+  which takes a conflicting retransmission at an equal start.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.base import MonitorApp
+from repro.baselines import LibnidsEngine, Stream5Engine, UserStreamEngine
+from repro.core import Parameter, scap_create, scap_start_capture
+from repro.core.constants import SCAP_TCP_FAST, SCAP_TCP_STRICT, ReassemblyPolicy
+from repro.faultinject.soak import build_soak_trace
+from repro.netstack import FiveTuple, IPProtocol, TCPFlags, make_tcp_packet
+from repro.traffic.trace import Trace
+
+
+# ----------------------------------------------------------------------
+# Harnesses: same trace through each system, keyed per directional stream
+# ----------------------------------------------------------------------
+class _BaselineCollector(MonitorApp):
+    """Accumulates baseline-delivered bytes per directional stream."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.streams: Dict[str, bytes] = {}
+
+    def on_stream_data(self, five_tuple, direction, offset, data, had_hole=False):
+        super().on_stream_data(five_tuple, direction, offset, data, had_hole)
+        key = str(five_tuple)
+        self.streams[key] = self.streams.get(key, b"") + data
+
+
+def _run_baseline(engine_cls, trace, **kwargs):
+    app = _BaselineCollector()
+    engine = engine_cls(app, **kwargs)
+    for packet in trace:
+        engine.handle_packet(packet)
+    engine.drain(trace.packets[-1].timestamp + 1.0)
+    return app, engine
+
+
+def _run_core(trace, policy=None, mode=SCAP_TCP_STRICT) -> Dict[str, bytes]:
+    streams: Dict[str, bytes] = {}
+
+    def on_data(stream) -> None:
+        key = str(stream.five_tuple)
+        streams[key] = streams.get(key, b"") + bytes(stream.data)
+
+    sc = scap_create(trace, 64 << 20, reassembly_mode=mode)
+    sc.set_parameter(Parameter.OVERLAP_SIZE, 0)
+    if policy is not None:
+        # The socket-wide default policy is config-level (the paper's
+        # Scap always behaves like the monitored Linux host).
+        sc.config.reassembly_policy = policy
+    sc.dispatch_data(on_data)
+    scap_start_capture(sc)
+    return streams
+
+
+# ----------------------------------------------------------------------
+# Parity on clean, SYN-complete traffic
+# ----------------------------------------------------------------------
+class TestCleanTraceParity:
+    def test_libnids_matches_core_byte_for_byte(self):
+        trace = build_soak_trace(flows=8, records_per_direction=24)
+        core = _run_core(trace)
+        nids, _ = _run_baseline(LibnidsEngine, trace)
+        nids = nids.streams
+        # 8 flows x 2 directions, every directional stream present in both.
+        assert len(core) == 16
+        assert core.keys() == nids.keys()
+        for key in core:
+            assert core[key] == nids[key], f"stream {key} diverged"
+
+    def test_stream5_default_policy_matches_core(self):
+        trace = build_soak_trace(flows=6, records_per_direction=16)
+        core = _run_core(trace)
+        snort, _ = _run_baseline(Stream5Engine, trace)
+        snort = snort.streams
+        assert core == snort
+
+    def test_delivered_byte_totals_agree(self):
+        trace = build_soak_trace(flows=5, records_per_direction=20)
+        core_total = sum(len(data) for data in _run_core(trace).values())
+        app, _ = _run_baseline(LibnidsEngine, trace)
+        assert core_total == app.delivered_bytes == 5 * 2 * 20 * 16
+
+
+# ----------------------------------------------------------------------
+# Intended divergence 1: midstream pickup
+# ----------------------------------------------------------------------
+class TestMidstreamDivergence:
+    def test_fast_core_picks_up_synless_flows_libnids_does_not(self):
+        """Scap's FAST mode tracks flows whose handshake it never saw,
+        estimating the ISN from the first payload segment; Libnids
+        (nids.c) only follows connections established under its watch.
+        """
+        full = build_soak_trace(flows=4, records_per_direction=12)
+        headless = Trace(
+            [p for p in full if not (p.tcp is not None and p.tcp.syn)],
+            name="headless",
+        )
+        core = _run_core(headless, mode=SCAP_TCP_FAST)
+        nids, nids_engine = _run_baseline(LibnidsEngine, headless)
+        # Libnids ignores every packet of the untracked flows.
+        assert nids.streams == {}
+        assert nids.delivered_bytes == 0
+        assert nids_engine.counters.packets_ignored > 0
+        # The core reconstructs every directional stream in full.
+        assert len(core) == 8
+        assert sum(len(d) for d in core.values()) == 4 * 2 * 12 * 16
+
+    def test_strict_core_discards_like_libnids(self):
+        """In STRICT mode the core normalizes like Libnids: data from
+        never-established connections is discarded, so the two systems
+        agree again (on delivering nothing)."""
+        full = build_soak_trace(flows=3, records_per_direction=10)
+        headless = Trace(
+            [p for p in full if not (p.tcp is not None and p.tcp.syn)],
+            name="headless",
+        )
+        assert _run_core(headless, mode=SCAP_TCP_STRICT) == {}
+
+    def test_midstream_pickup_restores_parity(self):
+        """A user engine with Snort's ``midstream`` option (no SYN
+        required, FAST-equivalent anchoring) tracks the same flows as
+        the FAST core — the divergence is the handshake requirement,
+        nothing else."""
+        full = build_soak_trace(flows=3, records_per_direction=10)
+        headless = Trace(
+            [p for p in full if not (p.tcp is not None and p.tcp.syn)],
+            name="headless",
+        )
+        core = _run_core(headless, mode=SCAP_TCP_FAST)
+        midstream, _ = _run_baseline(
+            UserStreamEngine, headless, require_syn=False, mode=SCAP_TCP_FAST
+        )
+        assert core == midstream.streams
+
+
+# ----------------------------------------------------------------------
+# Intended divergence 2: target-based overlap policy
+# ----------------------------------------------------------------------
+def _conflicting_overlap_trace() -> Trace:
+    """One connection with a conflicting same-start retransmission."""
+    ft = FiveTuple(0xC0A80001, 40000, 0x0A000001, 80, IPProtocol.TCP)
+    isn, server_isn = 1000, 9000
+    packets = [
+        make_tcp_packet(*ft[:4], seq=isn, flags=TCPFlags.SYN, timestamp=0.0),
+        make_tcp_packet(
+            ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+            seq=server_isn, ack=isn + 1,
+            flags=TCPFlags.SYN | TCPFlags.ACK, timestamp=0.001,
+        ),
+        # Out-of-order original, then a conflicting retransmission at
+        # the same start — the canonical policy-discriminating case.
+        make_tcp_packet(*ft[:4], seq=isn + 2, payload=b"BBB", timestamp=0.002),
+        make_tcp_packet(*ft[:4], seq=isn + 2, payload=b"XXX", timestamp=0.003),
+        make_tcp_packet(*ft[:4], seq=isn + 1, payload=b"A", timestamp=0.004),
+        make_tcp_packet(*ft[:4], seq=isn + 5, payload=b"A", timestamp=0.005),
+        make_tcp_packet(
+            *ft[:4], seq=isn + 6, flags=TCPFlags.FIN | TCPFlags.ACK,
+            timestamp=0.006,
+        ),
+        make_tcp_packet(
+            ft.dst_ip, ft.dst_port, ft.src_ip, ft.src_port,
+            seq=server_isn + 1, ack=isn + 7,
+            flags=TCPFlags.FIN | TCPFlags.ACK, timestamp=0.007,
+        ),
+    ]
+    return Trace(packets, name="overlap")
+
+
+class TestOverlapPolicyDivergence:
+    def test_windows_target_diverges_from_core_linux(self):
+        trace = _conflicting_overlap_trace()
+        core = _run_core(trace)
+        snort = Stream5Engine(app := _BaselineCollector())
+        # Target-based config: the 10.0.0.0/8 server reassembles like
+        # a Windows host (original copy wins).
+        snort.add_target_policy("dst net 10.0.0.0/8", ReassemblyPolicy.WINDOWS)
+        for packet in trace:
+            snort.handle_packet(packet)
+        snort.drain(1.0)
+        key = next(iter(core))
+        # Core (Linux default): the conflicting retransmission wins at
+        # an equal start; Stream5-as-Windows keeps the first copy.
+        assert core[key] == b"AXXXA"
+        assert app.streams[key] == b"ABBBA"
+
+    def test_same_policy_restores_parity(self):
+        trace = _conflicting_overlap_trace()
+        core = _run_core(trace, policy=ReassemblyPolicy.WINDOWS)
+        snort, _ = _run_baseline(
+            Stream5Engine, trace, default_policy=ReassemblyPolicy.WINDOWS
+        )
+        assert core == snort.streams

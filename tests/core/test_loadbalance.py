@@ -1,0 +1,91 @@
+"""Dynamic load balancer (§2.4): imbalance detection, redirect targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.loadbalance import LoadBalancer
+
+
+class TestConstruction:
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            LoadBalancer(4, threshold=1.0)
+        with pytest.raises(ValueError):
+            LoadBalancer(4, threshold=0.5)
+
+    def test_starts_balanced_and_idle(self):
+        balancer = LoadBalancer(4)
+        assert balancer.counts == [0, 0, 0, 0]
+        assert balancer.total == 0
+        assert balancer.redirections == 0
+
+
+class TestRedirection:
+    def test_no_redirect_below_minimum_population(self):
+        """Fewer than 4x cores streams: imbalance is meaningless noise."""
+        balancer = LoadBalancer(4, threshold=2.0)
+        for _ in range(15):  # below the 4 * 4 activation floor
+            assert balancer.on_stream_created(0) is None
+
+    def test_overloaded_core_redirects_to_least_loaded(self):
+        balancer = LoadBalancer(4, threshold=2.0)
+        for core in (1, 2, 3):
+            for _ in range(4):
+                balancer.on_stream_created(core)
+        balancer.counts[3] = 2  # core 3 is now the least loaded
+        for _ in range(20):
+            target = balancer.on_stream_created(0)
+        assert target == 3
+
+    def test_fair_share_scales_with_total(self):
+        """A core at exactly threshold x fair share is NOT overloaded."""
+        balancer = LoadBalancer(2, threshold=2.0)
+        balancer.counts = [0, 8]
+        # 8 streams on core 1, fair share (9 total)/2 = 4.5 after this
+        # create; 9 <= 2.0 * 4.5 holds, so no redirect yet.
+        assert balancer.on_stream_created(1) is None
+        assert balancer.counts == [0, 9]
+
+    def test_redirect_fires_past_threshold(self):
+        # With two cores a core can never exceed 2x its fair share (its
+        # count is bounded by the total), so use a 1.5x threshold.
+        balancer = LoadBalancer(2, threshold=1.5)
+        balancer.counts = [2, 12]
+        assert balancer.on_stream_created(1) == 0
+
+    def test_no_redirect_when_already_least_loaded(self):
+        """A uniformly loaded system never redirects to itself."""
+        balancer = LoadBalancer(1, threshold=1.5)
+        for _ in range(10):
+            assert balancer.on_stream_created(0) is None
+
+
+class TestAccounting:
+    def test_moved_shifts_counts_and_counts_redirections(self):
+        balancer = LoadBalancer(2)
+        balancer.counts = [5, 1]
+        balancer.moved(0, 1)
+        assert balancer.counts == [4, 2]
+        assert balancer.redirections == 1
+
+    def test_termination_decrements_but_never_negative(self):
+        balancer = LoadBalancer(2)
+        balancer.on_stream_created(0)
+        balancer.on_stream_terminated(0)
+        assert balancer.counts[0] == 0
+        balancer.on_stream_terminated(0)  # stray termination
+        assert balancer.counts[0] == 0
+
+    def test_create_redirect_move_cycle_converges(self):
+        """Hammering one core ends up spreading streams across cores."""
+        balancer = LoadBalancer(4, threshold=1.5)
+        for _ in range(200):
+            target = balancer.on_stream_created(0)
+            if target is not None:
+                balancer.moved(0, target)
+        assert balancer.total == 200
+        assert balancer.redirections > 0
+        fair = 200 / 4
+        assert balancer.counts[0] <= 1.5 * fair + 1
+        assert min(balancer.counts) > 0

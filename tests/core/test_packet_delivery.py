@@ -1,0 +1,87 @@
+"""Per-packet delivery (`need_pkts`): records, cursor, header filling."""
+
+from __future__ import annotations
+
+from repro.core.packet_delivery import (
+    PacketRecord,
+    ScapPacketHeader,
+    next_stream_packet,
+)
+from repro.core.stream import StreamDescriptor
+from repro.netstack.flows import FiveTuple
+from repro.netstack.ip import IPProtocol
+
+
+def _stream(records):
+    stream = StreamDescriptor(
+        five_tuple=FiveTuple(10, 1000, 20, 80, IPProtocol.TCP),
+        direction=0,
+        protocol=IPProtocol.TCP,
+    )
+    stream.packet_records = list(records)
+    return stream
+
+
+def _record(n, payload=b"", **kwargs):
+    defaults = dict(
+        timestamp=float(n),
+        caplen=len(payload),
+        wire_len=len(payload) + 54,
+        seq=1 + n,
+        tcp_flags=0x18,
+        payload=payload,
+        stream_offset=n,
+    )
+    defaults.update(kwargs)
+    return PacketRecord(**defaults)
+
+
+class TestNextStreamPacket:
+    def test_empty_stream_returns_none(self):
+        assert next_stream_packet(_stream([])) is None
+
+    def test_iterates_in_capture_order(self):
+        stream = _stream([_record(0, b"aa"), _record(1, b"bb"), _record(2, b"cc")])
+        out = []
+        while (payload := next_stream_packet(stream)) is not None:
+            out.append(payload)
+        assert out == [b"aa", b"bb", b"cc"]
+        # Exhausted: stays None on further calls.
+        assert next_stream_packet(stream) is None
+
+    def test_header_filled_per_packet(self):
+        stream = _stream([_record(0, b"aaaa"), _record(1, b"bb")])
+        header = ScapPacketHeader()
+        assert next_stream_packet(stream, header) == b"aaaa"
+        assert (header.timestamp, header.caplen, header.wire_len) == (0.0, 4, 58)
+        assert next_stream_packet(stream, header) == b"bb"
+        assert (header.timestamp, header.caplen, header.wire_len) == (1.0, 2, 56)
+
+    def test_header_optional(self):
+        stream = _stream([_record(0, b"x")])
+        assert next_stream_packet(stream) == b"x"
+
+    def test_cursors_are_independent_across_streams(self):
+        first = _stream([_record(0, b"a"), _record(1, b"b")])
+        second = _stream([_record(0, b"c"), _record(1, b"d")])
+        assert next_stream_packet(first) == b"a"
+        assert next_stream_packet(second) == b"c"
+        assert next_stream_packet(first) == b"b"
+        assert next_stream_packet(second) == b"d"
+
+    def test_user_scratch_untouched(self):
+        stream = _stream([_record(0, b"a")])
+        stream.user = {"app": "state"}
+        next_stream_packet(stream)
+        assert stream.user == {"app": "state"}
+
+    def test_duplicates_and_reordering_preserved(self):
+        """Capture order is the contract — not stream order."""
+        records = [
+            _record(0, b"second", seq=100, stream_offset=6),
+            _record(1, b"first", seq=94, stream_offset=0),
+            _record(2, b"second", seq=100, stream_offset=6),  # retransmission
+        ]
+        stream = _stream(records)
+        out = [next_stream_packet(stream) for _ in range(3)]
+        assert out == [b"second", b"first", b"second"]

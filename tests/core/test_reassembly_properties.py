@@ -1,0 +1,178 @@
+"""Property-based TCP reassembly tests (hypothesis).
+
+Two families of properties:
+
+* **Reconstruction identity** — any segmentation of a stream, under
+  any arrival order, with duplicated and re-sliced (byte-identical)
+  overlapping segments mixed in, reassembles to exactly the original
+  byte string in ``SCAP_TCP_STRICT`` mode (and in ``SCAP_TCP_FAST``
+  while its out-of-order bounds are not exceeded).
+* **Overlap policy matrix** — when two buffered copies of a range
+  *conflict*, the surviving copy per target OS matches the
+  Novak–Sturges target-based model the paper (and Snort's Stream5)
+  implements, byte for byte, for every relative segment placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import SCAP_TCP_FAST, SCAP_TCP_STRICT, ReassemblyPolicy
+from repro.core.reassembly import TCPDirectionReassembler
+
+# The Novak–Sturges matrix, restated independently of the
+# implementation: does the NEW copy of a conflicting overlap win,
+# given where each segment starts?
+NOVAK_STURGES = {
+    ReassemblyPolicy.FIRST: lambda old, new: False,
+    ReassemblyPolicy.WINDOWS: lambda old, new: False,
+    ReassemblyPolicy.SOLARIS: lambda old, new: False,
+    ReassemblyPolicy.LAST: lambda old, new: True,
+    ReassemblyPolicy.BSD: lambda old, new: new < old,
+    ReassemblyPolicy.LINUX: lambda old, new: new <= old,
+}
+
+ALL_POLICIES = sorted(NOVAK_STURGES)
+
+
+def _collect(pieces):
+    return b"".join(piece.data for piece in pieces)
+
+
+# ----------------------------------------------------------------------
+# Reconstruction identity
+# ----------------------------------------------------------------------
+@st.composite
+def segmented_stream(draw):
+    """A payload plus a shuffled, duplicated, re-sliced segmentation."""
+    payload = bytes(draw(st.lists(st.integers(0, 255), min_size=1, max_size=300)))
+    n = len(payload)
+    # A primary segmentation from random cut points (covers everything).
+    cuts = sorted(set(draw(st.lists(st.integers(1, max(1, n - 1)),
+                                    max_size=8)) + [0, n]))
+    segments = [
+        (start, payload[start:end]) for start, end in zip(cuts, cuts[1:])
+    ]
+    # Extra byte-identical slices: retransmissions straddling the
+    # primary segment boundaries.
+    extra_count = draw(st.integers(0, 4))
+    for _ in range(extra_count):
+        start = draw(st.integers(0, n - 1))
+        end = draw(st.integers(start + 1, n))
+        segments.append((start, payload[start:end]))
+    # Plain duplicates of primary segments.
+    for index in draw(st.lists(st.integers(0, len(segments) - 1), max_size=3)):
+        segments.append(segments[index])
+    order = draw(st.permutations(segments))
+    return payload, list(order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(segmented_stream(), st.sampled_from([SCAP_TCP_STRICT, SCAP_TCP_FAST]))
+def test_any_arrival_order_reconstructs_identically(case, mode):
+    payload, segments = case
+    reassembler = TCPDirectionReassembler(mode)
+    reassembler.set_isn(0)
+    delivered = b""
+    for offset, data in segments:
+        delivered += _collect(reassembler.on_segment(1 + offset, data))
+    assert delivered == payload
+    assert reassembler.next_offset == len(payload)
+    assert reassembler.buffered_bytes == 0
+    # Identical copies never conflict, whatever the overlap geometry.
+    assert reassembler.counters.conflicting_bytes == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(segmented_stream(), st.sampled_from(ALL_POLICIES))
+def test_reconstruction_is_policy_independent(case, policy):
+    """Without conflicting bytes, every OS policy yields the same stream."""
+    payload, segments = case
+    reassembler = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=policy)
+    reassembler.set_isn(0)
+    delivered = b""
+    for offset, data in segments:
+        delivered += _collect(reassembler.on_segment(1 + offset, data))
+    assert delivered == payload
+
+
+# ----------------------------------------------------------------------
+# Conflicting overlaps: the Novak–Sturges matrix, end to end
+# ----------------------------------------------------------------------
+@st.composite
+def conflicting_overlap(draw):
+    """Two out-of-order segments with different bytes on a shared range."""
+    old_start = draw(st.integers(1, 20))
+    old_len = draw(st.integers(1, 20))
+    # Force a nonempty intersection with the old segment's range.
+    new_start = draw(st.integers(max(1, old_start - 20), old_start + old_len - 1))
+    new_end = draw(st.integers(max(new_start + 1, old_start + 1),
+                               old_start + old_len + 20))
+    return old_start, old_len, new_start, new_end - new_start
+
+
+@settings(max_examples=80, deadline=None)
+@given(conflicting_overlap(), st.sampled_from(ALL_POLICIES))
+def test_overlap_resolution_matches_novak_sturges(case, policy):
+    old_start, old_len, new_start, new_len = case
+    old = bytes([0xAA]) * old_len
+    new = bytes([0xBB]) * new_len
+    reassembler = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=policy)
+    reassembler.set_isn(0)
+    # Both arrive out of order (offset 0 still missing), so both buffer
+    # and the overlap is resolved by the target-based policy.
+    assert reassembler.on_segment(1 + old_start, old) == []
+    assert reassembler.on_segment(1 + new_start, new) == []
+    assert reassembler.counters.conflicting_bytes == (
+        min(old_start + old_len, new_start + new_len)
+        - max(old_start, new_start)
+    )
+    # Fill the hole; everything buffered drains in order.
+    anchor = min(old_start, new_start)
+    prefix = bytes([0xCC]) * anchor
+    delivered = _collect(reassembler.on_segment(1, prefix))
+
+    new_wins = NOVAK_STURGES[policy](old_start, new_start)
+    union_end = max(old_start + old_len, new_start + new_len)
+    expected = bytearray(prefix)
+    for position in range(anchor, union_end):
+        in_old = old_start <= position < old_start + old_len
+        in_new = new_start <= position < new_start + new_len
+        if in_old and in_new:
+            expected.append(0xBB if new_wins else 0xAA)
+        elif in_old:
+            expected.append(0xAA)
+        else:
+            expected.append(0xBB)
+    assert delivered == bytes(expected)
+
+
+def test_matrix_oracle_agrees_with_implementation():
+    """The implementation's decision function IS the published matrix."""
+    for policy, oracle in NOVAK_STURGES.items():
+        for old_start in range(0, 4):
+            for new_start in range(0, 4):
+                assert ReassemblyPolicy.new_segment_wins(
+                    policy, old_start, new_start
+                ) == oracle(old_start, new_start), (policy, old_start, new_start)
+
+
+@pytest.mark.parametrize("policy,expected", [
+    (ReassemblyPolicy.FIRST, b"ABBBA"),
+    (ReassemblyPolicy.WINDOWS, b"ABBBA"),
+    (ReassemblyPolicy.SOLARIS, b"ABBBA"),
+    (ReassemblyPolicy.LAST, b"AXXXA"),
+    (ReassemblyPolicy.BSD, b"ABBBA"),   # equal starts: old wins under BSD
+    (ReassemblyPolicy.LINUX, b"AXXXA"),  # ... but the new copy wins on Linux
+])
+def test_canonical_midstream_retransmission(policy, expected):
+    """The classic one-byte-in overlap example, pinned per policy."""
+    reassembler = TCPDirectionReassembler(SCAP_TCP_STRICT, policy=policy)
+    reassembler.set_isn(0)
+    reassembler.on_segment(2, b"BBB")      # offsets 1-3 buffered
+    reassembler.on_segment(2, b"XXX")      # conflicting retransmission
+    delivered = _collect(reassembler.on_segment(1, b"A"))
+    delivered += _collect(reassembler.on_segment(5, b"A"))
+    assert delivered == expected
