@@ -62,6 +62,21 @@ class CutoffPolicy:
         if cutoff < SCAP_UNLIMITED_CUTOFF:
             raise ValueError(f"invalid cutoff: {cutoff}")
 
+    @property
+    def is_trivial(self) -> bool:
+        """True when no scope can impose a cutoff except per-stream.
+
+        The batched hot path uses this to skip cutoff resolution for
+        streams whose own cutoff is unlimited: with no class, direction,
+        or default cutoff configured, ``remaining()`` is None for them
+        by construction.
+        """
+        return (
+            self.default == SCAP_UNLIMITED_CUTOFF
+            and not self._classes
+            and not self._per_direction
+        )
+
     # ------------------------------------------------------------------
     def effective_cutoff(self, stream: StreamDescriptor) -> int:
         """The cutoff that applies to ``stream`` right now."""

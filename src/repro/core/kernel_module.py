@@ -41,7 +41,12 @@ from ..observability import (
     Observability,
 )
 from .config import ScapConfig
-from .constants import SCAP_TCP_STRICT, StreamError, StreamStatus
+from .constants import (
+    SCAP_TCP_STRICT,
+    SCAP_UNLIMITED_CUTOFF,
+    StreamError,
+    StreamStatus,
+)
 from .events import DataReason, Event, EventType
 from .flowtable import FlowTable, StreamPair
 from .memory import Chunk, ChunkAssembler, StreamMemory
@@ -100,6 +105,62 @@ class KernelCounters:
             + self.discarded_cutoff_packets
             + self.discarded_non_established
         )
+
+
+class _FlowEntry:
+    """One directional five-tuple's cache line for the batched hot path.
+
+    Caches everything the per-packet path re-derives on every packet of
+    an established flow: the pair, the directional stream descriptor,
+    the direction index, the stream's string label (``str(five_tuple)``
+    is the single most expensive per-store operation), and — once
+    created — the direction's reassembler and chunk assembler.  Entries
+    are invalidated wholesale whenever any stream terminates (the
+    kernel's ``_flow_epoch`` moves), so a cached pair can never outlive
+    its flow-table record.
+    """
+
+    __slots__ = ("pair", "stream", "direction", "label", "reassembler", "assembler")
+
+    def __init__(self, pair: StreamPair, stream: StreamDescriptor, direction: int,
+                 label: str):
+        self.pair = pair
+        self.stream = stream
+        self.direction = direction
+        self.label = label
+        self.reassembler: Optional[TCPDirectionReassembler] = None
+        self.assembler: Optional[ChunkAssembler] = None
+
+
+class _BatchContext:
+    """Mutable state carried across the packets of one (or more) batches.
+
+    The flow cache persists across batches; the per-core packet/byte
+    accumulators are flushed into the metrics registry by
+    :meth:`ScapKernelModule.end_batch` so the registry totals stay
+    identical to the per-packet path at every batch boundary.
+    """
+
+    __slots__ = (
+        "epoch",
+        "flows",
+        "bpf_match_all",
+        "core_packets",
+        "core_bytes",
+        "enabled",
+        "base_cycles",
+        "lookup_hit_cycles",
+    )
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        self.flows: Dict = {}
+        self.bpf_match_all = False
+        self.core_packets: Dict[int, int] = {}
+        self.core_bytes: Dict[int, int] = {}
+        self.enabled = False
+        self.base_cycles = 0.0
+        self.lookup_hit_cycles = 0.0
 
 
 class ScapKernelModule:
@@ -177,6 +238,12 @@ class ScapKernelModule:
         # observability is on, keeping the two paths identical.
         self._cycles = 0.0
         self.stage_cycles: List[float] = [0.0, 0.0, 0.0, 0.0]
+        # Batched hot path state: the flow-entry cache is invalidated
+        # whenever the epoch moves (any stream termination), and the
+        # context persists across batches of one run.
+        self._flow_epoch = 0
+        self._batch_ctx: Optional[_BatchContext] = None
+        self._cutoff_trivial = False
 
     # ------------------------------------------------------------------
     # Per-core metric handles
@@ -288,6 +355,193 @@ class ScapKernelModule:
         return self._cycles
 
     # ------------------------------------------------------------------
+    # Batched entry point
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> _BatchContext:
+        """Prepare (and return) the batch context for a batch of packets.
+
+        Refreshes the per-batch constants (match-all BPF, trivial cutoff
+        policy) and drops the flow cache if any stream terminated since
+        the cache was filled.
+        """
+        ctx = self._batch_ctx
+        if ctx is None:
+            ctx = _BatchContext(self._flow_epoch)
+            self._batch_ctx = ctx
+        ctx.bpf_match_all = self.config.bpf.is_match_all
+        self._cutoff_trivial = self.config.cutoffs.is_trivial
+        ctx.enabled = self.obs.enabled
+        cost = self.cost
+        ctx.base_cycles = cost.softirq_per_packet
+        # The hit path folds hash_lookup + stream_update into one add;
+        # cost constants are small exactly-representable floats, so the
+        # grouping cannot change the accumulated total.
+        ctx.lookup_hit_cycles = cost.hash_lookup + cost.stream_update
+        if ctx.epoch != self._flow_epoch:
+            ctx.flows.clear()
+            ctx.epoch = self._flow_epoch
+        self.ppl.begin_batch()
+        self.memory.begin_batch()
+        return ctx
+
+    def end_batch(self, ctx: _BatchContext) -> None:
+        """Flush the batch's accumulated per-core metric increments."""
+        self.ppl.end_batch()
+        self.memory.end_batch()
+        if self.obs.enabled:
+            for core, count in ctx.core_packets.items():
+                self._core(core)[0].inc(count)
+            for core, nbytes in ctx.core_bytes.items():
+                self._core(core)[1].inc(nbytes)
+        ctx.core_packets.clear()
+        ctx.core_bytes.clear()
+
+    def handle_batch_packet(
+        self, packet: Packet, core: int, five_tuple, ctx: _BatchContext
+    ) -> float:
+        """Batched twin of :meth:`handle_packet`: identical side effects.
+
+        ``five_tuple`` is the packet's directional tuple, computed once
+        at batch construction.  Amortizations over the per-packet path:
+        the flow-entry cache replaces canonicalization + flow-table
+        lookup for packets of known flows, a match-all BPF is skipped
+        per batch, and the stream label string is computed once per flow
+        instead of once per stored piece.  Every counter, trace hook,
+        sanitizer call, and charged cycle is the same as the per-packet
+        path — this method must never observably diverge from it.
+        """
+        now = packet.timestamp
+        cost = self.cost
+        stages = self.stage_cycles
+        # Inlined _charge(_ST_RECV, softirq_per_packet) on fresh stages.
+        base = ctx.base_cycles
+        self._cycles = base
+        stages[0] = base
+        stages[1] = stages[2] = stages[3] = 0.0
+        counters = self.counters
+        counters.packets_seen += 1
+        counters.bytes_seen += packet.wire_len
+        if ctx.enabled:
+            core_packets = ctx.core_packets
+            core_packets[core] = core_packets.get(core, 0) + 1
+            core_bytes = ctx.core_bytes
+            core_bytes[core] = core_bytes.get(core, 0) + packet.wire_len
+        if now - self._last_sweep >= 0.01:  # inlined _sweep guard
+            self._sweep(now, core)
+        if ctx.epoch != self._flow_epoch:
+            ctx.flows.clear()
+            ctx.epoch = self._flow_epoch
+
+        if not ctx.bpf_match_all and not self.config.bpf.matches(packet):
+            counters.filtered_out += 1
+            self._charge(_ST_RECV, 40.0)
+            return self._cycles
+
+        if packet.ip is not None and packet.ip.is_fragment:
+            counters.fragment_packets += 1
+            self._charge(_ST_REASM, cost.reassembly_per_segment)
+            whole = self._fragments.push(packet)
+            if whole is None:
+                return self._cycles
+            packet = whole
+            five_tuple = packet.five_tuple
+
+        if five_tuple is None:
+            return self._cycles  # non-IP frames are ignored by Scap
+
+        entry = ctx.flows.get(five_tuple)
+        if entry is None:
+            self._charge(_ST_LOOKUP, cost.hash_lookup)
+            tcp = packet.tcp
+            if (
+                tcp is not None
+                and not packet.payload
+                and not tcp.syn
+                and not tcp.fin
+                and not tcp.rst
+                and self.flows.get(five_tuple) is None
+            ):
+                counters.stray_acks += 1
+                return self._cycles
+            pair, created, evicted = self.flows.lookup_or_create(five_tuple, now)
+            for victim in evicted:
+                self._terminate(victim, now, victim.core, StreamStatus.TIMED_OUT)
+            if ctx.epoch != self._flow_epoch:
+                # Record-budget eviction terminated streams: any cached
+                # entry may now be stale.  (``pair`` itself is live — it
+                # was just created.)
+                ctx.flows.clear()
+                ctx.epoch = self._flow_epoch
+            if created:
+                pair.core = core
+                self._charge(_ST_LOOKUP, cost.stream_update)
+                self._emit(core, Event(EventType.STREAM_CREATED, pair.client, now))
+                if self.obs.enabled:
+                    self.obs.trace.emit(
+                        now, HOOK_STREAM_CREATED, core=core,
+                        five_tuple=str(pair.client.five_tuple),
+                    )
+            direction = pair.direction_of(five_tuple)
+            stream = pair.descriptor(direction)
+            entry = _FlowEntry(pair, stream, direction, str(stream.five_tuple))
+            ctx.flows[five_tuple] = entry
+            self._charge(_ST_LOOKUP, cost.stream_update)
+        else:
+            pair = entry.pair
+            stream = entry.stream
+            direction = entry.direction
+            # Same LRU effect as the hit path of ``lookup_or_create``;
+            # hash_lookup + stream_update folded into one charge.
+            self.flows.touch(pair, now)
+            lookup_cycles = ctx.lookup_hit_cycles
+            self._cycles += lookup_cycles
+            stages[1] += lookup_cycles
+        # Inlined _update_stats.
+        stats = stream.stats
+        stats.pkts += 1
+        stats.bytes += len(packet.payload)
+        stats.end = now
+        if stats.start == 0.0:
+            stats.start = now
+        by_priority = counters.packets_by_priority
+        priority = stream.priority
+        by_priority[priority] = by_priority.get(priority, 0) + 1
+
+        tcp = packet.tcp
+        if tcp is not None:
+            if packet.payload and not (tcp.syn or tcp.fin or tcp.rst):
+                # Established-data fast path: _handle_tcp minus the
+                # handshake/termination branches it would fall through.
+                pair.last_seq[direction] = tcp.seq
+                self._handle_tcp_payload(
+                    pair, stream, direction, packet, now, core, entry=entry
+                )
+                if (
+                    stream.flush_timeout is not None
+                    or self.config.flush_timeout is not None
+                ):
+                    self._maybe_flush_timeout(pair, stream, direction, now, core)
+            else:
+                self._handle_tcp(
+                    pair, stream, direction, packet, now, core, entry=entry
+                )
+        elif packet.udp is not None:
+            self._handle_payload(
+                pair, stream, direction, packet.payload, now, core, entry=entry
+            )
+            self._maybe_flush_timeout(pair, stream, direction, now, core)
+        else:
+            self._handle_payload(
+                pair, stream, direction, packet.payload, now, core, entry=entry
+            )
+            assembler = pair.assemblers.get(direction)
+            if assembler is not None and assembler.pending_bytes:
+                chunk = assembler.flush(now)
+                if chunk is not None:
+                    self._emit_data(core, stream, chunk, DataReason.CHUNK_FULL, now)
+        return self._cycles
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def _update_stats(self, stream: StreamDescriptor, packet: Packet, now: float) -> None:
@@ -324,6 +578,7 @@ class ScapKernelModule:
         packet: Packet,
         now: float,
         core: int,
+        entry: Optional[_FlowEntry] = None,
     ) -> None:
         tcp = packet.tcp
         assert tcp is not None
@@ -354,7 +609,9 @@ class ScapKernelModule:
             return
 
         if packet.payload:
-            self._handle_tcp_payload(pair, stream, direction, packet, now, core)
+            self._handle_tcp_payload(
+                pair, stream, direction, packet, now, core, entry=entry
+            )
 
         if tcp.fin:
             self._estimate_from_seq(pair, stream, direction, tcp.seq)
@@ -377,6 +634,7 @@ class ScapKernelModule:
         packet: Packet,
         now: float,
         core: int,
+        entry: Optional[_FlowEntry] = None,
     ) -> None:
         mode = stream.reassembly_mode or self.config.reassembly_mode
         if mode == SCAP_TCP_STRICT and not pair.established:
@@ -387,7 +645,13 @@ class ScapKernelModule:
             stream.stats.discarded_bytes += len(packet.payload)
             return
 
-        reassembler = self._reassembler_for(pair, stream, direction)
+        if entry is not None:
+            reassembler = entry.reassembler
+            if reassembler is None:
+                reassembler = self._reassembler_for(pair, stream, direction)
+                entry.reassembler = reassembler
+        else:
+            reassembler = self._reassembler_for(pair, stream, direction)
         if not pair.established and not reassembler.anchored:
             stream.set_error(StreamError.INCOMPLETE_HANDSHAKE)
 
@@ -418,30 +682,54 @@ class ScapKernelModule:
                 self.obs.trace.emit(
                     now, HOOK_PPL_DROP, core=core, priority=stream.priority,
                     reason=decision.reason, bytes=len(packet.payload),
-                    five_tuple=str(stream.five_tuple),
+                    five_tuple=entry.label if entry is not None
+                    else str(stream.five_tuple),
                 )
             return
 
-        self._charge(_ST_REASM, self.cost.reassembly_per_segment)
-        # Compute the packet's stream position before reassembly moves
-        # the expected pointer (needed for per-packet delivery records).
-        record_offset = (
-            reassembler.next_offset + seq_diff(packet.tcp.seq, reassembler.expected_seq)
-            if reassembler.anchored
-            else 0
-        )
+        # Inlined _charge(_ST_REASM, reassembly_per_segment).
+        cyc = self.cost.reassembly_per_segment
+        self._cycles += cyc
+        self.stage_cycles[_ST_REASM] += cyc
+        # The packet's stream position must be read before reassembly
+        # moves the expected pointer (it anchors per-packet delivery
+        # records) — skipped entirely when records are off.
+        need_pkts = self.config.need_pkts
+        record_offset = 0
+        if need_pkts:
+            record_offset = (
+                reassembler.next_offset
+                + seq_diff(packet.tcp.seq, reassembler.expected_seq)
+                if reassembler.anchored
+                else 0
+            )
         delivered = reassembler.on_segment(packet.tcp.seq, packet.payload, now=now)
         stored_any = False
-        for piece in delivered:
-            stored = self._store_piece(pair, stream, direction, piece.data, now, core,
-                                       follows_hole=piece.follows_hole)
-            stored_any = stored_any or stored
+        if (
+            entry is not None
+            and len(delivered) > 1
+            and self._cutoff_trivial
+            and stream.cutoff == SCAP_UNLIMITED_CUTOFF
+        ):
+            # Multi-piece delivery (a hole just drained) with no cutoff
+            # in play: admit every piece, then hand the assembler all
+            # surviving segments in one multi-segment append.
+            stored_any = self._store_pieces_fast(
+                pair, stream, direction, delivered, now, core, entry
+            )
+        else:
+            for piece in delivered:
+                stored = self._store_piece(
+                    pair, stream, direction, piece.data, now, core,
+                    follows_hole=piece.follows_hole, entry=entry,
+                )
+                stored_any = stored_any or stored
         # A record exists only for packets whose bytes were stored in
         # stream memory right away — the record's payload pointer must
         # point at real stream data.  (Out-of-order segments awaiting a
         # hole fill are not individually recorded; their bytes reach the
         # application through the chunks of the merged piece.)
-        if self.config.need_pkts and stored_any:
+        if need_pkts and stored_any:
             stream.packet_records.append(
                 PacketRecord(
                     timestamp=now,
@@ -482,6 +770,7 @@ class ScapKernelModule:
         payload: bytes,
         now: float,
         core: int,
+        entry: Optional[_FlowEntry] = None,
     ) -> None:
         """UDP / other protocols: concatenate payloads, no reassembly."""
         if not payload:
@@ -492,7 +781,13 @@ class ScapKernelModule:
             self.counters.discarded_cutoff_packets += 1
             self.counters.discarded_cutoff_bytes += len(payload)
             return
-        assembler = self._assembler_for(pair, stream, direction)
+        if entry is not None:
+            assembler = entry.assembler
+            if assembler is None:
+                assembler = self._assembler_for(pair, stream, direction)
+                entry.assembler = assembler
+        else:
+            assembler = self._assembler_for(pair, stream, direction)
         decision = self.ppl.check(
             self.memory.fraction_used(now), stream.priority, assembler.stream_offset
         )
@@ -508,11 +803,14 @@ class ScapKernelModule:
                 self.obs.trace.emit(
                     now, HOOK_PPL_DROP, core=core, priority=stream.priority,
                     reason=decision.reason, bytes=len(payload),
-                    five_tuple=str(stream.five_tuple),
+                    five_tuple=entry.label if entry is not None
+                    else str(stream.five_tuple),
                 )
             return
         record_offset = assembler.stream_offset
-        stored = self._store_piece(pair, stream, direction, payload, now, core)
+        stored = self._store_piece(
+            pair, stream, direction, payload, now, core, entry=entry
+        )
         stream.stats.captured_pkts += 1
         if stored and self.config.need_pkts:
             stream.packet_records.append(
@@ -536,12 +834,28 @@ class ScapKernelModule:
         now: float,
         core: int,
         follows_hole: bool = False,
+        entry: Optional[_FlowEntry] = None,
     ) -> bool:
         """Write reassembled bytes into the stream's chunk block."""
         if not data:
             return False
-        assembler = self._assembler_for(pair, stream, direction)
-        remaining = self.config.cutoffs.remaining(stream, assembler.stream_offset)
+        if entry is not None:
+            assembler = entry.assembler
+            if assembler is None:
+                assembler = self._assembler_for(pair, stream, direction)
+                entry.assembler = assembler
+            if self._cutoff_trivial and stream.cutoff == SCAP_UNLIMITED_CUTOFF:
+                # No scope can impose a cutoff on this stream: identical
+                # to ``cutoffs.remaining`` returning None, without the
+                # resolution walk.
+                remaining = None
+            else:
+                remaining = self.config.cutoffs.remaining(
+                    stream, assembler.stream_offset
+                )
+        else:
+            assembler = self._assembler_for(pair, stream, direction)
+            remaining = self.config.cutoffs.remaining(stream, assembler.stream_offset)
         truncated = False
         if remaining is not None and len(data) >= remaining:
             cut = len(data) - remaining
@@ -551,7 +865,8 @@ class ScapKernelModule:
             data = data[:remaining]
             truncated = True
         if data:
-            if not self.memory.try_store(now, len(data), str(stream.five_tuple)):
+            label = entry.label if entry is not None else str(stream.five_tuple)
+            if not self.memory.try_store(now, len(data), label):
                 self.counters.dropped_memory += 1
                 # Memory exhaustion is the overload drop of last resort;
                 # account it per priority like a PPL drop so the PPL
@@ -573,10 +888,15 @@ class ScapKernelModule:
                 return False
             if follows_hole:
                 stream.set_error(StreamError.REASSEMBLY_HOLE)
-            self._charge(_ST_REASM, self.cost.copy_cost(len(data)))
-            self._charge(
-                _ST_REASM, self.cost.miss_cost(self.locality.scap_kernel_misses(len(data)))
-            )
+            # Inlined _charge pair; two separate adds keep the float
+            # accumulation order identical to the uninlined calls.
+            stages = self.stage_cycles
+            cyc = self.cost.copy_cost(len(data))
+            self._cycles += cyc
+            stages[_ST_REASM] += cyc
+            cyc = self.cost.miss_cost(self.locality.scap_kernel_misses(len(data)))
+            self._cycles += cyc
+            stages[_ST_REASM] += cyc
             self.counters.stored_bytes += len(data)
             stream.stats.captured_bytes += len(data)
             for chunk in assembler.append(data, now, had_hole=follows_hole):
@@ -584,6 +904,71 @@ class ScapKernelModule:
         if truncated:
             self._cutoff_reached(pair, stream, direction, now, core)
         return bool(data)
+
+    def _store_pieces_fast(
+        self,
+        pair: StreamPair,
+        stream: StreamDescriptor,
+        direction: int,
+        pieces: List,
+        now: float,
+        core: int,
+        entry: _FlowEntry,
+    ) -> bool:
+        """Store several reassembled pieces via one multi-segment append.
+
+        Only called when no cutoff can apply to the stream (caller
+        checked ``is_trivial`` + the per-stream cutoff), so truncation
+        and ``_cutoff_reached`` can never trigger.  Observable effects
+        are identical to calling :meth:`_store_piece` per piece: pool
+        admissions, sanitizer hooks, and counters happen per piece in
+        piece order, and chunk events are emitted in the same sequence —
+        appends never move the memory pool, so deferring them past later
+        admissions changes no admission outcome.
+        """
+        assembler = entry.assembler
+        if assembler is None:
+            assembler = self._assembler_for(pair, stream, direction)
+            entry.assembler = assembler
+        label = entry.label
+        cost = self.cost
+        counters = self.counters
+        stats = stream.stats
+        segments: List[bytes] = []
+        flags: List[bool] = []
+        stored_any = False
+        for piece in pieces:
+            data = piece.data
+            if not data:
+                continue
+            if not self.memory.try_store(now, len(data), label):
+                counters.dropped_memory += 1
+                counters.ppl_drops_by_priority[stream.priority] = (
+                    counters.ppl_drops_by_priority.get(stream.priority, 0) + 1
+                )
+                stats.dropped_pkts += 1
+                stats.dropped_bytes += len(data)
+                if self.obs.enabled:
+                    self._core(core)[3].inc()
+                continue
+            if piece.follows_hole:
+                stream.set_error(StreamError.REASSEMBLY_HOLE)
+            stages = self.stage_cycles
+            cyc = cost.copy_cost(len(data))
+            self._cycles += cyc
+            stages[_ST_REASM] += cyc
+            cyc = cost.miss_cost(self.locality.scap_kernel_misses(len(data)))
+            self._cycles += cyc
+            stages[_ST_REASM] += cyc
+            counters.stored_bytes += len(data)
+            stats.captured_bytes += len(data)
+            segments.append(data)
+            flags.append(piece.follows_hole)
+            stored_any = True
+        if segments:
+            for chunk in assembler.append_many(segments, now, had_holes=flags):
+                self._emit_data(core, stream, chunk, DataReason.CHUNK_FULL, now)
+        return stored_any
 
     def _cutoff_reached(
         self,
@@ -645,6 +1030,9 @@ class ScapKernelModule:
     ) -> None:
         """Flush, emit final data + termination events, drop state."""
         self.flows.remove(pair)
+        # Any cached flow entry may now point at dead state; the batch
+        # context drops its cache when it sees the epoch move.
+        self._flow_epoch += 1
         for direction, stream in enumerate(pair.both):
             reassembler = pair.reassemblers.get(direction)
             if reassembler is not None:

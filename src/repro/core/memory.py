@@ -20,7 +20,7 @@ allocated.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..kernelsim.server import MemoryPool
 from ..observability import (
@@ -117,6 +117,37 @@ class StreamMemory:
         self._m_stored = registry.counter(
             "scap_memory_stored_bytes_total", "bytes accepted into the pool"
         )
+        # When batching, per-store metric updates are deferred: the
+        # occupancy samples queue up here (success and failure samples
+        # in store order) and flush in one pass at end_batch.
+        self._batch_fractions: Optional[List[float]] = None
+        self._batch_stored = 0
+
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Defer per-store metrics until :meth:`end_batch`."""
+        if self._obs.enabled:
+            self._batch_fractions = []
+            self._batch_stored = 0
+
+    def end_batch(self) -> None:
+        """Flush deferred store metrics; bit-identical to per-store.
+
+        The occupancy histogram replays the exact per-store samples in
+        order; the stored-bytes counter advances by the batch's integer
+        byte total, which sums exactly in a double, so one ``inc`` is
+        bit-identical to per-store incs.
+        """
+        fractions = self._batch_fractions
+        self._batch_fractions = None
+        if fractions is None:
+            return
+        if self._obs.enabled:
+            if self._batch_stored:
+                self._m_stored.inc(self._batch_stored)
+            if fractions:
+                self._m_occupancy.observe_many(fractions)
+        self._batch_stored = 0
 
     def allocate_block(self, size: int) -> int:
         """Reserve an address range for a chunk block; return its base."""
@@ -147,7 +178,11 @@ class StreamMemory:
                 )
             return False
         if self.pool.try_allocate(now, nbytes):
-            if self._obs.enabled:
+            fractions = self._batch_fractions
+            if fractions is not None:
+                self._batch_stored += nbytes
+                fractions.append(self.pool.used / self.pool.capacity)
+            elif self._obs.enabled:
                 self._m_stored.inc(nbytes)
                 self._m_occupancy.observe(self.pool.used / self.pool.capacity)
             if self._san is not None:
@@ -156,7 +191,14 @@ class StreamMemory:
         self.allocation_failures += 1
         if self._obs.enabled:
             self._m_failures.inc()
-            self._m_occupancy.observe(self.pool.used / self.pool.capacity)
+            fractions = self._batch_fractions
+            if fractions is not None:
+                # Keep the failure sample in store order with the
+                # deferred success samples: histogram sums accumulate
+                # per sample, so order is part of bit-identity.
+                fractions.append(self.pool.used / self.pool.capacity)
+            else:
+                self._m_occupancy.observe(self.pool.used / self.pool.capacity)
             self._obs.trace.emit(
                 now, HOOK_MEMORY_EXHAUSTED, five_tuple=stream_label, bytes=nbytes
             )
@@ -285,6 +327,30 @@ class ChunkAssembler:
             offset += len(piece)
             if chunk.length >= self._current_capacity:
                 completed.append(self._finish_chunk(now))
+        return completed
+
+    def append_many(
+        self,
+        segments: Sequence[bytes],
+        now: float,
+        had_holes: Optional[Sequence[bool]] = None,
+    ) -> List[Chunk]:
+        """Add several reassembled segments in one call.
+
+        ``had_holes``, when given, is a parallel sequence flagging the
+        segments that follow a reassembly hole.  Completed chunks are
+        returned in delivery order; the result is exactly the
+        concatenation of per-segment :meth:`append` results — the
+        batched hot path relies on this equivalence when it stores a
+        multi-piece reassembly delivery with one call.
+        """
+        completed: List[Chunk] = []
+        if had_holes is None:
+            for segment in segments:
+                completed.extend(self.append(segment, now))
+        else:
+            for segment, had_hole in zip(segments, had_holes):
+                completed.extend(self.append(segment, now, had_hole=had_hole))
         return completed
 
     def flush(self, now: float, final: bool = False) -> Optional[Chunk]:

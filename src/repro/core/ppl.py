@@ -18,7 +18,7 @@ Below ``base_threshold`` nothing is ever dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..observability import (
     DEFAULT_FRACTION_BUCKETS,
@@ -85,17 +85,42 @@ class PrioritizedPacketLoss:
         # Pre-resolved (priority, reason) drop counters: one dict hit on
         # first use, then the enabled path is a bare Counter.inc.
         self._drop_counters: Dict[Tuple[int, str], object] = {}
+        self._band_width = (1.0 - self.base_threshold) / self.priority_levels
+        # When batching, per-check metric updates are deferred: the
+        # fraction samples queue up here and flush in one pass.
+        self._batch_fractions: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Defer per-check metrics until :meth:`end_batch`."""
+        if self._obs.enabled:
+            self._batch_fractions = []
+
+    def end_batch(self) -> None:
+        """Flush deferred check metrics; state-identical to per-check.
+
+        The checks counter advances by the number of deferred checks,
+        the fraction histogram sees the exact per-check samples, and
+        the band gauge lands on the band of the last check — the same
+        final value the per-check path leaves behind.
+        """
+        fractions = self._batch_fractions
+        self._batch_fractions = None
+        if fractions and self._obs.enabled:
+            self._m_checks.inc(len(fractions))
+            self._m_fraction.observe_many(fractions)
+            self._m_band.set(self.band_index(fractions[-1]))
 
     def ensure_level(self, priority: int) -> None:
         """Grow the number of levels to cover ``priority``."""
         if priority + 1 > self.priority_levels:
             self.priority_levels = priority + 1
+            self._band_width = (1.0 - self.base_threshold) / self.priority_levels
 
     def watermark(self, priority: int) -> float:
         """The memory fraction above which ``priority`` packets drop."""
         priority = min(max(priority, 0), self.priority_levels - 1)
-        band = (1.0 - self.base_threshold) / self.priority_levels
-        return self.base_threshold + (priority + 1) * band
+        return self.base_threshold + (priority + 1) * self._band_width
 
     def band_index(self, fraction_used: float) -> int:
         """Which watermark band ``fraction_used`` falls in.
@@ -106,8 +131,7 @@ class PrioritizedPacketLoss:
         """
         if fraction_used <= self.base_threshold:
             return 0
-        band = (1.0 - self.base_threshold) / self.priority_levels
-        crossed = int((fraction_used - self.base_threshold) / band)
+        crossed = int((fraction_used - self.base_threshold) / self._band_width)
         return min(crossed + 1, self.priority_levels)
 
     def check(
@@ -116,7 +140,10 @@ class PrioritizedPacketLoss:
         """Decide whether to drop a packet of ``priority`` whose payload
         would land at byte ``stream_offset`` of its stream."""
         self.checked += 1
-        if self._obs.enabled:
+        fractions = self._batch_fractions
+        if fractions is not None:
+            fractions.append(fraction_used)
+        elif self._obs.enabled:
             self._m_checks.inc()
             self._m_fraction.observe(fraction_used)
             self._m_band.set(self.band_index(fraction_used))
@@ -131,7 +158,7 @@ class PrioritizedPacketLoss:
         if fraction_used <= self.base_threshold:
             return PPLDecision(drop=False)
         mark = self.watermark(priority)
-        band = (1.0 - self.base_threshold) / self.priority_levels
+        band = self._band_width
         if fraction_used > mark:
             self._count(priority, "watermark")
             return PPLDecision(drop=True, reason="watermark")

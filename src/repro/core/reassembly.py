@@ -182,7 +182,8 @@ class TCPDirectionReassembler:
         delivered: List[DeliveredData] = []
         if offset == self._expected_offset:
             delivered.append(DeliveredData(self._advance(payload)))
-            delivered.extend(self._drain_contiguous())
+            if self._intervals:
+                delivered.extend(self._drain_contiguous())
         else:
             self.counters.out_of_order_segments += 1
             self._insert_interval(offset, payload)

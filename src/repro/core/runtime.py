@@ -17,7 +17,9 @@ reduces everything to a :class:`~repro.bench.results.RunResult`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
 from ..results import RunResult
@@ -25,6 +27,12 @@ from ..kernelsim.cache import LocalityProfile
 from ..kernelsim.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..kernelsim.host import Host
 from ..netstack.packet import Packet
+from ..nic.batch import (
+    PacketBatch,
+    VERDICT_DROP_FCS,
+    VERDICT_DROP_FDIR,
+    VERDICT_STEERED,
+)
 from ..nic.fdir import FdirFilter
 from ..nic.nic import SimulatedNIC
 from ..nic.rss import SYMMETRIC_RSS_KEY
@@ -42,7 +50,32 @@ from .kernel_module import ScapKernelModule
 from .loadbalance import LoadBalancer
 from .workers import Callbacks, WorkerPool
 
-__all__ = ["ScapRuntime", "AggregateStats"]
+__all__ = ["ScapRuntime", "AggregateStats", "DEFAULT_BATCH_SIZE", "resolve_batch_size"]
+
+#: Packets per batch on the batched hot path when ``SCAP_BATCH`` does
+#: not say otherwise.
+DEFAULT_BATCH_SIZE = 64
+
+
+def resolve_batch_size(explicit: Optional[int] = None) -> int:
+    """The effective batch size: explicit argument, else ``SCAP_BATCH``.
+
+    ``SCAP_BATCH=0`` (or 1) selects the per-packet path — the escape
+    hatch for differential testing; ``SCAP_BATCH=N`` for N >= 2 sets the
+    batch size; unset/invalid values select :data:`DEFAULT_BATCH_SIZE`.
+    Returns 0 for "per-packet".
+    """
+    if explicit is None:
+        raw = os.environ.get("SCAP_BATCH")
+        if raw is None or not raw.strip():
+            return DEFAULT_BATCH_SIZE
+        try:
+            explicit = int(raw.strip())
+        except ValueError:
+            return DEFAULT_BATCH_SIZE
+    if explicit < 2:
+        return 0
+    return explicit
 
 
 @dataclass
@@ -90,6 +123,7 @@ class ScapRuntime:
         observability: Optional[Observability] = None,
         sanitizers: Optional["SanitizerContext"] = None,
         fault_injector: Optional[object] = None,
+        batch_size: Optional[int] = None,
     ):
         self.config = config or ScapConfig()
         self.config.validate()
@@ -152,6 +186,8 @@ class ScapRuntime:
         self.ring_drops = 0
         self.packets_offered = 0
         self.bytes_offered = 0
+        #: 0 = per-packet path (``SCAP_BATCH=0``); >= 2 = batched path.
+        self.batch_size = resolve_batch_size(batch_size)
 
     # ------------------------------------------------------------------
     def _collect_event(self, core: int, event: Event) -> None:
@@ -221,6 +257,155 @@ class ScapRuntime:
             self.workers.dispatch(core, event, kernel_finish)
         self._pending_events.clear()
 
+    def process_batch(self, batch: PacketBatch) -> None:
+        """Run one batch through offload → softirq → kernel → workers.
+
+        The offload stage fills the batch's verdict vectors up front; the
+        loop then consumes packets in exact arrival order, so every
+        simulated effect (admission, cycles, events, hooks) is identical
+        to :meth:`process_packet` per packet.  If the FDIR table mutates
+        mid-batch (cutoff filter install, load-balance steer, timeout
+        removal), the unconsumed tail is re-classified, which reproduces
+        per-packet classify-then-handle interleaving exactly.  NIC
+        counters and profiler attributions are accumulated locally and
+        flushed once per batch.
+        """
+        packets = batch.packets
+        count = len(packets)
+        if not count:
+            return
+        nic = self.nic
+        fdir = nic.fdir
+        version = nic.classify_batch(batch)
+        kernel = self.kernel
+        ctx = kernel.begin_batch()
+        workers = self.workers
+        workers.begin_batch()
+        handle = kernel.handle_batch_packet
+        stage_cycles = kernel.stage_cycles
+        servers = self.host.softirq
+        queue_count = nic.queue_count
+        # Same operation as ``cost.seconds`` — division, not a cached
+        # reciprocal, so service times are bit-identical per packet.
+        core_hz = self.cost.core_hz
+        enabled = self.obs.enabled
+        queues = batch.queues
+        verdicts = batch.verdicts
+        tuples = batch.five_tuples
+        pending = self._pending_events
+        pending.clear()
+        dispatch = self.workers.dispatch
+        # Local NIC/runtime accounting, flushed once per batch.
+        fcs_errors = 0
+        fdir_drops = 0
+        steered = 0
+        ring_drops = 0
+        bytes_offered = batch.total_wire_bytes()
+        per_queue = [0] * queue_count
+        # Profiler samples, one (queue, cycles) sequence per kernel
+        # stage in packet order.  The flush replays them through
+        # ``record_seq`` so every accumulator sees the same per-sample
+        # adds in the same order as the per-packet path — integer
+        # cycles divide to seconds at flush, which is the identical
+        # pure operation the per-packet path performs at record time.
+        stage_q = ([], [], [], [])
+        stage_v = ([], [], [], [])
+        sq0, sq1, sq2, sq3 = stage_q
+        sv0, sv1, sv2, sv3 = stage_v
+        wait_samples: List[float] = []
+        depth_last: List[Optional[float]] = [None] * queue_count
+        service_samples: List[float] = []
+        observe_service = service_samples.append
+        # zip iterates the live verdict/queue lists, so a mid-batch
+        # reclassification of the tail is seen by later iterations.
+        for index, (packet, verdict, queue, five_tuple) in enumerate(
+            zip(packets, verdicts, queues, tuples)
+        ):
+            if verdict == VERDICT_DROP_FCS:
+                fcs_errors += 1
+                continue
+            if verdict == VERDICT_DROP_FDIR:
+                fdir_drops += 1
+                continue
+            if verdict == VERDICT_STEERED:
+                steered += 1
+            per_queue[queue] += 1
+            server = servers[queue]
+            now = packet.timestamp
+            if not server.would_accept(now, 1):
+                server.reject()
+                ring_drops += 1
+                continue
+            cycles = handle(packet, queue, five_tuple, ctx)
+            service = cycles / core_hz
+            kernel_finish = server.push(now, 1, service)
+            if enabled:
+                observe_service(service)
+                depth_last[queue] = now
+                # Unrolled per-stage sample capture (hot loop); zero
+                # cycles are skipped exactly as the per-packet path
+                # skips them.
+                cyc = stage_cycles[0]
+                if cyc:
+                    sq0.append(queue)
+                    sv0.append(cyc)
+                cyc = stage_cycles[1]
+                if cyc:
+                    sq1.append(queue)
+                    sv1.append(cyc)
+                cyc = stage_cycles[2]
+                if cyc:
+                    sq2.append(queue)
+                    sv2.append(cyc)
+                cyc = stage_cycles[3]
+                if cyc:
+                    sq3.append(queue)
+                    sv3.append(cyc)
+                wait = kernel_finish - service - now
+                # record_wait would discard negatives; pre-filter here.
+                if wait >= 0.0:
+                    wait_samples.append(wait)
+            if pending:
+                for core, event in pending:
+                    dispatch(core, event, kernel_finish)
+                pending.clear()
+            if fdir.version != version:
+                # The kernel (or load balancer) changed the filter table
+                # mid-batch: hardware verdicts for the unconsumed tail
+                # may have changed.
+                version = nic.classify_batch(batch, index + 1)
+        kernel.end_batch(ctx)
+        workers.end_batch()
+        self.packets_offered += count
+        self.bytes_offered += bytes_offered
+        self.ring_drops += ring_drops
+        nic.apply_batch_stats(
+            received=count,
+            fcs_errors=fcs_errors,
+            fdir_drops=fdir_drops,
+            steered=steered,
+            matched=fdir_drops + steered,
+            per_queue=per_queue,
+        )
+        if enabled:
+            if ring_drops:
+                self._m_ring_drops.inc(ring_drops)
+            self._m_softirq_service.observe_many(service_samples)
+            profiler = self.obs.profiler
+            for stage_index in range(4):
+                cycles_seq = stage_v[stage_index]
+                if cycles_seq:
+                    profiler.record_seq(
+                        KERNEL_STAGES[stage_index],
+                        stage_q[stage_index],
+                        [cycles / core_hz for cycles in cycles_seq],
+                    )
+            profiler.record_wait_seq(STAGE_PACKET_RECEIVE, wait_samples)
+            depth_gauges = self._m_softirq_depth
+            for queue, last_now in enumerate(depth_last):
+                if last_now is not None:
+                    depth_gauges[queue].set(servers[queue].occupancy(last_now))
+
     def finalize(self, end_time: float) -> None:
         """Drain remaining flows at end of capture."""
         self._pending_events.clear()
@@ -239,9 +424,23 @@ class ScapRuntime:
         if self.fault_injector is not None:
             workload = self.fault_injector.wrap_workload(workload)
         last_time = 0.0
-        for packet in workload.replay(rate_bps):
-            self.process_packet(packet)
-            last_time = packet.timestamp
+        if self.batch_size >= 2:
+            size = self.batch_size
+            replay_batches = getattr(workload, "replay_batches", None)
+            if replay_batches is not None:
+                batches = replay_batches(rate_bps, size)
+            else:
+                # Workloads without a native batched replay: regroup
+                # the per-packet generator.
+                replay = workload.replay(rate_bps)
+                batches = iter(lambda: list(islice(replay, size)), [])
+            for packets in batches:
+                self.process_batch(PacketBatch(packets))
+                last_time = packets[-1].timestamp
+        else:
+            for packet in workload.replay(rate_bps):
+                self.process_packet(packet)
+                last_time = packet.timestamp
         self.finalize(last_time + self.config.inactivity_timeout + 1.0)
         return self.result(rate_bps, name=name)
 

@@ -84,6 +84,11 @@ def merge_configs(configs: Sequence[ScapConfig]) -> ScapConfig:
             )
             self._parts = parts
 
+        @property
+        def is_match_all(self) -> bool:  # type: ignore[override]
+            # The disjunction accepts everything iff any part does.
+            return any(part.is_match_all for part in self._parts)
+
         def matches(self, packet) -> bool:  # type: ignore[override]
             return any(part.matches(packet) for part in self._parts)
 

@@ -20,7 +20,8 @@ trace replayed through a fault plan can be replayed clean afterwards.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator
+from itertools import islice
+from typing import Iterable, Iterator, List
 
 from ..netstack.packet import Packet
 
@@ -44,6 +45,27 @@ class FaultedWorkload:
     def replay(self, rate_bps: float) -> Iterator[Packet]:
         """Replay the wrapped workload with wire faults applied."""
         return self._reorder(self._per_packet(self._workload.replay(rate_bps)))
+
+    def replay_batches(
+        self, rate_bps: float, size: int
+    ) -> Iterator[List[Packet]]:
+        """Batched replay with wire faults applied.
+
+        Defined explicitly so the batched runtime path cannot reach the
+        wrapped workload's own ``replay_batches`` through
+        ``__getattr__`` — that would replay the clean trace and skip
+        the wire plane entirely.  The chunks regroup this wrapper's
+        faulted :meth:`replay` stream, so batched and per-packet runs
+        see the identical faulted packet sequence.
+        """
+        if size < 1:
+            raise ValueError("batch size must be positive")
+        replay = self.replay(rate_bps)
+        while True:
+            chunk = list(islice(replay, size))
+            if not chunk:
+                return
+            yield chunk
 
     # ------------------------------------------------------------------
     def _per_packet(self, packets: Iterable[Packet]) -> Iterator[Packet]:

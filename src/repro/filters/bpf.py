@@ -456,6 +456,16 @@ class BPFFilter:
         else:
             self._root = _Parser(_tokenize(self.expression)).parse()
 
+    @property
+    def is_match_all(self) -> bool:
+        """True when the filter accepts every packet (empty expression).
+
+        The batched hot path checks this once per batch and skips the
+        per-packet :meth:`matches` call entirely — behaviour-preserving
+        because a match-all root returns True unconditionally.
+        """
+        return isinstance(self._root, _MatchAll)
+
     def matches(self, packet: Packet) -> bool:
         """True if ``packet`` satisfies the expression."""
         return self._root.matches(packet)

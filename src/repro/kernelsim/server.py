@@ -64,7 +64,9 @@ class QueueServer:  # scapcheck: single-owner
 
     def would_accept(self, now: float, units: float) -> bool:
         """True if a job of ``units`` fits at time ``now``."""
-        self._drain(now)
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= now:
+            self._occupied -= in_flight.popleft()[1]
         return self._occupied + units <= self.capacity
 
     def push(self, now: float, units: float, service_seconds: float) -> float:
@@ -73,7 +75,9 @@ class QueueServer:  # scapcheck: single-owner
         The caller is responsible for checking :meth:`would_accept`
         first (and counting a rejection via :meth:`reject` otherwise).
         """
-        self._drain(now)
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= now:
+            self._occupied -= in_flight.popleft()[1]
         start = max(now, self._last_finish)
         finish = start + service_seconds
         self._last_finish = finish

@@ -8,6 +8,7 @@ to dotted-quad strings only at display boundaries.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 
 __all__ = [
     "ip_to_int",
@@ -34,6 +35,7 @@ def ip_to_int(address: str) -> int:
     return value
 
 
+@lru_cache(maxsize=4096)
 def int_to_ip(value: int) -> str:
     """Convert a 32-bit integer to a dotted-quad IPv4 address string."""
     if not 0 <= value <= 0xFFFFFFFF:

@@ -8,6 +8,7 @@ way the Scap kernel module does.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import NamedTuple
 
 from .addresses import int_to_ip
@@ -52,6 +53,9 @@ class FiveTuple(NamedTuple):
     def is_canonical(self) -> bool:
         return (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port)
 
+    # Hot path: tuples are immutable and repeat for every packet of a
+    # flow, so the rendered label is memoized (bounded, LRU).
+    @lru_cache(maxsize=8192)
     def __str__(self) -> str:
         return (
             f"{int_to_ip(self.src_ip)}:{self.src_port} > "

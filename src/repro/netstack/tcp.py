@@ -107,6 +107,14 @@ class TCPHeader:
     def __post_init__(self) -> None:
         if self.options is None:
             self.options = []
+        # Hot-path flag tests, precomputed once: headers are never
+        # mutated after construction (the fault planes build fresh
+        # headers), and the kernel checks these on every packet.
+        flags = self.flags
+        self.syn = bool(flags & TCPFlags.SYN)
+        self.fin = bool(flags & TCPFlags.FIN)
+        self.rst = bool(flags & TCPFlags.RST)
+        self.ack_flag = bool(flags & TCPFlags.ACK)
 
     @property
     def header_len(self) -> int:
@@ -143,22 +151,6 @@ class TCPHeader:
             if kind == TCPOption.WINDOW_SCALE and len(payload) == 1:
                 return payload[0]
         return None
-
-    @property
-    def syn(self) -> bool:
-        return bool(self.flags & TCPFlags.SYN)
-
-    @property
-    def fin(self) -> bool:
-        return bool(self.flags & TCPFlags.FIN)
-
-    @property
-    def rst(self) -> bool:
-        return bool(self.flags & TCPFlags.RST)
-
-    @property
-    def ack_flag(self) -> bool:
-        return bool(self.flags & TCPFlags.ACK)
 
     @property
     def psh(self) -> bool:

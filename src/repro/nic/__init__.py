@@ -1,5 +1,13 @@
-"""Simulated NIC: RSS, Flow Director filters, queue steering."""
+"""Simulated NIC: RSS, Flow Director filters, offload stage, batching."""
 
+from .batch import (
+    VERDICT_DROP_FCS,
+    VERDICT_DROP_FDIR,
+    VERDICT_HOST,
+    VERDICT_PENDING,
+    VERDICT_STEERED,
+    PacketBatch,
+)
 from .fdir import (
     FDIR_DROP,
     FLEX_OFFSET_TCP_FLAGS,
@@ -8,6 +16,7 @@ from .fdir import (
     tcp_flags_word,
 )
 from .nic import NICStats, SimulatedNIC
+from .offload import OffloadEngine
 from .rss import MICROSOFT_RSS_KEY, SYMMETRIC_RSS_KEY, RSSHasher, toeplitz_hash
 
 __all__ = [
@@ -18,6 +27,13 @@ __all__ = [
     "tcp_flags_word",
     "NICStats",
     "SimulatedNIC",
+    "OffloadEngine",
+    "PacketBatch",
+    "VERDICT_PENDING",
+    "VERDICT_HOST",
+    "VERDICT_STEERED",
+    "VERDICT_DROP_FDIR",
+    "VERDICT_DROP_FCS",
     "MICROSOFT_RSS_KEY",
     "SYMMETRIC_RSS_KEY",
     "RSSHasher",

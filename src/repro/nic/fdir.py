@@ -89,6 +89,12 @@ class FlowDirectorTable:  # scapcheck: single-owner
         self.capacity = capacity
         self._by_tuple: Dict[FiveTuple, List[FdirFilter]] = {}
         self._count = 0
+        #: Coherence counter for batch classification: bumped on every
+        #: table mutation (install, removal, eviction).  The runtime's
+        #: batched path re-classifies the unconsumed tail of a batch
+        #: whenever the version moved, so verdicts computed ahead of
+        #: time stay identical to per-packet classification.
+        self.version = 0
         self.installed_total = 0
         self.evicted_total = 0
         self.matched_total = 0
@@ -131,6 +137,7 @@ class FlowDirectorTable:  # scapcheck: single-owner
         bucket = self._by_tuple.setdefault(new_filter.five_tuple, [])
         bucket.append(new_filter)
         self._count += 1
+        self.version += 1
         self.installed_total += 1
         if self._obs.enabled:
             self._m_installs.inc()
@@ -155,6 +162,7 @@ class FlowDirectorTable:  # scapcheck: single-owner
         if not self._by_tuple[victim_tuple]:
             del self._by_tuple[victim_tuple]
         self._count -= 1
+        self.version += 1
         self.evicted_total += 1
         if self._obs.enabled:
             self._m_evictions.inc()
@@ -172,6 +180,7 @@ class FlowDirectorTable:  # scapcheck: single-owner
         if bucket is None:
             return 0
         self._count -= len(bucket)
+        self.version += 1
         if self._obs.enabled:
             self._m_active.set(self._count)
         if self._san is not None:
@@ -191,9 +200,19 @@ class FlowDirectorTable:  # scapcheck: single-owner
         )
 
     # ------------------------------------------------------------------
-    def match(self, packet: Packet) -> Optional[FdirFilter]:
-        """The first filter matching ``packet``, or None."""
-        five_tuple = packet.five_tuple
+    def peek(
+        self, packet: Packet, five_tuple: Optional[FiveTuple] = None
+    ) -> Optional[FdirFilter]:
+        """The first filter matching ``packet``, without accounting.
+
+        Pure lookup for the batched offload stage, which may classify a
+        packet more than once (the batch tail is re-classified after a
+        mid-batch table mutation); match statistics are recorded via
+        :meth:`count_match` when the verdict is actually consumed.
+        ``five_tuple`` may be passed to reuse an already-computed tuple.
+        """
+        if five_tuple is None:
+            five_tuple = packet.five_tuple
         if five_tuple is None:
             return None
         bucket = self._by_tuple.get(five_tuple)
@@ -202,20 +221,29 @@ class FlowDirectorTable:  # scapcheck: single-owner
         flags_word = tcp_flags_word(packet)
         for candidate in bucket:
             if candidate.flex_value is None:
-                self.matched_total += 1
-                if self._obs.enabled:
-                    self._m_matches.inc()
                 return candidate
             if (
                 candidate.flex_offset == FLEX_OFFSET_TCP_FLAGS
                 and flags_word is not None
                 and flags_word == candidate.flex_value
             ):
-                self.matched_total += 1
-                if self._obs.enabled:
-                    self._m_matches.inc()
                 return candidate
         return None
+
+    def count_match(self, count: int = 1) -> None:
+        """Record ``count`` consumed filter matches (batched path)."""
+        self.matched_total += count
+        if self._obs.enabled:
+            self._m_matches.inc(count)
+
+    def match(self, packet: Packet) -> Optional[FdirFilter]:
+        """The first filter matching ``packet``, or None."""
+        matched = self.peek(packet)
+        if matched is not None:
+            self.matched_total += 1
+            if self._obs.enabled:
+                self._m_matches.inc()
+        return matched
 
     def expired(self, now: float) -> List[FdirFilter]:
         """Filters whose timeout has passed (Scap removes these)."""
@@ -235,6 +263,7 @@ class FlowDirectorTable:  # scapcheck: single-owner
         if not bucket:
             del self._by_tuple[target.five_tuple]
         self._count -= 1
+        self.version += 1
         if self._obs.enabled:
             self._m_active.set(self._count)
         if self._san is not None:

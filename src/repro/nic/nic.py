@@ -13,7 +13,9 @@ from typing import List, Optional
 
 from ..netstack.packet import Packet
 from ..observability import Observability
+from .batch import PacketBatch
 from .fdir import FDIR_DROP, FlowDirectorTable
+from .offload import OffloadEngine
 from .rss import SYMMETRIC_RSS_KEY, RSSHasher
 
 __all__ = ["SimulatedNIC", "NICStats"]
@@ -48,6 +50,7 @@ class SimulatedNIC:
         self.fdir = FlowDirectorTable(
             fdir_capacity, observability=observability, sanitizers=sanitizers
         )
+        self.offload = OffloadEngine(self.fdir, self.rss, queue_count)
         self.stats = NICStats(per_queue=[0] * queue_count)
 
     def classify(self, packet: Packet) -> Optional[int]:
@@ -79,6 +82,40 @@ class SimulatedNIC:
             queue = self.rss.queue_for(five_tuple)
         self.stats.per_queue[queue] += 1
         return queue
+
+    def classify_batch(self, batch: PacketBatch, start: int = 0) -> int:
+        """Fill the batch's verdict/queue vectors via the offload stage.
+
+        Side-effect free (see :class:`~repro.nic.offload.OffloadEngine`);
+        returns the FDIR table version the verdicts are valid against.
+        The runtime accounts each verdict at consumption time through
+        :meth:`apply_batch_stats`, keeping :class:`NICStats` identical
+        to per-packet :meth:`classify`.
+        """
+        return self.offload.classify(batch, start)
+
+    def apply_batch_stats(
+        self,
+        received: int,
+        fcs_errors: int,
+        fdir_drops: int,
+        steered: int,
+        matched: int,
+        per_queue: List[int],
+    ) -> None:
+        """Fold one consumed batch's hardware accounting into the stats."""
+        stats = self.stats
+        stats.received += received
+        stats.fcs_errors += fcs_errors
+        stats.dropped_at_nic += fdir_drops
+        self.fdir.dropped_at_nic += fdir_drops
+        stats.steered_by_fdir += steered
+        if matched:
+            self.fdir.count_match(matched)
+        stats_per_queue = stats.per_queue
+        for queue, count in enumerate(per_queue):
+            if count:
+                stats_per_queue[queue] += count
 
     def reset_stats(self) -> None:
         """Zero the NIC counters (filters and RSS state are kept)."""

@@ -111,6 +111,38 @@ class Trace:
             packet.timestamp = (base_time - origin) * scale
             yield packet
 
+    def replay_batches(self, rate_bps: float, size: int) -> Iterator[List[Packet]]:
+        """Yield retimed packets in lists of up to ``size``.
+
+        Identical retiming and ordering to :meth:`replay`; the batched
+        runtime uses this to skip one generator resume per packet.
+        """
+        if rate_bps <= 0:
+            raise ValueError("replay rate must be positive")
+        if size <= 0:
+            raise ValueError("batch size must be positive")
+        native = self.native_rate_bps
+        scale = 1.0 if native in (0.0, float("inf")) else native / rate_bps
+        origin = self._base_times[0] if self._base_times else 0.0
+        packets = self.packets
+        base_times = self._base_times
+        for start in range(0, len(packets), size):
+            chunk = packets[start : start + size]
+            for packet, base_time in zip(chunk, base_times[start : start + size]):
+                packet.timestamp = (base_time - origin) * scale
+            yield chunk
+
+    def reset_timeline(self) -> None:
+        """Restore every packet's native timestamp.
+
+        :meth:`replay` rescales timestamps in place; callers that slice
+        or re-shard the trace afterwards (e.g. the sharded capture)
+        reset first so derived traces see the native timeline, not the
+        last replay's.
+        """
+        for packet, base_time in zip(self.packets, self._base_times):
+            packet.timestamp = base_time
+
     def replayed_duration(self, rate_bps: float) -> float:
         """Duration of the trace when replayed at ``rate_bps``."""
         return self.total_wire_bytes * 8 / rate_bps

@@ -1,0 +1,206 @@
+"""Differential suite: the batched path must equal the per-packet path.
+
+Every observable output — delivered events (content, order, offsets),
+``scap_get_stats`` fields, trace-hook emission counts, profiler stage
+seconds, and on-disk store contents — must be identical between
+``batch_size=0`` (the ``SCAP_BATCH=0`` escape hatch) and any batched
+configuration, on clean traces, under wire-plane fault injection, and
+on overlap-heavy traces.  This is the batching correctness contract
+that lets the CI trajectory gate compare the two paths' speed while
+trusting their outputs are the same.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.apps import StreamRecorder
+from repro.core import ScapSocket, scap_get_stats
+from repro.faultinject import FaultPlan, MemoryFaults, WireFaults
+from repro.observability import Observability
+from repro.store import StreamStore
+from repro.traffic import campus_mix
+from repro.traffic.tcpsession import Impairments
+
+BATCH_SIZES = [2, 7, 64]
+
+
+def _delivery_trace():
+    return campus_mix(flow_count=40, max_flow_bytes=120_000, seed=11)
+
+
+def _overlap_trace():
+    """A trace where every fifth data segment overlaps, some conflicting."""
+    return campus_mix(
+        flow_count=30,
+        max_flow_bytes=90_000,
+        seed=17,
+        impairments=Impairments(
+            retransmit_rate=0.05,
+            reorder_rate=0.05,
+            overlap_rate=0.2,
+            overlap_conflict=True,
+            seed=17,
+        ),
+    )
+
+
+def _fingerprint(
+    batch_size,
+    trace_factory,
+    rate_bps=2e9,
+    memory_size=1 << 21,
+    cutoff=None,
+    fault_plan=None,
+    store_dir=None,
+):
+    """Run one capture; return every comparable output of the run.
+
+    The delivered-event digest hashes each event in dispatch order
+    (identity, direction, offset, payload, hole flag), so any
+    difference in content, ordering, or segmentation changes it.
+    """
+    obs = Observability(enabled=True)
+    socket = ScapSocket(
+        trace_factory(),
+        rate_bps=rate_bps,
+        memory_size=memory_size,
+        observability=obs,
+        batch_size=batch_size,
+        fault_plan=fault_plan,
+    )
+    if cutoff is not None:
+        socket.set_cutoff(cutoff)
+    digest = hashlib.sha256()
+    events = []
+
+    def on_creation(sd):
+        events.append("create")
+        digest.update(f"C|{sd.five_tuple}|{sd.direction}\n".encode())
+
+    def on_data(sd):
+        events.append("data")
+        digest.update(
+            f"D|{sd.five_tuple}|{sd.direction}|{sd.data_offset}|"
+            f"{int(sd.data_had_hole)}|".encode()
+        )
+        digest.update(sd.data)
+        digest.update(b"\n")
+
+    def on_termination(sd):
+        events.append("term")
+        digest.update(f"T|{sd.five_tuple}|{sd.direction}\n".encode())
+
+    socket.dispatch_creation(on_creation)
+    socket.dispatch_data(on_data)
+    socket.dispatch_termination(on_termination)
+    store = None
+    if store_dir is not None:
+        store = StreamStore(str(store_dir))
+        socket.set_store(StreamRecorder(store))
+    result = socket.start_capture(name="differential")
+    stats = scap_get_stats(socket)
+    profile = {
+        stage.stage: stage.service_seconds for stage in socket.profile().stages
+    }
+    busy = socket.runtime.busy_seconds()
+    socket.close()
+    if store is not None:
+        store.close()
+    return {
+        "events": events,
+        "digest": digest.hexdigest(),
+        "stats": asdict(stats),
+        "result": asdict(result),
+        "profile": profile,
+        "busy": busy,
+        "trace_emitted": obs.trace.emitted,
+    }
+
+
+def _store_contents(store_dir) -> dict:
+    """Hash every file the store wrote, keyed by relative path."""
+    contents = {}
+    for root, _dirs, files in os.walk(store_dir):
+        for name in sorted(files):
+            path = os.path.join(root, name)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            rel = os.path.relpath(path, store_dir)
+            contents[rel] = hashlib.sha256(data).hexdigest()
+    return contents
+
+
+def _assert_identical(reference, candidate, label):
+    for key in reference:
+        assert candidate[key] == reference[key], (
+            f"{label}: {key} diverged between per-packet and batched paths"
+        )
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_clean_trace_identical(batch_size):
+    reference = _fingerprint(0, _delivery_trace)
+    assert reference["events"], "sanity: the run must deliver events"
+    candidate = _fingerprint(batch_size, _delivery_trace)
+    _assert_identical(reference, candidate, f"clean/batch={batch_size}")
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_overlap_heavy_trace_identical(batch_size):
+    reference = _fingerprint(0, _overlap_trace)
+    assert reference["events"]
+    candidate = _fingerprint(batch_size, _overlap_trace)
+    _assert_identical(reference, candidate, f"overlap/batch={batch_size}")
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_overload_with_cutoff_identical(batch_size):
+    kwargs = dict(rate_bps=6e9, memory_size=1 << 18, cutoff=8_192)
+    reference = _fingerprint(0, _delivery_trace, **kwargs)
+    assert reference["result"]["discarded_packets"] > 0 or (
+        reference["result"]["dropped_packets"] > 0
+    ), "sanity: overload must engage drop/discard machinery"
+    candidate = _fingerprint(batch_size, _delivery_trace, **kwargs)
+    _assert_identical(reference, candidate, f"overload/batch={batch_size}")
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_wire_faulted_trace_identical(batch_size):
+    def plan():
+        return FaultPlan(
+            seed=9,
+            wire=WireFaults(
+                drop_rate=0.02,
+                duplicate_rate=0.02,
+                reorder_rate=0.02,
+                fcs_corrupt_rate=0.01,
+            ),
+            memory=MemoryFaults(alloc_failure_rate=0.01),
+        )
+
+    reference = _fingerprint(0, _delivery_trace, fault_plan=plan())
+    assert reference["stats"]["faults_injected_total"] > 0, (
+        "sanity: the plan must actually inject faults"
+    )
+    candidate = _fingerprint(batch_size, _delivery_trace, fault_plan=plan())
+    _assert_identical(reference, candidate, f"faulted/batch={batch_size}")
+
+
+def test_store_contents_identical(tmp_path):
+    pp_dir = tmp_path / "per-packet"
+    batched_dir = tmp_path / "batched"
+    reference = _fingerprint(
+        0, _delivery_trace, cutoff=16_384, store_dir=pp_dir
+    )
+    candidate = _fingerprint(
+        64, _delivery_trace, cutoff=16_384, store_dir=batched_dir
+    )
+    _assert_identical(reference, candidate, "store/batch=64")
+    pp_contents = _store_contents(pp_dir)
+    assert pp_contents, "sanity: the store must have written something"
+    assert _store_contents(batched_dir) == pp_contents
