@@ -1,0 +1,39 @@
+"""Whole-program concurrency analysis for scapcheck (SC006–SC008).
+
+The per-file rules in :mod:`repro.staticcheck.rules` can prove local
+properties; this package parses the *entire* ``src/repro`` tree into a
+:class:`~repro.staticcheck.concurrency.project.Project` — a symbol
+table plus a type-guided call graph — and checks the cross-module
+concurrency discipline the sharded hot path depends on:
+
+* **SC006** — a class annotated ``# scapcheck: single-owner`` whose
+  state is mutated from code reachable from a concurrent root (a
+  ``threading.Thread`` target, a thread-pool submit such as
+  ``ShardedCapture``'s executor, or a store writer thread) without the
+  instance being constructed inside that root's own call tree.
+* **SC007** — lockset inconsistency: an attribute mutated under
+  ``with self.<lock>:`` in one method of a class but bare in another.
+* **SC008** — fork-safety: a live single-owner object captured as an
+  argument by a ``ProcessPoolExecutor`` job.
+
+See ``docs/STATIC_ANALYSIS.md`` for the catalogue entry of each rule.
+"""
+
+from __future__ import annotations
+
+from .project import Project, build_project
+from .rules import (
+    PROJECT_RULE_REGISTRY,
+    ProjectRule,
+    check_project,
+    register_project_rule,
+)
+
+__all__ = [
+    "Project",
+    "build_project",
+    "ProjectRule",
+    "PROJECT_RULE_REGISTRY",
+    "register_project_rule",
+    "check_project",
+]

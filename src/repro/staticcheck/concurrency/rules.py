@@ -1,0 +1,329 @@
+"""Project-level scapcheck rules: SC006, SC007, SC008.
+
+Unlike the per-file rules in :mod:`repro.staticcheck.rules`, these see a
+whole :class:`~repro.staticcheck.concurrency.project.Project` at once
+and reason across files through the call graph.  Inline and file-level
+``# scapcheck: disable`` directives still apply — suppression is
+resolved against the file each violation is anchored in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from ..framework import SourceFile, Violation
+from ..rules import _mutation_nodes
+from .project import ClassModel, FunctionModel, Project
+
+__all__ = [
+    "ProjectRule",
+    "PROJECT_RULE_REGISTRY",
+    "register_project_rule",
+    "check_project",
+]
+
+
+class ProjectRule:
+    """Base class for whole-program rules."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> List[Violation]:
+        """Analyze the whole project and return every violation found."""
+        raise NotImplementedError
+
+    def violation(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node`` in ``source``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+PROJECT_RULE_REGISTRY: Dict[str, Type[ProjectRule]] = {}
+
+
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a rule to :data:`PROJECT_RULE_REGISTRY`."""
+    if not cls.rule_id:
+        raise ValueError("project rule class must set rule_id")
+    PROJECT_RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _self_attr_name(node: ast.AST) -> Optional[str]:
+    """The root ``self.<attr>`` name a target expression reaches, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _mutated_attrs(node: ast.AST) -> Set[str]:
+    """``self`` attributes a mutation node (from ``_mutation_nodes``) touches."""
+    attrs: Set[str] = set()
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            name = _self_attr_name(target)
+            if name is not None:
+                attrs.add(name)
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        name = _self_attr_name(node.func.value)
+        if name is not None:
+            attrs.add(name)
+    return attrs
+
+
+# ----------------------------------------------------------------------
+# SC006 — single-owner objects must not escape into concurrent code
+# ----------------------------------------------------------------------
+@register_project_rule
+class SingleOwnerEscapeRule(ProjectRule):
+    """SC006: mutation of a single-owner class from a concurrent root.
+
+    A class annotated ``# scapcheck: single-owner`` promises that one
+    thread owns every instance.  If a method of such a class that
+    mutates ``self`` state is reachable from a thread target or a pool
+    submit, *and* the class is not constructed anywhere inside that
+    root's own call tree (which would make the instance thread-local),
+    the promise is broken cross-module.
+    """
+
+    rule_id = "SC006"
+    description = (
+        "single-owner class state mutated from code reachable from a "
+        "thread/pool concurrent root without a root-local construction"
+    )
+
+    def check(self, project: Project) -> List[Violation]:
+        """Flag single-owner mutations reachable from concurrent roots."""
+        findings: List[Violation] = []
+        seen: Set[Tuple[str, int]] = set()
+        for root in project.roots:
+            closure = project.reachable(root)
+            for fn in sorted(
+                closure.functions, key=lambda f: (f.source.path, f.lineno)
+            ):
+                cls = fn.cls
+                if cls is None or not cls.single_owner:
+                    continue
+                if cls.name in closure.constructed:
+                    continue  # built inside the root: thread-local instance
+                mutations = project.mutations(fn)
+                if not mutations:
+                    continue
+                anchor = mutations[0]
+                key = (fn.source.path, getattr(anchor, "lineno", fn.lineno))
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    self.violation(
+                        fn.source,
+                        anchor,
+                        f"single-owner class {cls.name} is mutated in "
+                        f"{fn.qualname}, reachable from {root.description}, "
+                        "but no instance is constructed inside that root's "
+                        "call tree; pass a root-local instance, add locking, "
+                        "or drop the single-owner annotation",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# SC007 — lockset consistency inside a class
+# ----------------------------------------------------------------------
+@register_project_rule
+class LocksetConsistencyRule(ProjectRule):
+    """SC007: an attribute locked in one method must be locked in all.
+
+    Classic Eraser-style lockset discipline at class granularity: if
+    ``self.x`` is only ever mutated under ``with self._lock:`` in some
+    method, a bare mutation of ``self.x`` in a *different* method of the
+    same class is a candidate race.  ``__init__`` (runs before the
+    object is shared) and methods annotated ``# scapcheck:
+    single-owner`` are exempt.
+    """
+
+    rule_id = "SC007"
+    description = (
+        "attribute mutated under `with self.<lock>:` in one method but "
+        "bare in another method of the same class"
+    )
+
+    def check(self, project: Project) -> List[Violation]:
+        """Check every class's lockset discipline method by method."""
+        findings: List[Violation] = []
+        for models in project.classes.values():
+            for cls in models:
+                findings.extend(self._check_class(cls))
+        return findings
+
+    def _check_class(self, cls: ClassModel) -> List[Violation]:
+        if not cls.lock_attrs or cls.single_owner:
+            return []
+        locked_by_method: Dict[str, Set[str]] = {}
+        bare_sites: List[Tuple[str, str, ast.AST]] = []  # (method, attr, node)
+        for name, method in cls.methods.items():
+            if name == "__init__":
+                continue
+            if method.source.single_owner(method.lineno):
+                continue
+            for attr, node, locked in self._classified_mutations(cls, method):
+                if locked:
+                    locked_by_method.setdefault(attr, set()).add(name)
+                else:
+                    bare_sites.append((name, attr, node))
+        findings: List[Violation] = []
+        for method_name, attr, node in bare_sites:
+            locked_in = locked_by_method.get(attr, set()) - {method_name}
+            if not locked_in:
+                continue
+            others = ", ".join(sorted(locked_in))
+            findings.append(
+                self.violation(
+                    cls.source,
+                    node,
+                    f"{cls.name}.{method_name} mutates self.{attr} without a "
+                    f"lock, but {cls.name}.{others} mutates it under "
+                    "`with self.<lock>:`; lock this site too or annotate the "
+                    "method `# scapcheck: single-owner`",
+                )
+            )
+        return findings
+
+    def _classified_mutations(
+        self, cls: ClassModel, method: FunctionModel
+    ) -> List[Tuple[str, ast.AST, bool]]:
+        """(attr, node, held-a-lock) for every mutation in ``method``."""
+        out: List[Tuple[str, ast.AST, bool]] = []
+
+        def is_lock_expr(expr: ast.AST) -> bool:
+            return any(
+                isinstance(sub, ast.Attribute) and sub.attr in cls.lock_attrs
+                for sub in ast.walk(expr)
+            )
+
+        def walk(stmts: Sequence[ast.stmt], locked: bool) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    holds = locked or any(
+                        is_lock_expr(item.context_expr) for item in stmt.items
+                    )
+                    walk(stmt.body, holds)
+                elif isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+                    walk(stmt.body, locked)
+                    walk(getattr(stmt, "orelse", []), locked)
+                elif isinstance(stmt, ast.Try):
+                    walk(stmt.body, locked)
+                    for handler in stmt.handlers:
+                        walk(handler.body, locked)
+                    walk(stmt.orelse, locked)
+                    walk(stmt.finalbody, locked)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    walk(stmt.body, locked)
+                else:
+                    for hit in _mutation_nodes(stmt):
+                        for attr in _mutated_attrs(hit):
+                            if attr in cls.lock_attrs:
+                                continue  # assigning the lock itself
+                            out.append((attr, hit, locked))
+
+        walk(method.body(), False)
+        return out
+
+
+# ----------------------------------------------------------------------
+# SC008 — process-pool jobs must not capture live single-owner objects
+# ----------------------------------------------------------------------
+@register_project_rule
+class ForkCaptureRule(ProjectRule):
+    """SC008: a ProcessPoolExecutor job aliasing a live single-owner object.
+
+    Submitting an argument whose inferred type is a single-owner class
+    to a process pool pickles a *snapshot* of the object: mutations the
+    job makes are silently lost, and mutations the parent makes race the
+    pickling.  Jobs must receive plain data and build their own
+    single-owner objects on the far side (as ``_run_shard`` does).
+    """
+
+    rule_id = "SC008"
+    description = (
+        "ProcessPoolExecutor submit captures an argument aliasing a live "
+        "single-owner object; pass plain data and construct in the child"
+    )
+
+    def check(self, project: Project) -> List[Violation]:
+        """Flag single-owner objects captured by process-pool submits."""
+        findings: List[Violation] = []
+        for root in project.roots:
+            if "process" not in root.kinds or root.spawner is None:
+                continue
+            env = project._local_env(root.spawner)
+            for arg in root.captured_args:
+                expr: ast.AST = arg
+                if isinstance(expr, ast.Starred):
+                    expr = expr.value
+                for type_name in sorted(
+                    project._receiver_types(root.spawner, expr, env)
+                ):
+                    for cls in project.classes.get(type_name, []):
+                        if not cls.single_owner:
+                            continue
+                        findings.append(
+                            self.violation(
+                                root.site_source,
+                                arg,
+                                f"argument of {root.description} aliases a "
+                                f"live single-owner {cls.name} instance; "
+                                "process jobs get a pickled copy — pass "
+                                "plain data and construct the object in "
+                                "the child",
+                            )
+                        )
+                        break  # one finding per (arg, type name)
+        return findings
+
+
+def check_project(
+    project: Project, rules: Optional[Sequence[ProjectRule]] = None
+) -> List[Violation]:
+    """Run project rules (default: all registered), apply suppressions."""
+    if rules is None:
+        rules = [cls() for cls in PROJECT_RULE_REGISTRY.values()]
+    by_path = {source.path: source for source in project.sources}
+    findings: List[Violation] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            source = by_path.get(finding.path)
+            if source is not None and source.suppressed(
+                finding.line, finding.rule_id
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    # The same site can be implicated via several roots across rules;
+    # keep the first report per (path, line, rule).
+    deduped: List[Violation] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for finding in findings:
+        key = (finding.path, finding.line, finding.rule_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        deduped.append(finding)
+    return deduped

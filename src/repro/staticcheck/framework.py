@@ -11,6 +11,10 @@ Directives (written as comments, checked against the raw line text):
 * ``# scapcheck: disable=SC001`` — suppress the named rule(s) on this
   line; several ids may be comma-separated, and a bare
   ``# scapcheck: disable`` suppresses every rule on the line.
+* ``# scapcheck: disable-file=SC001`` — within the first five lines of
+  a file, suppress the named rule(s) for the whole file (fixture files
+  full of deliberate violations stay readable this way); a bare
+  ``disable-file`` suppresses every rule in the file.
 * ``# scapcheck: single-owner`` — on a ``class`` or ``def`` line,
   declares that the object is only ever touched by a single thread
   (the simulation loop), which satisfies rule SC003's shared-state
@@ -33,10 +37,15 @@ __all__ = [
     "RULE_REGISTRY",
     "register_rule",
     "check_source",
+    "FILE_DIRECTIVE_LINES",
 ]
 
-_DISABLE_RE = re.compile(r"#\s*scapcheck:\s*disable(?:=([A-Za-z0-9_, ]+))?")
+_DISABLE_RE = re.compile(r"#\s*scapcheck:\s*disable(?!-file)(?:=([A-Za-z0-9_, ]+))?")
+_DISABLE_FILE_RE = re.compile(r"#\s*scapcheck:\s*disable-file(?:=([A-Za-z0-9_, ]+))?")
 _SINGLE_OWNER_RE = re.compile(r"#\s*scapcheck:\s*single-owner")
+
+#: How many leading lines a ``disable-file`` directive may appear on.
+FILE_DIRECTIVE_LINES = 5
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,20 @@ class SourceFile:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
+        # File-level suppressions: a `# scapcheck: disable-file=...`
+        # directive in the first FILE_DIRECTIVE_LINES lines.  None means
+        # a bare disable-file (everything suppressed).
+        self.file_disabled: Optional[FrozenSet[str]] = frozenset()
+        for raw in self.lines[:FILE_DIRECTIVE_LINES]:
+            match = _DISABLE_FILE_RE.search(raw)
+            if match is None:
+                continue
+            listed = match.group(1)
+            if listed is None:
+                self.file_disabled = None
+                break
+            ids = {item.strip().upper() for item in listed.split(",") if item.strip()}
+            self.file_disabled = frozenset(set(self.file_disabled or ()) | ids)
 
     def line_text(self, line: int) -> str:
         """The raw text of 1-indexed ``line`` ("" when out of range)."""
@@ -69,8 +92,16 @@ class SourceFile:
             return self.lines[line - 1]
         return ""
 
+    def file_suppressed(self, rule_id: str) -> bool:
+        """True if a leading disable-file directive covers ``rule_id``."""
+        if self.file_disabled is None:
+            return True
+        return rule_id.upper() in self.file_disabled
+
     def suppressed(self, line: int, rule_id: str) -> bool:
-        """True if ``line`` carries a disable directive covering ``rule_id``."""
+        """True if ``line`` (or the file header) suppresses ``rule_id``."""
+        if self.file_suppressed(rule_id):
+            return True
         match = _DISABLE_RE.search(self.line_text(line))
         if match is None:
             return False

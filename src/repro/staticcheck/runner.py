@@ -6,6 +6,13 @@ Entry points:
 * ``repro-scap scapcheck [paths...]`` — the CLI subcommand (same code);
 * :func:`run_paths` — the programmatic API the tests use.
 
+``--project`` additionally parses every file into one
+:class:`~repro.staticcheck.concurrency.project.Project` and runs the
+whole-program concurrency rules (SC006–SC008) on top of the per-file
+rules.  ``--format`` selects ``text`` (default), ``json`` (one document
+with violations, errors, and per-rule counts), or ``github`` (workflow
+``::error`` annotations, so CI failures mark PR lines).
+
 Exit status is 0 when clean, 1 when any violation is reported, 2 on
 usage errors (unreadable path, unknown rule id).
 """
@@ -13,57 +20,106 @@ usage errors (unreadable path, unknown rule id).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .framework import RULE_REGISTRY, Rule, SourceFile, Violation, check_source
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .concurrency import (
+    PROJECT_RULE_REGISTRY,
+    ProjectRule,
+    build_project,
+    check_project,
+)
 
-__all__ = ["iter_python_files", "run_paths", "build_parser", "main"]
+__all__ = [
+    "iter_python_files",
+    "run_paths",
+    "build_parser",
+    "main",
+    "rule_counts",
+    "render_report",
+    "FORMATS",
+]
+
+FORMATS = ("text", "json", "github")
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
-    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    """Yield every ``.py`` file under ``paths``, each exactly once.
+
+    Overlapping arguments (``src/repro src/repro/core``) and repeated
+    files are deduplicated on the real path, so a violation is never
+    double-reported; the first spelling of a path wins.
+    """
+    seen: set = set()
     for path in paths:
         if os.path.isfile(path):
-            yield path
+            real = os.path.realpath(path)
+            if real not in seen:
+                seen.add(real)
+                yield path
         elif os.path.isdir(path):
             for root, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(
                     name for name in dirnames if name != "__pycache__"
                 )
                 for filename in sorted(filenames):
-                    if filename.endswith(".py"):
-                        yield os.path.join(root, filename)
+                    if not filename.endswith(".py"):
+                        continue
+                    candidate = os.path.join(root, filename)
+                    real = os.path.realpath(candidate)
+                    if real not in seen:
+                        seen.add(real)
+                        yield candidate
         else:
             raise FileNotFoundError(path)
 
 
-def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+def _select_rules(
+    select: Optional[Sequence[str]], project: bool
+) -> Tuple[List[Rule], Optional[List[ProjectRule]]]:
+    """(per-file rules, project rules or None when project mode is off)."""
     if not select:
-        return [cls() for cls in RULE_REGISTRY.values()]
-    chosen: List[Rule] = []
+        file_rules = [cls() for cls in RULE_REGISTRY.values()]
+        project_rules = (
+            [cls() for cls in PROJECT_RULE_REGISTRY.values()] if project else None
+        )
+        return file_rules, project_rules
+    file_rules = []
+    project_rules = [] if project else None
     for rule_id in select:
         normalized = rule_id.strip().upper()
-        if normalized not in RULE_REGISTRY:
+        if normalized in RULE_REGISTRY:
+            file_rules.append(RULE_REGISTRY[normalized]())
+        elif normalized in PROJECT_RULE_REGISTRY and project:
+            assert project_rules is not None
+            project_rules.append(PROJECT_RULE_REGISTRY[normalized]())
+        else:
             raise KeyError(normalized)
-        chosen.append(RULE_REGISTRY[normalized]())
-    return chosen
+    return file_rules, project_rules
 
 
 def run_paths(
-    paths: Sequence[str], select: Optional[Sequence[str]] = None
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    project: bool = False,
 ) -> Tuple[List[Violation], List[str]]:
     """Check every Python file under ``paths``.
 
     Returns ``(violations, errors)`` where ``errors`` are files that
     could not be parsed (syntax errors are reported, not fatal — a
-    linter must survive broken input).
+    linter must survive broken input).  With ``project=True`` the
+    whole-program rules (SC006–SC008) run over all parseable files as
+    one :class:`Project`; selecting a project rule id without
+    ``project=True`` raises ``KeyError`` like any unknown rule.
     """
-    rules = _select_rules(select)
+    file_rules, project_rules = _select_rules(select, project)
     violations: List[Violation] = []
     errors: List[str] = []
+    sources: List[SourceFile] = []
     for filename in iter_python_files(paths):
         try:
             with open(filename, "r", encoding="utf-8") as handle:
@@ -72,7 +128,11 @@ def run_paths(
         except (OSError, SyntaxError, ValueError) as exc:
             errors.append(f"{filename}: {exc}")
             continue
-        violations.extend(check_source(source, rules))
+        sources.append(source)
+        violations.extend(check_source(source, file_rules))
+    if project_rules is not None and sources:
+        violations.extend(check_project(build_project(sources), project_rules))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return violations, errors
 
 
@@ -96,6 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only these rule ids (repeatable)",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program concurrency rules (SC006-SC008)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        dest="fmt",
+        help="output format: text (default), json, or github annotations",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     return parser
@@ -106,21 +178,81 @@ def list_rules() -> str:
     lines = []
     for rule_id in sorted(RULE_REGISTRY):
         lines.append(f"{rule_id}  {RULE_REGISTRY[rule_id].description}")
+    for rule_id in sorted(PROJECT_RULE_REGISTRY):
+        lines.append(
+            f"{rule_id}  {PROJECT_RULE_REGISTRY[rule_id].description}"
+            "  [--project]"
+        )
     return "\n".join(lines)
 
 
-def report(violations: Sequence[Violation], errors: Sequence[str]) -> int:
-    """Print findings to stdout; return the process exit code."""
+def rule_counts(violations: Sequence[Violation]) -> Dict[str, int]:
+    """Findings per rule id, sorted by id."""
+    counts: Dict[str, int] = {}
     for violation in violations:
-        print(violation.format())
-    for error in errors:
-        print(f"error: {error}", file=sys.stderr)
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _summary_line(violations: Sequence[Violation]) -> str:
+    counts = rule_counts(violations)
+    per_rule = ", ".join(f"{rule_id}={n}" for rule_id, n in counts.items())
+    return f"scapcheck: {len(violations)} violation(s) ({per_rule})"
+
+
+def render_report(
+    violations: Sequence[Violation], errors: Sequence[str], fmt: str = "text"
+) -> Tuple[str, str]:
+    """(stdout text, stderr text) for one run in the chosen format."""
+    if fmt == "json":
+        document = {
+            "violations": [
+                {
+                    "rule": v.rule_id,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            "errors": list(errors),
+            "counts": rule_counts(violations),
+        }
+        return json.dumps(document, indent=2), ""
+    out_lines: List[str] = []
+    if fmt == "github":
+        for v in violations:
+            # Workflow command: annotates the PR line in the Files tab.
+            out_lines.append(
+                f"::error file={v.path},line={v.line},col={v.col},"
+                f"title={v.rule_id}::{v.rule_id} {v.message}"
+            )
+    else:
+        out_lines.extend(v.format() for v in violations)
     if violations:
-        print(f"scapcheck: {len(violations)} violation(s)")
+        out_lines.append(_summary_line(violations))
+    elif not errors:
+        out_lines.append("scapcheck: clean")
+    err_lines = [f"error: {error}" for error in errors]
+    return "\n".join(out_lines), "\n".join(err_lines)
+
+
+def report(
+    violations: Sequence[Violation],
+    errors: Sequence[str],
+    fmt: str = "text",
+) -> int:
+    """Print findings to stdout/stderr; return the process exit code."""
+    out, err = render_report(violations, errors, fmt)
+    if out:
+        print(out)
+    if err:
+        print(err, file=sys.stderr)
+    if violations:
         return 1
     if errors:
         return 2
-    print("scapcheck: clean")
     return 0
 
 
@@ -131,14 +263,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(list_rules())
         return 0
     try:
-        violations, errors = run_paths(args.paths, select=args.select)
+        violations, errors = run_paths(
+            args.paths, select=args.select, project=args.project
+        )
     except FileNotFoundError as exc:
         print(f"scapcheck: no such path: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:
         print(f"scapcheck: unknown rule {exc.args[0]}", file=sys.stderr)
         return 2
-    return report(violations, errors)
+    return report(violations, errors, fmt=args.fmt)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -213,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="ring-buffer capacity during the run")
 
     scapcheck = sub.add_parser(
-        "scapcheck", help="repo-specific static analysis (SC001-SC005)"
+        "scapcheck", help="repo-specific static analysis (SC001-SC008)"
     )
     scapcheck.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -222,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     scapcheck.add_argument(
         "--select", action="append", default=None, metavar="SC00x",
         help="run only these rule ids (repeatable)",
+    )
+    scapcheck.add_argument(
+        "--project", action="store_true",
+        help="also run the whole-program concurrency rules (SC006-SC008)",
+    )
+    scapcheck.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        dest="fmt", help="output format (default: text)",
     )
     scapcheck.add_argument(
         "--list-rules", action="store_true",
@@ -591,14 +599,16 @@ def _cmd_scapcheck(args: argparse.Namespace) -> int:
         print(list_rules())
         return 0
     try:
-        violations, errors = run_paths(args.paths, select=args.select)
+        violations, errors = run_paths(
+            args.paths, select=args.select, project=args.project
+        )
     except FileNotFoundError as exc:
         print(f"scapcheck: no such path: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:
         print(f"scapcheck: unknown rule {exc.args[0]}", file=sys.stderr)
         return 2
-    return report(violations, errors)
+    return report(violations, errors, fmt=args.fmt)
 
 
 def _parse_flow(text: str):

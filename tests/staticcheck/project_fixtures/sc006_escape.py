@@ -1,0 +1,24 @@
+"""Seeded SC006 violation: single-owner object mutated from a thread.
+
+The module-level ``LEDGER`` is handed to a ``threading.Thread`` target
+that mutates it, and nothing inside the thread's call tree constructs a
+``Ledger`` of its own — the single-owner promise is broken.
+"""
+
+import threading
+
+
+class Ledger:  # scapcheck: single-owner
+    def __init__(self) -> None:
+        self.total = 0
+
+    def add(self, amount: int) -> None:
+        self.total += amount
+
+
+def worker(ledger: Ledger) -> None:
+    ledger.add(1)
+
+
+LEDGER = Ledger()
+THREAD = threading.Thread(target=worker, args=(LEDGER,))

@@ -1,0 +1,20 @@
+"""Seeded SC007 violation: inconsistent lockset on ``self.count``.
+
+``bump`` mutates ``self.count`` under ``self._lock`` while ``reset``
+mutates the same attribute bare — the classic Eraser report.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def reset(self) -> None:
+        self.count = 0

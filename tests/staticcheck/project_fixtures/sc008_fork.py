@@ -1,0 +1,25 @@
+"""Seeded SC008 violation: live single-owner object crosses a fork.
+
+``run`` submits the live ``Table`` instance to a process pool — the
+job receives a pickled snapshot, so parent and child silently diverge.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Table:  # scapcheck: single-owner
+    def __init__(self) -> None:
+        self.rows = []
+
+    def insert(self, row: object) -> None:
+        self.rows.append(row)
+
+
+def job(table) -> int:
+    return 0
+
+
+def run() -> None:
+    table = Table()
+    pool = ProcessPoolExecutor(max_workers=1)
+    pool.submit(job, table)

@@ -6,6 +6,7 @@ import textwrap
 import pytest
 
 from repro.staticcheck import RULE_REGISTRY
+from repro.staticcheck.concurrency import PROJECT_RULE_REGISTRY
 from repro.staticcheck.runner import (
     iter_python_files,
     list_rules,
@@ -102,7 +103,12 @@ class TestStandaloneMain:
         out = capsys.readouterr().out
         for rule_id in RULE_REGISTRY:
             assert rule_id in out
-        assert list_rules().count("SC") == len(RULE_REGISTRY)
+        for rule_id in PROJECT_RULE_REGISTRY:
+            assert rule_id in out
+        expected = len(RULE_REGISTRY) + len(PROJECT_RULE_REGISTRY)
+        assert len(
+            [line for line in list_rules().splitlines() if line.startswith("SC")]
+        ) == expected
 
 
 class TestCliSubcommand:
