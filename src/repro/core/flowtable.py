@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..netstack.flows import CLIENT_TO_SERVER, SERVER_TO_CLIENT, FiveTuple
+from ..sanitizers.race import race_detector_from_env
 from .memory import ChunkAssembler
 from .reassembly import TCPDirectionReassembler
 from .stream import StreamDescriptor
@@ -87,6 +88,11 @@ class FlowTable:  # scapcheck: single-owner
         # id-derived decisions (worker affinity, store queue mapping)
         # are reproducible run over run within one process.
         self._ids = itertools.count()
+        # SCAP_RACE=1: enforce the single-owner claim above at runtime.
+        self._race = race_detector_from_env()
+        self._race_token = (
+            self._race.register("FlowTable") if self._race is not None else 0
+        )
 
     def __len__(self) -> int:
         return len(self._table)
@@ -113,6 +119,8 @@ class FlowTable:  # scapcheck: single-owner
         pairs removed to make room (the caller must emit their
         termination events).
         """
+        if self._race is not None:
+            self._race.check(self._race_token, op="lookup_or_create")
         key = five_tuple.canonical()
         pair = self._table.get(key)
         if pair is not None:
@@ -146,6 +154,8 @@ class FlowTable:  # scapcheck: single-owner
 
     def remove(self, pair: StreamPair) -> None:
         """Drop a pair from the table (stream terminated)."""
+        if self._race is not None:
+            self._race.check(self._race_token, op="remove")
         self._table.pop(pair.key, None)
 
     # ------------------------------------------------------------------
@@ -156,6 +166,8 @@ class FlowTable:  # scapcheck: single-owner
         pair that is not even default-expired, so cost is proportional
         to the number of expirations.
         """
+        if self._race is not None:
+            self._race.check(self._race_token, op="expire_idle")
         expired: List[StreamPair] = []
         requeue: List[StreamPair] = []
         while self._table:
@@ -186,6 +198,8 @@ class FlowTable:  # scapcheck: single-owner
 
     def drain(self) -> List[StreamPair]:
         """Remove and return every pair (end of capture)."""
+        if self._race is not None:
+            self._race.check(self._race_token, op="drain")
         pairs = list(self._table.values())
         self._table.clear()
         return pairs

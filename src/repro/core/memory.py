@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..kernelsim.server import MemoryPool
+from ..sanitizers.race import race_detector_from_env
 from ..observability import (
     DEFAULT_FRACTION_BUCKETS,
     HOOK_MEMORY_EXHAUSTED,
@@ -104,6 +105,14 @@ class StreamMemory:
         self._obs = observability or NULL_OBSERVABILITY
         self._san = sanitizers
         self._fault = fault_injector
+        # SCAP_RACE=1: the ledger is single-owner — the shard's capture
+        # loop — so every charge/release must come from one thread.
+        self._race = race_detector_from_env()
+        self._race_token = (
+            self._race.register("StreamMemory.ledger")
+            if self._race is not None
+            else 0
+        )
         registry = self._obs.registry
         self._m_occupancy = registry.histogram(
             "scap_memory_pool_occupancy",
@@ -163,6 +172,8 @@ class StreamMemory:
         ``stream_label`` is the owning stream's five-tuple string, used
         only to attribute the exhaustion trace event to its stream.
         """
+        if self._race is not None:
+            self._race.check(self._race_token, op="try_store")
         if self._fault is not None and self._fault.memory_alloc_fails(
             now, nbytes, stream_label or ""
         ):
@@ -217,12 +228,16 @@ class StreamMemory:
 
     def schedule_release(self, release_time: float, nbytes: int) -> None:
         """Return ``nbytes`` to the pool at ``release_time``."""
+        if self._race is not None:
+            self._race.check(self._race_token, op="schedule_release")
         if self._san is not None:
             self._san.memory.on_release(nbytes, origin="schedule_release")
         self.pool.schedule_release(release_time, nbytes)
 
     def release_now(self, now: float, nbytes: int) -> None:
         """Immediately return ``nbytes`` (data discarded unprocessed)."""
+        if self._race is not None:
+            self._race.check(self._race_token, op="release_now")
         if self._san is not None:
             self._san.memory.on_release(nbytes, origin="release_now")
         self.pool.release_now(now, nbytes)

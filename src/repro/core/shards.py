@@ -38,6 +38,8 @@ unevenly — sharding trades global memory sharing for parallelism.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -45,9 +47,46 @@ from ..nic.rss import RSSHasher
 from ..results import RunResult
 from ..traffic.trace import FlowSpec, PlantedMatch, Trace
 
-__all__ = ["ShardOutcome", "ShardedResult", "ShardedCapture", "partition_trace"]
+__all__ = [
+    "BarrierJitter",
+    "ShardOutcome",
+    "ShardedResult",
+    "ShardedCapture",
+    "partition_trace",
+]
 
 EXECUTORS = ("serial", "thread", "process")
+
+
+class BarrierJitter:
+    """Seeded schedule perturbation around the shard merge barrier.
+
+    Parallel executors may complete shards in any order; the merge must
+    not care.  This harness *provokes* unlucky interleavings on demand:
+    before waiting on shard ``i``'s future, the collecting thread sleeps
+    a small delay derived deterministically from ``(seed, i)``, which
+    skews which shards finish while others are still mid-flight.  The
+    chaos soak drives it with varying seeds; any seed must produce a
+    bit-identical merged result (and, under ``SCAP_RACE=1``, no race
+    report).  Holds only plain ints/floats so it pickles cleanly
+    alongside the process executor.
+    """
+
+    def __init__(self, seed: int, max_delay: float = 0.005):
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.seed = seed
+        self.max_delay = max_delay
+
+    def delay_for(self, index: int) -> float:
+        """The exact delay applied before collecting shard ``index``."""
+        return random.Random(self.seed * 1_000_003 + index).random() * self.max_delay
+
+    def perturb(self, index: int) -> None:
+        """Sleep the seeded delay for shard ``index``."""
+        delay = self.delay_for(index)
+        if delay > 0:
+            time.sleep(delay)
 
 
 def partition_trace(trace: Trace, shard_count: int) -> List[Trace]:
@@ -173,6 +212,7 @@ class ShardedCapture:
         executor: str = "serial",
         app_factory: Optional[Callable[[], Any]] = None,
         max_workers: Optional[int] = None,
+        jitter: Optional[BarrierJitter] = None,
         **socket_kwargs: Any,
     ):
         if shard_count < 1:
@@ -194,6 +234,7 @@ class ShardedCapture:
         self.executor = executor
         self.app_factory = app_factory
         self.max_workers = max_workers or shard_count
+        self.jitter = jitter
         self.socket_kwargs = socket_kwargs
 
     # ------------------------------------------------------------------
@@ -248,7 +289,12 @@ class ShardedCapture:
                 from concurrent.futures import ProcessPoolExecutor as Pool
             with Pool(max_workers=min(self.max_workers, len(jobs))) as pool:
                 futures = [pool.submit(_run_shard, *job[:6], name) for job in jobs]
-                for future in futures:
+                for index, future in enumerate(futures):
+                    if self.jitter is not None:
+                        # Perturb which shards complete while the
+                        # collector is busy elsewhere; the ascending
+                        # merge below must be indifferent to it.
+                        self.jitter.perturb(index)
                     out = future.result()
                     outputs[out[0]] = out
         shards = [

@@ -238,6 +238,20 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self.families: Dict[str, MetricFamily] = {}
+        # SCAP_RACE=1: family registration is a structural mutation that
+        # must stay on the thread that owns this registry.  Disabled
+        # registries are exempt: the module-global NULL registry is a
+        # write-only sink that per-shard runtimes share by design.
+        # Imported lazily — observability must not depend on sanitizers
+        # at import time (sanitizer contexts point back at observability).
+        from ..sanitizers.race import race_detector_from_env
+
+        self._race = race_detector_from_env() if enabled else None
+        self._race_token = (
+            self._race.register("MetricsRegistry.families")
+            if self._race is not None
+            else 0
+        )
 
     # ------------------------------------------------------------------
     def _family(
@@ -256,6 +270,8 @@ class MetricsRegistry:
                     f"was {family.kind}{family.label_names}"
                 )
             return family
+        if self._race is not None:
+            self._race.check(self._race_token, op="register_family")
         family = MetricFamily(self, name, kind, help_text, tuple(label_names), bounds)
         self.families[name] = family
         return family

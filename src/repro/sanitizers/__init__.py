@@ -22,10 +22,19 @@ from .invariants import (
     sanitize_enabled,
     sanitizers_from_env,
 )
+from .race import (
+    RACE_ENV,
+    RaceDetector,
+    race_detector_from_env,
+    race_enabled,
+    reset_race_detector,
+    stack_digest,
+)
 
 __all__ = [
     "SANITIZE_ENV",
     "TRACE_TAIL_ENV",
+    "RACE_ENV",
     "InvariantViolation",
     "SanitizerContext",
     "MemoryAccountingChecker",
@@ -35,4 +44,9 @@ __all__ = [
     "StoreAccountingChecker",
     "sanitize_enabled",
     "sanitizers_from_env",
+    "RaceDetector",
+    "race_enabled",
+    "race_detector_from_env",
+    "reset_race_detector",
+    "stack_digest",
 ]

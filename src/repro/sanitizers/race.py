@@ -1,0 +1,284 @@
+"""Runtime race detector (``SCAP_RACE=1``) — the dynamic half of SC006–SC008.
+
+The whole-program pass in :mod:`repro.staticcheck.concurrency` proves
+what it can about the concurrency discipline; this module watches the
+same shared-state touchpoints while the pipeline actually runs:
+
+* **owner mode** — a resource (flow table, stream-memory ledger,
+  metrics registry structure, store-writer observability) is claimed by
+  the first thread that touches it; any touch from a second thread is a
+  violation.  This is the runtime form of ``# scapcheck: single-owner``.
+* **lockset mode** — Eraser-style: while a resource is touched by one
+  thread, nothing is required; once a second thread arrives, the
+  candidate lockset is the locks held at that moment and every later
+  touch intersects it.  An empty intersection means no common lock
+  protects the resource.
+
+A violation raises :class:`InvariantViolation` carrying **both
+conflicting stack tails** plus a digest over their frames — the digest
+is deterministic across runs (it hashes ``basename:function:line``
+only, never thread ids or addresses), which is what lets the seeded
+perturbation harness assert the *same* race three runs in a row.
+
+Everything is off unless ``SCAP_RACE`` is truthy; instrumented classes
+hold ``Optional`` detector references behind ``is not None`` guards, so
+the disabled fast path costs one comparison, as with ``SCAP_SANITIZE``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import threading
+import traceback
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from .invariants import InvariantViolation
+
+__all__ = [
+    "RACE_ENV",
+    "STACK_TAIL_DEPTH",
+    "RaceDetector",
+    "race_enabled",
+    "race_detector_from_env",
+    "reset_race_detector",
+    "stack_digest",
+]
+
+#: Environment flag that turns the race detector on for every runtime.
+RACE_ENV = "SCAP_RACE"
+#: Frames kept per conflicting stack tail.
+STACK_TAIL_DEPTH = 5
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+StackTail = Tuple[Tuple[str, str, int], ...]
+
+
+def race_enabled() -> bool:
+    """True when ``SCAP_RACE`` asks for always-on race detection."""
+    return os.environ.get(RACE_ENV, "").strip().lower() in _TRUTHY
+
+
+def _stack_tail() -> StackTail:
+    """The last few frames of the current stack, detector frames removed."""
+    frames = traceback.extract_stack()
+    tail = [
+        (os.path.basename(frame.filename), frame.name, frame.lineno or 0)
+        for frame in frames
+        if os.path.basename(frame.filename) != "race.py"
+    ]
+    return tuple(tail[-STACK_TAIL_DEPTH:])
+
+
+def _render_tail(tail: StackTail) -> str:
+    return " <- ".join(f"{base}:{func}:{line}" for base, func, line in reversed(tail))
+
+
+def stack_digest(first: StackTail, second: StackTail) -> str:
+    """Deterministic digest over two conflicting stack tails.
+
+    Hashes only ``(basename, function, line)`` frames — no thread ids,
+    no object addresses — so the same race reported from the same code
+    paths digests identically run over run.
+    """
+    digest = hashlib.sha256()
+    for tail in (first, second):
+        for base, func, line in tail:
+            digest.update(f"{base}:{func}:{line};".encode())
+        digest.update(b"||")
+    return digest.hexdigest()[:16]
+
+
+class _Resource:
+    """Per-resource tracking state (guarded by the detector's lock)."""
+
+    __slots__ = (
+        "label",
+        "mode",
+        "owner_ident",
+        "owner_name",
+        "owner_tail",
+        "shared",
+        "lockset",
+        "tails_by_thread",
+        "names_by_thread",
+    )
+
+    def __init__(self, label: str, mode: str):
+        self.label = label
+        self.mode = mode
+        self.owner_ident: Optional[int] = None
+        self.owner_name = ""
+        self.owner_tail: StackTail = ()
+        self.shared = False
+        self.lockset: FrozenSet[str] = frozenset()
+        self.tails_by_thread: Dict[int, StackTail] = {}
+        self.names_by_thread: Dict[int, str] = {}
+
+
+class RaceDetector:
+    """Owner-thread / lockset checker over registered shared resources.
+
+    Resources get unique integer tokens from a monotonic counter (never
+    ``id()`` — object ids are reused after collection, which would let
+    a dead resource's history convict a fresh one).
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._resources: Dict[int, _Resource] = {}
+        self._tokens = itertools.count(1)
+        self.violations = 0
+
+    def register(self, label: str, mode: str = "owner") -> int:
+        """Track a new resource; returns its token for :meth:`check`."""
+        if mode not in ("owner", "lockset"):
+            raise ValueError(f"unknown race-detector mode {mode!r}")
+        token = next(self._tokens)
+        with self._guard:
+            self._resources[token] = _Resource(label, mode)
+        return token
+
+    def check(
+        self, token: int, op: str = "write", locks: Iterable[str] = ()
+    ) -> None:
+        """Record one access to the resource; raise on a detected race.
+
+        ``locks`` names the locks the caller currently holds (lockset
+        mode only; ignored in owner mode).
+        """
+        ident = threading.get_ident()
+        name = threading.current_thread().name
+        tail = _stack_tail()
+        with self._guard:
+            resource = self._resources[token]
+            try:
+                if resource.mode == "owner":
+                    self._check_owner(resource, ident, name, tail, op)
+                else:
+                    self._check_lockset(
+                        resource, ident, name, tail, frozenset(locks), op
+                    )
+            except InvariantViolation:
+                self.violations += 1
+                raise
+
+    # ------------------------------------------------------------------
+    def _check_owner(
+        self, resource: _Resource, ident: int, name: str, tail: StackTail, op: str
+    ) -> None:
+        if resource.owner_ident is None:
+            resource.owner_ident = ident
+            resource.owner_name = name
+            resource.owner_tail = tail
+            return
+        if ident == resource.owner_ident:
+            resource.owner_tail = tail
+            return
+        self._fail(
+            resource,
+            op,
+            first_thread=resource.owner_name,
+            first_tail=resource.owner_tail,
+            second_thread=name,
+            second_tail=tail,
+            reason="owned by another thread",
+        )
+
+    def _check_lockset(
+        self,
+        resource: _Resource,
+        ident: int,
+        name: str,
+        tail: StackTail,
+        held: FrozenSet[str],
+        op: str,
+    ) -> None:
+        first_access = not resource.tails_by_thread
+        new_thread = ident not in resource.tails_by_thread
+        previous_other: Tuple[str, StackTail] = ("", ())
+        for other_ident, other_tail in resource.tails_by_thread.items():
+            if other_ident != ident:
+                previous_other = (
+                    resource.names_by_thread[other_ident],
+                    other_tail,
+                )
+        resource.tails_by_thread[ident] = tail
+        resource.names_by_thread[ident] = name
+        if first_access:
+            resource.lockset = held
+            return
+        if new_thread and not resource.shared:
+            # Eraser transition to shared: the candidate lockset starts
+            # as the locks held *now*, not the exclusive-phase history.
+            resource.shared = True
+            resource.lockset = held
+        else:
+            resource.lockset = resource.lockset & held if resource.shared else held
+        if resource.shared and not resource.lockset:
+            self._fail(
+                resource,
+                op,
+                first_thread=previous_other[0],
+                first_tail=previous_other[1],
+                second_thread=name,
+                second_tail=tail,
+                reason="no common lock protects the resource",
+            )
+
+    def _fail(
+        self,
+        resource: _Resource,
+        op: str,
+        first_thread: str,
+        first_tail: StackTail,
+        second_thread: str,
+        second_tail: StackTail,
+        reason: str,
+    ) -> None:
+        digest = stack_digest(first_tail, second_tail)
+        raise InvariantViolation(
+            "race",
+            f"{resource.mode}-mode race on {resource.label} ({op}): {reason}",
+            details={
+                "resource": resource.label,
+                "mode": resource.mode,
+                "digest": digest,
+                "first_thread": first_thread,
+                "first_stack": _render_tail(first_tail),
+                "second_thread": second_thread,
+                "second_stack": _render_tail(second_tail),
+            },
+        )
+
+    def reset(self) -> None:
+        """Forget every registered resource (test isolation)."""
+        with self._guard:
+            self._resources.clear()
+            self.violations = 0
+
+
+_GLOBAL_DETECTOR: Optional[RaceDetector] = None
+
+
+def race_detector_from_env() -> Optional[RaceDetector]:
+    """The process-wide detector when ``SCAP_RACE`` is set, else None.
+
+    One shared detector (not one per instrumented object) so that two
+    components touching the same logical resource still meet in one
+    place; each instrumented instance registers its own token.
+    """
+    global _GLOBAL_DETECTOR
+    if not race_enabled():
+        return None
+    if _GLOBAL_DETECTOR is None:
+        _GLOBAL_DETECTOR = RaceDetector()
+    return _GLOBAL_DETECTOR
+
+
+def reset_race_detector() -> None:
+    """Drop the process-wide detector (tests flip ``SCAP_RACE`` around)."""
+    global _GLOBAL_DETECTOR
+    _GLOBAL_DETECTOR = None

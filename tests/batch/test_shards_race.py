@@ -1,0 +1,94 @@
+"""Sharded executors under the runtime sanitizers and barrier jitter."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.apps import StreamDeliveryApp
+from repro.core import ShardedCapture
+from repro.core.shards import BarrierJitter
+from repro.sanitizers import reset_race_detector
+from repro.traffic import campus_mix
+
+RATE = 2e9
+MEMORY = 1 << 21
+
+
+def _trace(seed=11):
+    return campus_mix(flow_count=40, max_flow_bytes=100_000, seed=seed)
+
+
+def _run(executor, jitter=None):
+    capture = ShardedCapture(
+        _trace(),
+        3,
+        rate_bps=RATE,
+        memory_size=MEMORY,
+        executor=executor,
+        app_factory=StreamDeliveryApp,
+        jitter=jitter,
+    )
+    return capture.run(name="shard-race-test")
+
+
+def _assert_matches_serial(sharded, serial):
+    assert asdict(sharded.result) == asdict(serial.result)
+    assert asdict(sharded.stats) == asdict(serial.stats)
+
+
+class TestShardedUnderRaceDetector:
+    @pytest.fixture(autouse=True)
+    def _race_env(self, monkeypatch):
+        monkeypatch.setenv("SCAP_RACE", "1")
+        reset_race_detector()
+        yield
+        reset_race_detector()
+
+    def test_thread_executor_differential_is_clean(self):
+        # The acceptance gate: every shard owns its own flow table,
+        # ledger, and registry, so SCAP_RACE=1 must see no violation
+        # and the merge must still match the serial run exactly.
+        _assert_matches_serial(_run("thread"), _run("serial"))
+
+    def test_thread_executor_with_jitter_is_clean(self):
+        serial = _run("serial")
+        for seed in (0, 1):
+            _assert_matches_serial(
+                _run("thread", jitter=BarrierJitter(seed)), serial
+            )
+
+
+class TestShardedUnderSanitizers:
+    @pytest.fixture(autouse=True)
+    def _sanitize_env(self, monkeypatch):
+        monkeypatch.setenv("SCAP_SANITIZE", "1")
+        yield
+
+    def test_process_executor_matches_serial_under_sanitizers(self):
+        # Forked shard processes inherit SCAP_SANITIZE=1, so each
+        # shard's pipeline runs its full invariant suite.
+        _assert_matches_serial(_run("process"), _run("serial"))
+
+    def test_thread_executor_matches_serial_under_sanitizers(self):
+        _assert_matches_serial(_run("thread"), _run("serial"))
+
+
+class TestBarrierJitter:
+    def test_delays_are_seed_deterministic(self):
+        first = BarrierJitter(seed=7)
+        second = BarrierJitter(seed=7)
+        assert [first.delay_for(i) for i in range(8)] == [
+            second.delay_for(i) for i in range(8)
+        ]
+        assert BarrierJitter(seed=8).delay_for(0) != first.delay_for(0)
+        assert all(0.0 <= first.delay_for(i) <= 0.005 for i in range(8))
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            BarrierJitter(seed=1, max_delay=-0.1)
+
+    def test_jitter_does_not_change_the_merge(self):
+        serial = _run("serial")
+        _assert_matches_serial(_run("thread", jitter=BarrierJitter(99)), serial)

@@ -1,0 +1,247 @@
+"""The SCAP_RACE runtime race detector: harness trips, clean runs don't."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.flowtable import FlowTable
+from repro.netstack.flows import FiveTuple
+from repro.sanitizers import (
+    InvariantViolation,
+    RaceDetector,
+    race_detector_from_env,
+    race_enabled,
+    reset_race_detector,
+)
+
+TUPLE = FiveTuple(0x0A000001, 40000, 0x0A000002, 80, 6)
+
+
+def provoke_owner_race(resource: str = "harness") -> InvariantViolation:
+    """Deterministic two-thread owner-mode conflict; returns the violation.
+
+    The first thread claims the resource and *then* releases the second
+    via an event, so the conflicting access order is fixed — no timing
+    luck involved, which is what makes the reported digest repeatable.
+    """
+    detector = RaceDetector()
+    token = detector.register(resource)
+    claimed = threading.Event()
+    intruded = threading.Event()
+    caught: list = []
+
+    def owner() -> None:
+        detector.check(token, op="write")
+        claimed.set()
+        # Stay alive until the intruder has checked: if this thread
+        # exits first, the OS may recycle its ident for the intruder
+        # and the two accesses would look same-threaded.
+        intruded.wait(timeout=5.0)
+
+    def intruder() -> None:
+        claimed.wait(timeout=5.0)
+        try:
+            detector.check(token, op="write")
+        except InvariantViolation as violation:
+            caught.append(violation)
+        finally:
+            intruded.set()
+
+    threads = [
+        threading.Thread(target=owner, name="race-owner"),
+        threading.Thread(target=intruder, name="race-intruder"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(caught) == 1, "the seeded harness must trip exactly once"
+    return caught[0]
+
+
+class TestOwnerMode:
+    def test_seeded_harness_trips_with_both_stack_tails(self):
+        violation = provoke_owner_race()
+        assert violation.invariant == "race"
+        details = violation.details
+        assert details["first_thread"] == "race-owner"
+        assert details["second_thread"] == "race-intruder"
+        # Both conflicting stacks are attached and name the harness.
+        assert "owner" in details["first_stack"]
+        assert "intruder" in details["second_stack"]
+        assert len(details["digest"]) == 16
+
+    def test_digest_is_deterministic_across_three_runs(self):
+        digests = {provoke_owner_race().details["digest"] for _ in range(3)}
+        assert len(digests) == 1
+
+    def test_single_thread_run_is_clean(self):
+        detector = RaceDetector()
+        token = detector.register("clean")
+        for _ in range(100):
+            detector.check(token)
+        assert detector.violations == 0
+
+    def test_violation_counter_tracks_failures(self):
+        violation = provoke_owner_race()
+        assert violation.details["mode"] == "owner"
+
+
+class TestLocksetMode:
+    def test_consistent_lock_across_threads_is_clean(self):
+        detector = RaceDetector()
+        token = detector.register("queue", mode="lockset")
+        first_done = threading.Event()
+
+        def toucher(start_gate) -> None:
+            if start_gate is not None:
+                start_gate.wait(timeout=5.0)
+            detector.check(token, locks=("_lock",))
+            first_done.set()
+
+        threads = [
+            threading.Thread(target=toucher, args=(None,)),
+            threading.Thread(target=toucher, args=(first_done,)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert detector.violations == 0
+
+    def test_bare_access_after_sharing_trips(self):
+        detector = RaceDetector()
+        token = detector.register("queue", mode="lockset")
+        shared = threading.Event()
+        caught: list = []
+
+        def locked_toucher() -> None:
+            detector.check(token, locks=("_lock",))
+            shared.set()
+
+        def bare_toucher() -> None:
+            shared.wait(timeout=5.0)
+            try:
+                detector.check(token, locks=())
+            except InvariantViolation as violation:
+                caught.append(violation)
+
+        threads = [
+            threading.Thread(target=locked_toucher),
+            threading.Thread(target=bare_toucher),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(caught) == 1
+        assert caught[0].details["mode"] == "lockset"
+
+    def test_exclusive_phase_never_requires_locks(self):
+        # One thread may touch the resource bare as long as it stays
+        # exclusive — Eraser's initialization exemption.
+        detector = RaceDetector()
+        token = detector.register("warmup", mode="lockset")
+        detector.check(token, locks=())
+        detector.check(token, locks=("_lock",))
+        detector.check(token, locks=())
+        assert detector.violations == 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RaceDetector().register("x", mode="optimistic")
+
+
+class TestEnvironmentWiring:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("SCAP_RACE", raising=False)
+        reset_race_detector()
+        assert not race_enabled()
+        assert race_detector_from_env() is None
+
+    def test_enabled_detector_is_process_wide(self, monkeypatch):
+        monkeypatch.setenv("SCAP_RACE", "1")
+        reset_race_detector()
+        try:
+            assert race_enabled()
+            first = race_detector_from_env()
+            assert first is not None
+            assert race_detector_from_env() is first
+        finally:
+            reset_race_detector()
+
+    def test_instrumented_flowtable_catches_cross_thread_mutation(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("SCAP_RACE", "1")
+        reset_race_detector()
+        try:
+            table = FlowTable()
+            table.lookup_or_create(TUPLE, now=0.0)  # main thread owns it
+            caught: list = []
+
+            def intruder() -> None:
+                try:
+                    table.expire_idle(now=100.0, default_timeout=1.0)
+                except InvariantViolation as violation:
+                    caught.append(violation)
+
+            thread = threading.Thread(target=intruder, name="ft-intruder")
+            thread.start()
+            thread.join()
+            assert len(caught) == 1
+            assert caught[0].details["resource"] == "FlowTable"
+        finally:
+            reset_race_detector()
+
+    def test_threaded_store_writer_obs_is_clean(self, monkeypatch, tmp_path):
+        # Regression: drain metrics used to be emitted *on* the writer
+        # threads, racing the capture thread's enqueue metrics.  They
+        # are now buffered and flushed owner-side, so a threaded run
+        # with observability on must not trip the owner-mode check and
+        # the flushed counters must still balance.
+        monkeypatch.setenv("SCAP_RACE", "1")
+        reset_race_detector()
+        try:
+            from repro.observability import Observability
+            from repro.store import StoreWriter, StreamRecord
+
+            obs = Observability(enabled=True)
+            writer = StoreWriter(
+                str(tmp_path), cores=2, queue_bytes=1 << 20, observability=obs
+            )
+            writer.start_threads()
+            payload = bytes(200)
+            for n in range(200):
+                record = StreamRecord(
+                    five_tuple=TUPLE,
+                    direction=0,
+                    stream_offset=n * len(payload),
+                    timestamp=float(n),
+                    data=payload,
+                    priority=0,
+                )
+                writer.enqueue(n % 2, record)
+            writer.close()
+            assert writer.outstanding_bytes == 0
+            registry = obs.registry
+            assert registry.value("scap_store_written_bytes_total") + registry.value(
+                "scap_store_dropped_bytes_total"
+            ) == registry.value("scap_store_enqueued_bytes_total")
+        finally:
+            reset_race_detector()
+
+    def test_instrumented_flowtable_clean_on_one_thread(self, monkeypatch):
+        monkeypatch.setenv("SCAP_RACE", "1")
+        reset_race_detector()
+        try:
+            table = FlowTable()
+            pair, created, _ = table.lookup_or_create(TUPLE, now=0.0)
+            assert created
+            table.touch(pair, now=1.0)
+            table.remove(pair)
+            assert table.drain() == []
+        finally:
+            reset_race_detector()
