@@ -30,6 +30,7 @@ from threading import Event as _StopFlag
 from typing import Deque, List, Optional, Tuple
 
 from ..observability import NULL_OBSERVABILITY, STAGE_STORE_DRAIN, Observability
+from ..sanitizers.race import race_detector_from_env
 from .segment import SegmentInfo, SegmentWriter, StreamRecord
 
 __all__ = ["SpillQueue", "StoreWriter", "DEFAULT_QUEUE_BYTES", "DEFAULT_SEGMENT_BYTES"]
@@ -52,6 +53,14 @@ class SpillQueue:
         self.core = core
         self.queue_bytes = queue_bytes
         self._lock = threading.Lock()
+        # SCAP_RACE=1: every queue mutation must hold self._lock — the
+        # lockset-mode twin of the class docstring's locking claim.
+        self._race = race_detector_from_env()
+        self._race_token = (
+            self._race.register(f"SpillQueue[{core}]", mode="lockset")
+            if self._race is not None
+            else 0
+        )
         self._records: Deque[StreamRecord] = deque()
         self.depth_bytes = 0
         self.enqueued_records = 0
@@ -73,6 +82,8 @@ class SpillQueue:
         size = len(record.data)
         victims: List[StreamRecord] = []
         with self._lock:
+            if self._race is not None:
+                self._race.check(self._race_token, op="offer", locks=("_lock",))
             self.enqueued_records += 1
             self.enqueued_bytes += size
             if size > self.queue_bytes:
@@ -109,6 +120,8 @@ class SpillQueue:
     def pop_all(self) -> List[StreamRecord]:
         """Remove and return everything queued (drain step)."""
         with self._lock:
+            if self._race is not None:
+                self._race.check(self._race_token, op="pop_all", locks=("_lock",))
             drained = list(self._records)
             self._records.clear()
             self.depth_bytes = 0
@@ -184,6 +197,23 @@ class StoreWriter:
             labels=("core",),
         )
         self._m_depth = [self._m_depth_family.labels(core) for core in range(cores)]
+        # Counters are plain `value += n` with no lock of their own, so
+        # writer threads must never touch them: drains *buffer* their
+        # observability under _obs_lock and the owner thread emits it
+        # on its next enqueue/drain/seal (see _flush_obs).
+        self._obs_lock = threading.Lock()
+        self._pending_written = 0
+        self._pending_dropped = 0
+        self._pending_sealed = 0
+        self._pending_depth: dict = {}
+        self._pending_waits: List[Tuple[int, float]] = []
+        # SCAP_RACE=1: the emission sites stay owner-thread state.
+        self._race = race_detector_from_env()
+        self._race_token = (
+            self._race.register("StoreWriter.obs")
+            if self._race is not None
+            else 0
+        )
         self._threads: List[threading.Thread] = []
         self._stop = _StopFlag()
         self._wakeup = threading.Condition()
@@ -265,6 +295,9 @@ class StoreWriter:
             for victim in _victims:
                 self._san.store.on_drop(len(victim.data))
         if self._obs.enabled:
+            self._flush_obs()
+            if self._race is not None:
+                self._race.check(self._race_token, op="enqueue-metrics")
             self._m_enqueued.inc(len(record.data))
             dropped = (0 if accepted else len(record.data)) + sum(
                 len(victim.data) for victim in _victims
@@ -285,6 +318,8 @@ class StoreWriter:
         written = 0
         for index in cores:
             written += self._drain_one(index)
+        if self._obs.enabled:
+            self._flush_obs()
         return written
 
     def _drain_one(self, core: int) -> int:
@@ -320,23 +355,49 @@ class StoreWriter:
                     self._seal_active(core)
                     writer = self._writer_for(core)
         if self._obs.enabled:
-            self._m_written.inc(written_payload)
-            if errored_payload:
-                self._m_dropped.inc(errored_payload)
-            self._m_depth[core].set(queue.depth_bytes)
             # Spill-queue wait, in *simulated* time: the drain happens no
             # earlier than the newest record in the batch, so each
             # record waited at least (newest - its own timestamp).  The
             # drain itself costs no simulated service time (writer
             # threads are off the capture path), so store_drain is a
-            # wait-only stage.
-            profiler = self._obs.profiler
+            # wait-only stage.  All of it is *buffered* here — this
+            # method runs on writer threads, which must not touch the
+            # lock-free metric objects the capture thread mutates.
             drained_at = max(record.timestamp for record in records)
-            for record in records:
-                profiler.record_wait(
-                    STAGE_STORE_DRAIN, core, drained_at - record.timestamp
-                )
+            waits = [
+                (core, drained_at - record.timestamp) for record in records
+            ]
+            with self._obs_lock:
+                self._pending_written += written_payload
+                self._pending_dropped += errored_payload
+                self._pending_depth[core] = queue.depth_bytes
+                self._pending_waits.extend(waits)
         return len(records)
+
+    def _flush_obs(self) -> None:
+        """Emit buffered drain/seal observability (owner thread only)."""
+        with self._obs_lock:
+            written, self._pending_written = self._pending_written, 0
+            dropped, self._pending_dropped = self._pending_dropped, 0
+            sealed, self._pending_sealed = self._pending_sealed, 0
+            depths, self._pending_depth = self._pending_depth, {}
+            waits, self._pending_waits = self._pending_waits, []
+        if not (written or dropped or sealed or depths or waits):
+            return
+        if self._obs.enabled:
+            if self._race is not None:
+                self._race.check(self._race_token, op="flush-metrics")
+            if written:
+                self._m_written.inc(written)
+            if dropped:
+                self._m_dropped.inc(dropped)
+            if sealed:
+                self._m_sealed.inc(sealed)
+            for core, depth in depths.items():
+                self._m_depth[core].set(depth)
+            profiler = self._obs.profiler
+            for core, wait in waits:
+                profiler.record_wait(STAGE_STORE_DRAIN, core, wait)
 
     def _writer_for(self, core: int) -> SegmentWriter:  # scapcheck: single-owner
         writer = self._active[core]
@@ -383,7 +444,10 @@ class StoreWriter:
         self.segments_sealed += 1
         self.disk_bytes_sealed += info.disk_bytes
         if self._obs.enabled:
-            self._m_sealed.inc()
+            # Sealing can happen on a writer thread mid-drain; buffer
+            # the tick and let the owner thread emit it.
+            with self._obs_lock:
+                self._pending_sealed += 1
         if self._on_seal is not None:
             self._on_seal(info)
         return info
@@ -397,6 +461,8 @@ class StoreWriter:
                 info = self._seal_active(core)
                 if info is not None:
                     infos.append(info)
+        if self._obs.enabled:
+            self._flush_obs()
         return infos
 
     # ------------------------------------------------------------------
