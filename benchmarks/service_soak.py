@@ -1,0 +1,136 @@
+"""Service integration soak: one daemon, eight concurrent clients.
+
+The CI `service-integration` job runs this against a live `ScapDaemon`
+on a Unix socket.  Eight clients hammer the daemon concurrently with a
+mixed workload — captures, runtime config flips, subscriptions, store
+queries, and deliberately malformed frames — and the run only passes
+if:
+
+* no client observed a protocol-level failure it didn't provoke,
+* every capture's queried bytes match its reported delivered bytes,
+* the daemon shuts down gracefully with **balanced ledgers**
+  (`enqueued == delivered + dropped` for every client).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_soak.py [--clients 8] [--rounds 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+
+from repro.service import ClientQuotas, DaemonConfig, ScapClient, ScapDaemon
+from repro.service.protocol import MSG_REQUEST, encode_frame
+
+GBIT = 1e9
+
+
+def _soak_client(index: int, path: str, rounds: int, report: dict, errors: list):
+    try:
+        client = ScapClient(unix_path=path, name=f"soak-{index}")
+        sub = client.subscribe(events=["closed"])
+        events = 0
+        for round_index in range(rounds):
+            if index % 2 == 0:
+                client.set_cutoff(50_000 + 1_000 * index)
+                client.set_priority(f"tcp and port {80 + index}", 2)
+            summary = client.submit_campus(
+                flows=6, seed=index * 31 + round_index, rate_bps=GBIT,
+                name=f"soak-{index}-{round_index}",
+            )
+            streams = client.query()
+            queried = sum(len(s["data"]) for s in streams)
+            if queried < summary["delivered_bytes"]:
+                errors.append(
+                    f"client {index}: queried {queried} < "
+                    f"delivered {summary['delivered_bytes']}"
+                )
+            assert client.stats()["server"]["captures"] >= 1
+            while sub.next_event(timeout=0.5) is not None:
+                events += 1
+        # A malformed zero-length frame must cost a typed error, nothing more.
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(path)
+        raw.sendall(b"\x00\x00\x00\x00")
+        raw.sendall(encode_frame(MSG_REQUEST, 1, {"command": "ping"}))
+        raw.settimeout(5.0)
+        assert raw.recv(65536), "no reply after malformed frame"
+        raw.close()
+        client.close()
+        report[index] = {"events": events, "rounds": rounds}
+    except Exception as exc:  # noqa: BLE001 — surfaced in the summary
+        errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+
+def main(argv=None) -> int:
+    """Run the soak; exit non-zero on any client error or ledger drift."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default=None, help="optional JSON report path")
+    args = parser.parse_args(argv)
+
+    run_dir = tempfile.mkdtemp(prefix="scap-soak-")
+    path = os.path.join(run_dir, "scapd.sock")
+    daemon = ScapDaemon(
+        DaemonConfig(
+            store_dir=os.path.join(run_dir, "store"),
+            quotas=ClientQuotas(max_queued_events=2048),
+        )
+    )
+    daemon.add_unix_listener(path)
+    daemon.start()
+
+    report: dict = {}
+    errors: list = []
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=_soak_client, args=(i, path, args.rounds, report, errors)
+        )
+        for i in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+
+    daemon.shutdown()
+    balanced = daemon.ledgers_balanced()
+    ledgers = {
+        entry["name"]: entry["ledger"] for entry in daemon.final_ledgers.values()
+    }
+    payload = {
+        "clients": args.clients,
+        "rounds": args.rounds,
+        "seconds": elapsed,
+        "captures": sum(r["rounds"] for r in report.values()),
+        "events": sum(r["events"] for r in report.values()),
+        "errors": errors,
+        "ledgers_balanced": balanced,
+        "ledgers": ledgers,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    print(
+        f"soak: {args.clients} clients x {args.rounds} rounds in {elapsed:.1f}s; "
+        f"{payload['events']} events; {len(errors)} errors; "
+        f"ledgers balanced: {balanced}"
+    )
+    for line in errors:
+        print(f"  ERROR {line}")
+    return 0 if balanced and not errors and len(report) == args.clients else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

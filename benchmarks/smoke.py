@@ -135,6 +135,13 @@ def _store_payload(scale) -> dict:
     }
 
 
+def _service_payload() -> dict:
+    """Reduced service-plane throughput band (codec + daemon fanout)."""
+    from bench_service_throughput import run as service_run
+
+    return service_run(flows=24, subscribers=2)
+
+
 def main(argv=None) -> int:
     """Run the smoke sweep and write the JSON artifact."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -148,6 +155,7 @@ def main(argv=None) -> int:
         "fig04": _series_payload(series),
         "observability": _observability_payload(scale),
         "store": _store_payload(scale),
+        "service": _service_payload(),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, default=str)
@@ -158,9 +166,12 @@ def main(argv=None) -> int:
         if entry["system"] == "scap"
         and entry["dropped_packets"] <= 0.005 * entry["offered_packets"]
     ]
+    service = payload["service"]["daemon"]
     print(
         f"smoke: {len(payload['fig04']['results'])} runs, "
         f"scap loss-free up to {max(lossfree) if lossfree else 0} Gbit/s, "
+        f"service fanout {service['events_delivered']} events "
+        f"(ledgers balanced: {service['ledgers_balanced']}), "
         f"wrote {args.out}"
     )
     return 0

@@ -1,8 +1,10 @@
 """Deterministic fault injection for the capture pipeline.
 
-Four fault *planes* — wire, memory, store, scheduling — driven by one
-seeded :class:`FaultPlan` and applied by a :class:`FaultInjector`
-threaded through the runtime via ``scap_create(..., fault_plan=)``.
+Five fault *planes* — wire, memory, store, scheduling, client — driven
+by one seeded :class:`FaultPlan` and applied by a :class:`FaultInjector`
+threaded through the runtime via ``scap_create(..., fault_plan=)``
+(the client plane is driven by the service daemon instead; see
+:mod:`repro.service`).
 Same plan + same workload ⇒ byte-identical fault schedule (see
 ``docs/FAULT_INJECTION.md``).
 
@@ -13,6 +15,7 @@ pipeline, which in turn imports this package.
 
 from .injector import FaultInjector, FaultRecord
 from .plan import (
+    ClientFaults,
     FaultPlan,
     FaultWindow,
     MemoryFaults,
@@ -29,6 +32,7 @@ __all__ = [
     "MemoryFaults",
     "StoreFaults",
     "SchedFaults",
+    "ClientFaults",
     "FaultInjector",
     "FaultRecord",
     "FaultedWorkload",

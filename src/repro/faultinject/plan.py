@@ -12,7 +12,10 @@ A :class:`FaultPlan` is a seed plus one config block per fault *plane*:
 * **store** — segment write errors, fsync stalls, and torn tails that
   feed the store's truncation-recovery path;
 * **sched** — worker service-time stalls and forced event-queue
-  backpressure.
+  backpressure;
+* **client** — service-plane faults against the capture daemon's
+  socket layer (:mod:`repro.service`): slow clients, disconnects in
+  the middle of a subscription, and garbage frames.
 
 Every rate is an independent per-opportunity Bernoulli probability and
 every plane has a *window* in simulated time, so a plan can model a
@@ -34,6 +37,7 @@ __all__ = [
     "MemoryFaults",
     "StoreFaults",
     "SchedFaults",
+    "ClientFaults",
     "FaultPlan",
 ]
 
@@ -169,6 +173,43 @@ class SchedFaults:
 
 
 @dataclass(frozen=True)
+class ClientFaults:
+    """Client-plane faults against the service daemon's socket layer."""
+
+    #: Per delivered event: stall the client's sender this long, making
+    #: the client "slow" so backpressure/drop-oldest paths engage.
+    slow_client_rate: float = 0.0
+    slow_client_seconds: float = 0.005
+    #: Per enqueued event: sever the receiving client's connection in
+    #: the middle of its subscription.
+    disconnect_mid_subscription_rate: float = 0.0
+    #: Per request frame: pretend the wire mangled it, forcing the
+    #: daemon's typed-error rejection path.
+    garbage_frame_rate: float = 0.0
+    window: FaultWindow = field(default_factory=FaultWindow)
+
+    def active(self) -> bool:
+        """True when any client fault can ever fire."""
+        return (
+            self.slow_client_rate > 0.0
+            or self.disconnect_mid_subscription_rate > 0.0
+            or self.garbage_frame_rate > 0.0
+        )
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range knobs or an empty window."""
+        _check_rate("client.slow_client_rate", self.slow_client_rate)
+        _check_rate(
+            "client.disconnect_mid_subscription_rate",
+            self.disconnect_mid_subscription_rate,
+        )
+        _check_rate("client.garbage_frame_rate", self.garbage_frame_rate)
+        if self.slow_client_seconds < 0:
+            raise ValueError("client.slow_client_seconds must be non-negative")
+        self.window.validate()
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seed plus per-plane fault configs — the whole chaos recipe.
 
@@ -182,6 +223,7 @@ class FaultPlan:
     memory: MemoryFaults = field(default_factory=MemoryFaults)
     store: StoreFaults = field(default_factory=StoreFaults)
     sched: SchedFaults = field(default_factory=SchedFaults)
+    client: ClientFaults = field(default_factory=ClientFaults)
 
     def validate(self) -> None:
         """Raise ValueError when any plane config is out of range."""
@@ -189,6 +231,7 @@ class FaultPlan:
         self.memory.validate()
         self.store.validate()
         self.sched.validate()
+        self.client.validate()
 
     def active(self) -> bool:
         """True when at least one plane can inject something."""
@@ -197,6 +240,7 @@ class FaultPlan:
             or self.memory.active()
             or self.store.active()
             or self.sched.active()
+            or self.client.active()
         )
 
     @classmethod
@@ -252,7 +296,7 @@ class FaultPlan:
     def describe(self) -> str:
         """One human-readable line per active plane (CLI output)."""
         lines = [f"seed={self.seed}"]
-        for name in ("wire", "memory", "store", "sched"):
+        for name in ("wire", "memory", "store", "sched", "client"):
             plane = getattr(self, name)
             if plane.active():
                 knobs = " ".join(

@@ -68,6 +68,9 @@ from .tracing import (
     HOOK_MEMORY_EXHAUSTED,
     HOOK_OVERLAP_RESOLVED,
     HOOK_PPL_DROP,
+    HOOK_SERVICE_CLIENT_EVICTED,
+    HOOK_SERVICE_EVENT_DROPPED,
+    HOOK_SERVICE_REQUEST,
     HOOK_STREAM_CREATED,
     HOOK_STREAM_TERMINATED,
     TraceBuffer,
@@ -100,6 +103,9 @@ __all__ = [
     "HOOK_OVERLAP_RESOLVED",
     "HOOK_EVENT_DROPPED",
     "HOOK_FAULT_INJECTED",
+    "HOOK_SERVICE_REQUEST",
+    "HOOK_SERVICE_EVENT_DROPPED",
+    "HOOK_SERVICE_CLIENT_EVICTED",
     "to_prometheus",
     "to_json",
     "snapshot",

@@ -30,6 +30,9 @@ __all__ = [
     "HOOK_OVERLAP_RESOLVED",
     "HOOK_EVENT_DROPPED",
     "HOOK_FAULT_INJECTED",
+    "HOOK_SERVICE_REQUEST",
+    "HOOK_SERVICE_EVENT_DROPPED",
+    "HOOK_SERVICE_CLIENT_EVICTED",
     "ALL_HOOKS",
 ]
 
@@ -46,6 +49,10 @@ HOOK_HOLE_SKIPPED = "hole_skipped"
 HOOK_OVERLAP_RESOLVED = "overlap_resolved"
 HOOK_EVENT_DROPPED = "event_dropped"
 HOOK_FAULT_INJECTED = "fault_injected"
+# Service plane (the capture daemon of repro.service).
+HOOK_SERVICE_REQUEST = "service_request"
+HOOK_SERVICE_EVENT_DROPPED = "service_event_dropped"
+HOOK_SERVICE_CLIENT_EVICTED = "service_client_evicted"
 
 ALL_HOOKS = (
     HOOK_STREAM_CREATED,
@@ -60,6 +67,9 @@ ALL_HOOKS = (
     HOOK_OVERLAP_RESOLVED,
     HOOK_EVENT_DROPPED,
     HOOK_FAULT_INJECTED,
+    HOOK_SERVICE_REQUEST,
+    HOOK_SERVICE_EVENT_DROPPED,
+    HOOK_SERVICE_CLIENT_EVICTED,
 )
 
 

@@ -1,0 +1,468 @@
+"""``ScapClient``: the remote side of the capture-daemon protocol.
+
+Connects over a Unix or TCP socket, frames requests with
+:func:`repro.service.protocol.encode_frame`, and gives three calling
+styles (the DarwinApi socket-API idiom):
+
+* :meth:`call` — one request, wait for its response (with a
+  per-request timeout and a single exponential-backoff retry for
+  idempotent commands);
+* :meth:`bulk_call` — pipeline many requests before collecting any
+  response, amortizing round trips;
+* :meth:`subscribe` — install a standing stream-event subscription and
+  iterate delivered events from a local queue.
+
+A dedicated reader thread owns the inbound half of the socket: it
+routes responses to their waiting callers by request id and fans
+subscription events into per-subscription queues, so calls and event
+delivery never block each other.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket as socket_module
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .protocol import (
+    ERR_TIMEOUT,
+    IDEMPOTENT_COMMANDS,
+    MSG_ERROR,
+    MSG_EVENT,
+    MSG_REQUEST,
+    Frame,
+    FrameReader,
+    ServiceError,
+    encode_frame,
+)
+
+__all__ = ["RemoteCallError", "CallTimeout", "EventStream", "ScapClient"]
+
+DEFAULT_TIMEOUT = 10.0
+
+
+class RemoteCallError(ServiceError):
+    """The daemon answered with a typed MSG_ERROR frame."""
+
+
+class CallTimeout(ServiceError):
+    """No response arrived within the per-request timeout."""
+
+    def __init__(self, message: str):
+        super().__init__(ERR_TIMEOUT, message)
+
+
+@dataclass
+class CallResult:
+    """One completed call: the response header and its binary payload."""
+
+    header: Dict[str, Any]
+    payload: bytes
+
+
+class EventStream:
+    """Client-side handle for one subscription's delivered events."""
+
+    def __init__(self, client: "ScapClient", subscription_id: int):
+        self.client = client
+        self.subscription_id = subscription_id
+        self._queue: "queue.Queue[Optional[Frame]]" = queue.Queue()
+
+    def next_event(self, timeout: Optional[float] = 5.0) -> Optional[Frame]:
+        """The next delivered event frame (None on timeout/close)."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def events(self, timeout: Optional[float] = 5.0) -> Iterator[Frame]:
+        """Iterate events until a timeout or the connection closes."""
+        while True:
+            frame = self.next_event(timeout=timeout)
+            if frame is None:
+                return
+            yield frame
+
+    def close(self) -> None:
+        """Unsubscribe on the daemon and drop the local queue."""
+        self.client.unsubscribe(self.subscription_id)
+
+
+class ScapClient:
+    """A connection to a running :class:`~repro.service.ScapDaemon`."""
+
+    def __init__(
+        self,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        token: Optional[str] = None,
+        name: str = "",
+        timeout: float = DEFAULT_TIMEOUT,
+        retry_idempotent: bool = True,
+        retry_backoff: float = 0.05,
+    ):
+        if unix_path is not None:
+            sock = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            sock.connect(unix_path)
+        elif host is not None and port is not None:
+            sock = socket_module.create_connection((host, port))
+        else:
+            raise ValueError("connect with unix_path= or host=/port=")
+        self.sock = sock
+        self.timeout = timeout
+        self.retry_idempotent = retry_idempotent
+        self.retry_backoff = retry_backoff
+        self._lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._next_request_id = 1
+        self._pending: Dict[int, "queue.Queue[Frame]"] = {}
+        self._streams: Dict[int, EventStream] = {}
+        #: Unsolicited MSG_ERROR frames (request_id 0), newest last.
+        self.unsolicited_errors: List[Frame] = []
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="scap-client-read", daemon=True
+        )
+        self._reader.start()
+        self.hello = self.call("hello", token=token, name=name).header
+        self.client_id = self.hello.get("client_id")
+
+    # ------------------------------------------------------------------
+    # Inbound routing
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        reader = FrameReader()
+        try:
+            while True:
+                data = self.sock.recv(65536)
+                if not data:
+                    break
+                for item in reader.feed(data):
+                    if isinstance(item, Frame):
+                        self._route(item)
+                    # Rejections of server frames are ignored: the
+                    # daemon never sends malformed frames; garbage here
+                    # means the transport is gone.
+        except OSError:
+            pass
+        finally:
+            self._abandon()
+
+    def _route(self, frame: Frame) -> None:
+        if frame.msg_type == MSG_EVENT:
+            sub_id = frame.header.get("sub")
+            with self._lock:
+                stream = self._streams.get(sub_id) if sub_id is not None else None
+            if stream is not None:
+                stream._queue.put(frame)
+            return
+        if frame.request_id == 0 and frame.msg_type == MSG_ERROR:
+            with self._lock:
+                self.unsolicited_errors.append(frame)
+            return
+        with self._lock:
+            waiter = self._pending.get(frame.request_id)
+        if waiter is not None:
+            waiter.put(frame)
+
+    def _abandon(self) -> None:
+        """Connection died: wake every waiter and event iterator."""
+        with self._lock:
+            self._closed = True
+            streams = list(self._streams.values())
+            self._streams.clear()
+        for stream in streams:
+            stream._queue.put(None)
+
+    # ------------------------------------------------------------------
+    # Outbound calls
+    # ------------------------------------------------------------------
+    def _allocate_request(self) -> Tuple[int, "queue.Queue[Frame]"]:
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            waiter: "queue.Queue[Frame]" = queue.Queue()
+            self._pending[request_id] = waiter
+            return request_id, waiter
+
+    def _release_request(self, request_id: int) -> None:
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    def _send_request(
+        self, request_id: int, command: str, header: Dict[str, Any], payload: bytes
+    ) -> None:
+        header = dict(header)
+        header["command"] = command
+        frame = encode_frame(MSG_REQUEST, request_id, header, payload)
+        with self._write_lock:
+            self.sock.sendall(frame)
+
+    def low_level_call(
+        self,
+        command: str,
+        header: Optional[Dict[str, Any]] = None,
+        payload: bytes = b"",
+        timeout: Optional[float] = None,
+    ) -> CallResult:
+        """One request/response exchange without retry logic."""
+        request_id, waiter = self._allocate_request()
+        try:
+            self._send_request(request_id, command, header or {}, payload)
+            try:
+                frame = waiter.get(timeout=self.timeout if timeout is None else timeout)
+            except queue.Empty:
+                raise CallTimeout(
+                    f"no response to {command!r} (request {request_id})"
+                ) from None
+        finally:
+            self._release_request(request_id)
+        if frame.msg_type == MSG_ERROR:
+            raise RemoteCallError(
+                str(frame.header.get("code", "internal")),
+                str(frame.header.get("message", "remote error")),
+            )
+        return CallResult(header=frame.header, payload=frame.payload)
+
+    def call(
+        self,
+        command: str,
+        payload: bytes = b"",
+        timeout: Optional[float] = None,
+        **kwargs: Any,
+    ) -> CallResult:
+        """Call ``command``; idempotent commands retry once on timeout.
+
+        The retry waits ``retry_backoff`` seconds, and a retry's own
+        timeout doubles — exponential backoff capped at one retry, so a
+        transiently busy daemon gets a second chance but a dead one
+        fails in bounded time.
+        """
+        try:
+            return self.low_level_call(command, kwargs, payload, timeout=timeout)
+        except CallTimeout:
+            if not self.retry_idempotent or command not in IDEMPOTENT_COMMANDS:
+                raise
+            time.sleep(self.retry_backoff)
+            doubled = (self.timeout if timeout is None else timeout) * 2
+            return self.low_level_call(command, kwargs, payload, timeout=doubled)
+
+    def bulk_call(
+        self, calls: Sequence[Tuple[str, Dict[str, Any], bytes]]
+    ) -> List[CallResult]:
+        """Pipeline many calls: send all requests, then collect in order.
+
+        ``calls`` is a sequence of ``(command, header, payload)``.  A
+        failed call raises after the whole batch was sent, so earlier
+        results are not lost to a later error.
+        """
+        issued: List[Tuple[int, "queue.Queue[Frame]", str]] = []
+        for command, header, payload in calls:
+            request_id, waiter = self._allocate_request()
+            self._send_request(request_id, command, header, payload)
+            issued.append((request_id, waiter, command))
+        results: List[CallResult] = []
+        failure: Optional[Exception] = None
+        for request_id, waiter, command in issued:
+            try:
+                frame = waiter.get(timeout=self.timeout)
+            except queue.Empty:
+                failure = failure or CallTimeout(
+                    f"no response to {command!r} (request {request_id})"
+                )
+                continue
+            finally:
+                self._release_request(request_id)
+            if frame.msg_type == MSG_ERROR:
+                failure = failure or RemoteCallError(
+                    str(frame.header.get("code", "internal")),
+                    str(frame.header.get("message", "remote error")),
+                )
+                continue
+            results.append(CallResult(header=frame.header, payload=frame.payload))
+        if failure is not None:
+            raise failure
+        return results
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers over the command catalog
+    # ------------------------------------------------------------------
+    def ping(self, echo: Any = None) -> Dict[str, Any]:
+        """Round-trip liveness probe."""
+        return self.call("ping", echo=echo).header
+
+    def submit_trace(
+        self, pcap_bytes: bytes, rate_bps: float = 1e9, name: str = "remote"
+    ) -> Dict[str, Any]:
+        """Capture a pcap (shipped as frame payload); returns the run summary."""
+        result = self.call(
+            "submit_trace",
+            payload=pcap_bytes,
+            kind="pcap",
+            rate_bps=rate_bps,
+            name=name,
+            timeout=max(self.timeout, 60.0),
+        )
+        return result.header["result"]
+
+    def submit_campus(
+        self, flows: int = 100, seed: int = 7, rate_bps: float = 1e9, name: str = "campus"
+    ) -> Dict[str, Any]:
+        """Capture a server-side synthetic campus-mix workload."""
+        result = self.call(
+            "submit_trace",
+            kind="campus",
+            flows=flows,
+            seed=seed,
+            rate_bps=rate_bps,
+            name=name,
+            timeout=max(self.timeout, 60.0),
+        )
+        return result.header["result"]
+
+    def feed_packets(
+        self, chunks: Sequence[bytes], rate_bps: float = 1e9, name: str = "feed"
+    ) -> Dict[str, Any]:
+        """Stage pcap bytes chunk by chunk, then capture the feed."""
+        feed_id = self.call("feed_open").header["feed_id"]
+        for chunk in chunks:
+            self.call("feed_append", payload=chunk, feed_id=feed_id)
+        result = self.call(
+            "feed_commit",
+            feed_id=feed_id,
+            rate_bps=rate_bps,
+            name=name,
+            timeout=max(self.timeout, 60.0),
+        )
+        return result.header["result"]
+
+    def install_filter(self, expression: str) -> int:
+        """Add a keep-filter for subsequent captures; returns its id."""
+        return self.call("install_filter", expression=expression).header["filter_id"]
+
+    def remove_filter(self, filter_id: int) -> None:
+        """Remove a previously installed keep-filter."""
+        self.call("remove_filter", filter_id=filter_id)
+
+    def set_cutoff(self, cutoff: Optional[int]) -> None:
+        """Set (or clear, with None) the daemon's default stream cutoff."""
+        self.call("set_cutoff", cutoff=cutoff)
+
+    def set_priority(self, expression: str, priority: int) -> int:
+        """Install a BPF-classed PPL priority rule; returns its id."""
+        return self.call(
+            "set_priority", expression=expression, priority=priority
+        ).header["priority_id"]
+
+    def remove_priority(self, priority_id: int) -> None:
+        """Remove a previously installed priority rule."""
+        self.call("remove_priority", priority_id=priority_id)
+
+    def subscribe(
+        self,
+        events: Optional[Sequence[str]] = None,
+        flow_filter: str = "",
+    ) -> EventStream:
+        """Install a stream-event subscription; returns its event queue."""
+        header = self.call(
+            "subscribe",
+            events=list(events) if events is not None else None,
+            filter=flow_filter,
+        ).header
+        stream = EventStream(self, header["subscription_id"])
+        with self._lock:
+            self._streams[stream.subscription_id] = stream
+        return stream
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Tear down a subscription on both sides."""
+        with self._lock:
+            self._streams.pop(subscription_id, None)
+        self.call("unsubscribe", subscription_id=subscription_id)
+
+    def query(
+        self,
+        flow: Optional[Sequence[int]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Five-tuple/time-range store query with reassembled payloads.
+
+        Returns one dict per matching stream direction, each with the
+        metadata the daemon sent plus its ``data`` bytes sliced out of
+        the binary payload.
+        """
+        result = self.call(
+            "query", flow=list(flow) if flow is not None else None,
+            start=start, end=end,
+        )
+        return _split_streams(result.header["streams"], result.payload)
+
+    def bulk_query(self, specs: Sequence[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+        """Many store queries in one frame; one stream list per spec."""
+        result = self.call("bulk_query", queries=list(specs))
+        out: List[List[Dict[str, Any]]] = []
+        offset = 0
+        for entry in result.header["results"]:
+            size = sum(stream["len"] for stream in entry["streams"])
+            chunk = result.payload[offset:offset + size]
+            offset += size
+            out.append(_split_streams(entry["streams"], chunk))
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's server/client/store/fault statistics snapshot."""
+        return self.call("stats").header
+
+    def reload(self) -> Dict[str, Any]:
+        """Ask the daemon to drain queues and seal store segments."""
+        return self.call("reload", timeout=max(self.timeout, 30.0)).header
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        """Ask the daemon to shut down gracefully."""
+        return self.call("shutdown").header
+
+    def close(self) -> None:
+        """Close the connection (the reader thread exits on EOF)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self.sock.shutdown(socket_module.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=2.0)
+
+    def __enter__(self) -> "ScapClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def _split_streams(
+    streams: List[Dict[str, Any]], payload: bytes
+) -> List[Dict[str, Any]]:
+    """Attach each stream's slice of the concatenated payload."""
+    out: List[Dict[str, Any]] = []
+    offset = 0
+    for meta in streams:
+        size = int(meta["len"])
+        entry = dict(meta)
+        entry["data"] = payload[offset:offset + size]
+        offset += size
+        out.append(entry)
+    return out

@@ -1,0 +1,1082 @@
+"""``ScapDaemon``: the capture runtime behind a socket boundary.
+
+The Scap paper places the Stream abstraction behind a kernel-module
+boundary that many monitoring processes share; this daemon is that
+boundary for the reproduction.  One long-running process owns the
+simulated NIC/kernel pipeline and the persistent stream store, and
+serves many concurrent clients over Unix and/or TCP sockets speaking
+the length-framed protocol of :mod:`repro.service.protocol`.
+
+Clients can:
+
+* submit traces (pcap bytes or a synthetic-workload spec) or staged
+  packet feeds for capture through the full pipeline;
+* install/remove BPF keep-filters, set the default cutoff, and install
+  BPF-classed PPL priorities — all applied to subsequent captures;
+* subscribe to stream events (``created`` / ``data`` / ``closed``)
+  with per-client backpressure-bounded queues;
+* issue five-tuple/time-range queries (single or bulk) against the
+  stream store, receiving reassembled payload bytes.
+
+Threading model: one accept thread per listener, one reader thread per
+client connection, one sender thread per client queue.  Captures are
+serialized through ``_capture_lock`` (the simulated pipeline is a
+single-threaded machine); everything else is concurrent.  Mutable
+daemon state is partitioned under ``_state_lock`` (sessions,
+listeners, lifecycle) and ``_config_lock`` (filters/cutoffs/
+priorities); fault-injector draws are serialized by ``_fault_lock``
+so the client plane's schedule is well-defined under concurrency.
+"""
+
+from __future__ import annotations
+
+import os
+import socket as socket_module
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.api import ScapSocket
+from ..filters.bpf import BPFFilter
+from ..netstack.flows import FiveTuple
+from ..netstack.pcap import read_pcap, write_pcap
+from ..observability import (
+    HOOK_SERVICE_CLIENT_EVICTED,
+    HOOK_SERVICE_EVENT_DROPPED,
+    HOOK_SERVICE_REQUEST,
+    NULL_OBSERVABILITY,
+    Observability,
+)
+from ..traffic import Trace, campus_mix
+from .protocol import (
+    COMMAND_CODE_MAP,
+    ERR_BAD_FRAME,
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_QUOTA,
+    ERR_SHUTTING_DOWN,
+    ERR_UNAUTHORIZED,
+    ERR_UNKNOWN_COMMAND,
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    MSG_ERROR,
+    MSG_REQUEST,
+    MSG_RESPONSE,
+    Frame,
+    FrameReader,
+    FrameRejection,
+    ServiceError,
+    encode_frame,
+)
+from .session import EVENT_KINDS, ClientQuotas, ClientSession
+
+__all__ = ["DaemonConfig", "ScapDaemon"]
+
+GBIT = 1e9
+
+#: Close a connection after this many consecutive malformed frames —
+#: a peer that never resynchronizes is noise, not a client.
+MAX_CONSECUTIVE_REJECTIONS = 8
+
+
+@dataclass
+class DaemonConfig:
+    """Tunables of one daemon instance."""
+
+    #: Store directory for captured streams (None = queries disabled).
+    store_dir: Optional[str] = None
+    #: Accepted auth tokens (None = authentication disabled).
+    auth_tokens: Optional[Tuple[str, ...]] = None
+    quotas: ClientQuotas = field(default_factory=ClientQuotas)
+    #: Daemon-wide bound on queued events across all clients
+    #: (None = only the per-client bound applies).
+    global_event_budget: Optional[int] = None
+    #: Memory pool size for submitted captures.
+    memory_size: int = 64 << 20
+    #: Simulated cores for submitted captures.
+    core_count: int = 8
+    #: Whether remote ``shutdown`` / ``reload`` commands are honoured.
+    allow_control: bool = True
+    #: Largest accepted frame (submitted traces must fit in one frame).
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Store writer fan-out (segment series).
+    store_cores: int = 1
+    #: Compress store record bodies.
+    store_compress: bool = False
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range settings."""
+        self.quotas.validate()
+        if self.memory_size < 1:
+            raise ValueError("memory_size must be positive")
+        if self.global_event_budget is not None and self.global_event_budget < 1:
+            raise ValueError("global_event_budget must be positive")
+
+
+class ScapDaemon:
+    """A long-running capture service over Unix/TCP sockets."""
+
+    def __init__(
+        self,
+        config: Optional[DaemonConfig] = None,
+        observability: Optional[Observability] = None,
+        fault_plan: Optional[object] = None,
+    ):
+        self.config = config or DaemonConfig()
+        self.config.validate()
+        self._obs = observability or NULL_OBSERVABILITY
+        self._state_lock = threading.Lock()
+        self._config_lock = threading.Lock()
+        self._capture_lock = threading.Lock()
+        self._fault_lock = threading.Lock()
+        self._sessions: Dict[int, ClientSession] = {}
+        self._listeners: List[Tuple[socket_module.socket, str]] = []
+        self._accept_threads: List[threading.Thread] = []
+        self._handler_threads: List[threading.Thread] = []
+        self._next_client_id = 1
+        self._closing = False
+        self._shutdown_done = threading.Event()
+        self._reloading = False
+        self._captures = 0
+        #: Simulated clock high-water mark across submitted captures.
+        self._sim_now = 0.0
+        self.store = None
+        if self.config.store_dir is not None:
+            from ..store import StreamStore
+
+            self.store = StreamStore(
+                self.config.store_dir,
+                cores=self.config.store_cores,
+                compress=self.config.store_compress,
+                observability=observability,
+            )
+        # Config the clients program at runtime.
+        self._filters: Dict[int, str] = {}
+        self._next_filter_id = 1
+        self._cutoff: Optional[int] = None
+        self._priorities: Dict[int, Tuple[str, int]] = {}
+        self._next_priority_id = 1
+        # Client-plane fault injection.
+        self.fault_injector = None
+        if fault_plan is not None:
+            from ..faultinject import FaultInjector
+
+            self.fault_injector = FaultInjector(fault_plan, observability=observability)
+        #: Ledger snapshots of sessions that finished (id -> dict).
+        self.final_ledgers: Dict[int, Dict[str, object]] = {}
+        # Service metrics: families are registered here, on the owning
+        # thread, so session threads only ever increment instruments.
+        registry = self._obs.registry
+        self._m_connections = registry.counter(
+            "scap_service_connections_total", "client connections accepted"
+        )
+        self._m_active = registry.gauge(
+            "scap_service_active_clients", "currently connected clients"
+        )
+        self._m_requests = registry.counter(
+            "scap_service_requests_total", "requests processed", labels=("command",)
+        )
+        self._m_errors = registry.counter(
+            "scap_service_errors_total", "typed error responses", labels=("code",)
+        )
+        self._m_rejected = registry.counter(
+            "scap_service_frames_rejected_total",
+            "malformed frames rejected without dropping the connection",
+            labels=("reason",),
+        )
+        self._m_enqueued = registry.counter(
+            "scap_service_events_enqueued_total", "events queued for delivery"
+        )
+        self._m_delivered = registry.counter(
+            "scap_service_events_delivered_total", "events written to clients"
+        )
+        self._m_dropped = registry.counter(
+            "scap_service_events_dropped_total", "events dropped by backpressure"
+        )
+        self._m_bytes_sent = registry.counter(
+            "scap_service_bytes_sent_total", "frame bytes written to clients"
+        )
+        self._m_bytes_received = registry.counter(
+            "scap_service_bytes_received_total", "frame bytes read from clients"
+        )
+        self._m_captures = registry.counter(
+            "scap_service_captures_total", "capture runs executed for clients"
+        )
+        self._m_evictions = registry.counter(
+            "scap_service_client_evictions_total",
+            "clients disconnected for falling too far behind",
+        )
+        # Pre-create every labeled child on the constructing thread so
+        # handler threads only ever .inc() existing instruments.
+        for command in tuple(COMMAND_CODE_MAP) + ("?",):
+            self._m_requests.labels(command)
+        for code in ERROR_CODES:
+            self._m_errors.labels(code)
+        self._m_rejected.labels(ERR_BAD_FRAME)
+        _Handler = Callable[
+            [ClientSession, Frame], Optional[Tuple[Dict[str, Any], bytes]]
+        ]
+        self._handlers: Dict[str, _Handler] = {
+            "hello": self._cmd_hello,
+            "ping": self._cmd_ping,
+            "submit_trace": self._cmd_submit_trace,
+            "feed_open": self._cmd_feed_open,
+            "feed_append": self._cmd_feed_append,
+            "feed_commit": self._cmd_feed_commit,
+            "install_filter": self._cmd_install_filter,
+            "remove_filter": self._cmd_remove_filter,
+            "set_cutoff": self._cmd_set_cutoff,
+            "set_priority": self._cmd_set_priority,
+            "remove_priority": self._cmd_remove_priority,
+            "subscribe": self._cmd_subscribe,
+            "unsubscribe": self._cmd_unsubscribe,
+            "query": self._cmd_query,
+            "bulk_query": self._cmd_bulk_query,
+            "stats": self._cmd_stats,
+            "reload": self._cmd_reload,
+            "shutdown": self._cmd_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # Listeners and lifecycle
+    # ------------------------------------------------------------------
+    def add_unix_listener(self, path: str) -> str:
+        """Bind a Unix stream socket at ``path``; returns the path."""
+        if os.path.exists(path):
+            os.unlink(path)
+        sock = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        sock.bind(path)
+        sock.listen(64)
+        with self._state_lock:
+            self._listeners.append((sock, f"unix:{path}"))
+        return path
+
+    def add_tcp_listener(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind a TCP listener; returns (host, actual port)."""
+        sock = socket_module.socket(socket_module.AF_INET, socket_module.SOCK_STREAM)
+        sock.setsockopt(socket_module.SOL_SOCKET, socket_module.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(64)
+        bound = sock.getsockname()
+        with self._state_lock:
+            self._listeners.append((sock, f"tcp:{bound[0]}:{bound[1]}"))
+        return bound[0], bound[1]
+
+    def start(self) -> None:
+        """Start one accept thread per registered listener."""
+        with self._state_lock:
+            listeners = list(self._listeners)
+            for sock, label in listeners[len(self._accept_threads):]:
+                thread = threading.Thread(
+                    target=self._accept_loop,
+                    args=(sock, label),
+                    name=f"scapd-accept-{label}",
+                    daemon=True,
+                )
+                self._accept_threads.append(thread)
+                thread.start()
+
+    def serve_forever(self, poll_seconds: float = 0.2) -> None:
+        """Blocking serve loop; returns once :meth:`shutdown` ran."""
+        import time as _time
+
+        self.start()
+        while True:
+            with self._state_lock:
+                if self._closing:
+                    return
+            _time.sleep(poll_seconds)
+
+    def _accept_loop(self, listener: socket_module.socket, label: str) -> None:
+        listener.settimeout(0.2)
+        while True:
+            with self._state_lock:
+                if self._closing:
+                    break
+                refusing = self._reloading
+            try:
+                conn, _addr = listener.accept()
+            except socket_module.timeout:
+                continue
+            except OSError:
+                break
+            if refusing:
+                conn.close()
+                continue
+            self._register_client(conn, label)
+
+    def _register_client(self, conn: socket_module.socket, label: str) -> None:
+        with self._state_lock:
+            if self._closing:
+                conn.close()
+                return
+            client_id = self._next_client_id
+            self._next_client_id += 1
+            session = ClientSession(
+                client_id,
+                conn,
+                self.config.quotas,
+                peer=label,
+                on_send=self._note_sent_bytes,
+            )
+            session.authenticated = self.config.auth_tokens is None
+            self._sessions[client_id] = session
+            if self._obs.enabled:
+                self._m_connections.inc()
+                self._m_active.set(len(self._sessions))
+            thread = threading.Thread(
+                target=self._serve_client,
+                args=(session,),
+                name=f"scapd-client-{client_id}",
+                daemon=True,
+            )
+            self._handler_threads.append(thread)
+        if self.fault_injector is not None:
+            session.delivery_stall = self._client_stall
+        session.on_delivered = self._note_delivered
+        session.on_dropped = self._note_dropped
+        session.start_sender()
+        thread.start()
+
+    def _note_sent_bytes(self, nbytes: int) -> None:
+        if self._obs.enabled:
+            self._m_bytes_sent.inc(nbytes)
+
+    def _note_delivered(self, count: int) -> None:
+        if self._obs.enabled:
+            self._m_delivered.inc(count)
+
+    def _note_dropped(self, count: int) -> None:
+        if self._obs.enabled:
+            self._m_dropped.inc(count)
+
+    # ------------------------------------------------------------------
+    # Client-plane fault injection (draws serialized by _fault_lock)
+    # ------------------------------------------------------------------
+    def _client_stall(self) -> float:
+        injector = self.fault_injector
+        if injector is None:
+            return 0.0
+        with self._fault_lock:
+            return injector.client_slow(self._sim_now)
+
+    def _client_garbage(self) -> bool:
+        injector = self.fault_injector
+        if injector is None:
+            return False
+        with self._fault_lock:
+            return injector.client_garbage(self._sim_now)
+
+    def _client_disconnect(self) -> bool:
+        injector = self.fault_injector
+        if injector is None:
+            return False
+        with self._fault_lock:
+            return injector.client_disconnect(self._sim_now)
+
+    # ------------------------------------------------------------------
+    # Per-connection reader loop
+    # ------------------------------------------------------------------
+    def _serve_client(self, session: ClientSession) -> None:
+        reader = FrameReader(max_frame_bytes=self.config.max_frame_bytes)
+        consecutive_rejections = 0
+        session.sock.settimeout(0.2)
+        try:
+            while True:
+                with self._state_lock:
+                    if self._closing:
+                        break
+                try:
+                    data = session.sock.recv(65536)
+                except socket_module.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                if self._obs.enabled:
+                    self._m_bytes_received.inc(len(data))
+                session.note_received(len(data))
+                for item in reader.feed(data):
+                    if isinstance(item, FrameRejection):
+                        consecutive_rejections += 1
+                        self._reject_frame(session, item)
+                    else:
+                        consecutive_rejections = 0
+                        if item.msg_type != MSG_REQUEST:
+                            self._send_error(
+                                session, item.request_id, ERR_BAD_REQUEST,
+                                f"unexpected {item.msg_type} frame from a client",
+                            )
+                            continue
+                        if self._client_garbage():
+                            # Fault plane: pretend the wire mangled this
+                            # frame; the daemon must answer with a typed
+                            # error and keep the connection alive.
+                            consecutive_rejections += 1
+                            self._reject_frame(
+                                session,
+                                FrameRejection(
+                                    "bad_frame", "injected garbage frame", 0
+                                ),
+                                request_id=item.request_id,
+                            )
+                            continue
+                        self._dispatch(session, item)
+                if consecutive_rejections >= MAX_CONSECUTIVE_REJECTIONS:
+                    break
+        finally:
+            self._retire_client(session)
+
+    def _reject_frame(
+        self, session: ClientSession, rejection: FrameRejection, request_id: int = 0
+    ) -> None:
+        session.note_rejection()
+        if self._obs.enabled:
+            self._m_rejected.labels(rejection.reason).inc()
+        self._send_error(
+            session,
+            request_id,
+            rejection.reason,
+            rejection.detail or "malformed frame",
+        )
+
+    def _send_error(
+        self, session: ClientSession, request_id: int, code: str, message: str
+    ) -> None:
+        session.note_error()
+        if self._obs.enabled:
+            self._m_errors.labels(code).inc()
+        session.send_bytes(
+            encode_frame(
+                MSG_ERROR, request_id, {"code": code, "message": message}
+            )
+        )
+
+    def _dispatch(self, session: ClientSession, frame: Frame) -> None:
+        command = frame.command
+        session.note_request()
+        if self._obs.enabled:
+            self._m_requests.labels(command or "?").inc()
+            self._obs.trace.emit(
+                self._sim_now,
+                HOOK_SERVICE_REQUEST,
+                client=session.client_id,
+                command=command,
+            )
+        with self._state_lock:
+            draining = self._closing or self._reloading
+        if draining and command not in ("stats", "ping"):
+            self._send_error(
+                session, frame.request_id, ERR_SHUTTING_DOWN,
+                "daemon is shutting down or reloading",
+            )
+            return
+        handler = self._handlers.get(command)
+        if handler is None:
+            self._send_error(
+                session, frame.request_id, ERR_UNKNOWN_COMMAND,
+                f"unknown command {command!r}",
+            )
+            return
+        if not session.authenticated and command != "hello":
+            self._send_error(
+                session, frame.request_id, ERR_UNAUTHORIZED,
+                "authenticate with hello first",
+            )
+            return
+        try:
+            result = handler(session, frame)
+        except ServiceError as exc:
+            self._send_error(session, frame.request_id, exc.code, exc.message)
+            return
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send_error(
+                session, frame.request_id, ERR_BAD_REQUEST,
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 — the daemon must survive
+            self._send_error(
+                session, frame.request_id, ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+        if result is None:
+            return  # the handler already answered (e.g. shutdown)
+        header, payload = result
+        session.send_bytes(
+            encode_frame(MSG_RESPONSE, frame.request_id, header, payload)
+        )
+
+    def _retire_client(self, session: ClientSession) -> None:
+        session.begin_close()
+        session.drain(timeout=2.0)
+        try:
+            session.sock.close()
+        except OSError:
+            pass
+        with self._state_lock:
+            self._sessions.pop(session.client_id, None)
+            self.final_ledgers[session.client_id] = session.describe()
+            if self._obs.enabled:
+                self._m_active.set(len(self._sessions))
+
+    # ------------------------------------------------------------------
+    # Command handlers (return (header, payload) or raise ServiceError)
+    # ------------------------------------------------------------------
+    def _cmd_hello(self, session: ClientSession, frame: Frame):
+        tokens = self.config.auth_tokens
+        token = frame.header.get("token")
+        if tokens is not None and token not in tokens:
+            raise ServiceError(ERR_UNAUTHORIZED, "bad auth token")
+        session.authenticated = True
+        name = frame.header.get("name")
+        if isinstance(name, str) and name:
+            session.name = name[:64]
+        from .. import __version__
+
+        return (
+            {
+                "client_id": session.client_id,
+                "server_version": __version__,
+                "protocol_version": frame.version,
+                "auth": tokens is not None,
+            },
+            b"",
+        )
+
+    def _cmd_ping(self, session: ClientSession, frame: Frame):
+        return ({"pong": True, "echo": frame.header.get("echo")}, b"")
+
+    # -- capture ---------------------------------------------------------
+    def _trace_from_request(self, header: Dict[str, Any], payload: bytes) -> Trace:
+        kind = header.get("kind", "pcap")
+        if kind == "campus":
+            return campus_mix(
+                flow_count=int(header.get("flows", 100)),
+                seed=int(header.get("seed", 7)),
+                max_flow_bytes=int(header.get("max_flow_bytes", 200_000)),
+            )
+        if kind == "pcap":
+            if not payload:
+                raise ServiceError(ERR_BAD_REQUEST, "pcap submission has no payload")
+            return _trace_from_pcap_bytes(payload, name=str(header.get("name", "remote")))
+        raise ServiceError(ERR_BAD_REQUEST, f"unknown trace kind {kind!r}")
+
+    def _cmd_submit_trace(self, session: ClientSession, frame: Frame):
+        trace = self._trace_from_request(frame.header, frame.payload)
+        rate_bps = float(frame.header.get("rate_bps", GBIT))
+        name = str(frame.header.get("name", f"remote-{session.client_id}"))
+        summary = self._run_capture(session, trace, rate_bps, name)
+        return ({"result": summary}, b"")
+
+    def _cmd_feed_open(self, session: ClientSession, frame: Frame):
+        return ({"feed_id": session.open_feed()}, b"")
+
+    def _cmd_feed_append(self, session: ClientSession, frame: Frame):
+        feed_id = int(frame.header["feed_id"])
+        try:
+            accepted = session.append_feed(feed_id, frame.payload)
+        except KeyError:
+            raise ServiceError(ERR_BAD_REQUEST, f"unknown feed {feed_id}") from None
+        if not accepted:
+            raise ServiceError(
+                ERR_QUOTA,
+                f"feed exceeds max_feed_bytes={session.quotas.max_feed_bytes}",
+            )
+        return ({"feed_id": feed_id, "ok": True}, b"")
+
+    def _cmd_feed_commit(self, session: ClientSession, frame: Frame):
+        feed_id = int(frame.header["feed_id"])
+        try:
+            payload = session.close_feed(feed_id)
+        except KeyError:
+            raise ServiceError(ERR_BAD_REQUEST, f"unknown feed {feed_id}") from None
+        trace = _trace_from_pcap_bytes(
+            payload, name=str(frame.header.get("name", f"feed-{feed_id}"))
+        )
+        rate_bps = float(frame.header.get("rate_bps", GBIT))
+        summary = self._run_capture(
+            session, trace, rate_bps, str(frame.header.get("name", f"feed-{feed_id}"))
+        )
+        return ({"result": summary}, b"")
+
+    def _run_capture(
+        self, session: ClientSession, trace: Trace, rate_bps: float, name: str
+    ) -> Dict[str, Any]:
+        """Replay ``trace`` through the pipeline under the daemon config."""
+        with self._config_lock:
+            filters = list(self._filters.values())
+            cutoff = self._cutoff
+            priorities = [
+                (BPFFilter(expression), priority)
+                for expression, priority in self._priorities.values()
+            ]
+        with self._capture_lock:
+            capture_number = self._captures
+            scap = ScapSocket(
+                trace,
+                rate_bps=rate_bps,
+                memory_size=self.config.memory_size,
+                core_count=self.config.core_count,
+            )
+            if filters:
+                scap.set_filter(" or ".join(f"({f})" for f in filters))
+            if cutoff is not None:
+                scap.set_cutoff(cutoff)
+            recorder = None
+            if self.store is not None:
+                from ..apps.recorder import StreamRecorder
+
+                recorder = StreamRecorder(self.store)
+                scap.set_store(recorder)
+
+            def on_creation(stream) -> None:
+                for bpf, priority in priorities:
+                    if bpf.matches_five_tuple(stream.five_tuple):
+                        scap.set_stream_priority(stream, priority)
+                        break
+                self._fanout(
+                    session, "created", stream, capture_number, payload=b""
+                )
+
+            def on_data(stream) -> None:
+                self._fanout(
+                    session, "data", stream, capture_number,
+                    payload=bytes(stream.data),
+                )
+
+            def on_termination(stream) -> None:
+                self._fanout(
+                    session, "closed", stream, capture_number, payload=b""
+                )
+
+            scap.dispatch_creation(on_creation)
+            scap.dispatch_data(on_data)
+            scap.dispatch_termination(on_termination)
+            result = scap.start_capture(name=name)
+            if self.store is not None:
+                self.store.flush()
+            with self._state_lock:
+                self._captures += 1
+                self._sim_now = max(self._sim_now, result.duration)
+            if self._obs.enabled:
+                self._m_captures.inc()
+            return {
+                "name": name,
+                "capture": capture_number,
+                "duration": result.duration,
+                "offered_packets": result.offered_packets,
+                "offered_bytes": result.offered_bytes,
+                "dropped_packets": result.dropped_packets,
+                "discarded_packets": result.discarded_packets,
+                "delivered_bytes": result.delivered_bytes,
+                "delivered_events": result.delivered_events,
+                "streams_created": result.streams_created,
+            }
+
+    def _fanout(
+        self,
+        submitting: ClientSession,
+        kind: str,
+        stream,
+        capture_number: int,
+        payload: bytes,
+    ) -> None:
+        """Push one stream event to every matching subscription."""
+        header = {
+            "event": kind,
+            "capture": capture_number,
+            "flow": list(stream.five_tuple),
+            "direction": stream.direction,
+            "stream_id": stream.stream_id,
+            "offset": stream.data_offset if kind == "data" else 0,
+            "len": len(payload),
+        }
+        with self._state_lock:
+            sessions = list(self._sessions.values())
+        for receiver in sessions:
+            for subscription in receiver.live_subscriptions():
+                if not subscription.wants(kind):
+                    continue
+                bpf = getattr(subscription, "bpf", None)
+                if bpf is not None and not bpf.matches_five_tuple(stream.five_tuple):
+                    continue
+                enqueued, dropped = receiver.enqueue_event(
+                    subscription, header, payload if kind == "data" else b""
+                )
+                if self._obs.enabled:
+                    if enqueued:
+                        self._m_enqueued.inc(enqueued)
+                    if dropped:
+                        self._obs.trace.emit(
+                            self._sim_now,
+                            HOOK_SERVICE_EVENT_DROPPED,
+                            client=receiver.client_id,
+                            sub=subscription.subscription_id,
+                        )
+                if enqueued and self._client_disconnect():
+                    # Fault plane: sever this receiver mid-subscription.
+                    self._force_disconnect(receiver)
+                    break
+        self._enforce_global_budget()
+        self._enforce_evictions()
+
+    def _force_disconnect(self, session: ClientSession) -> None:
+        try:
+            session.sock.shutdown(socket_module.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def _enforce_global_budget(self) -> None:
+        budget = self.config.global_event_budget
+        if budget is None:
+            return
+        while True:
+            with self._state_lock:
+                sessions = list(self._sessions.values())
+            depths = [(s.queue_depth(), s) for s in sessions]
+            total = sum(depth for depth, _ in depths)
+            if total <= budget or not depths:
+                return
+            # Evict from the slowest client (deepest queue), oldest
+            # event first — the PPL lowest-priority-oldest discipline.
+            depths.sort(key=lambda pair: pair[0], reverse=True)
+            slowest = depths[0][1]
+            if slowest.drop_oldest(total - budget) == 0:
+                return
+
+    def _enforce_evictions(self) -> None:
+        limit = self.config.quotas.eviction_drop_limit
+        if limit is None:
+            return
+        with self._state_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            if session.mark_evicted(limit):
+                if self._obs.enabled:
+                    self._m_evictions.inc()
+                    self._obs.trace.emit(
+                        self._sim_now,
+                        HOOK_SERVICE_CLIENT_EVICTED,
+                        client=session.client_id,
+                        dropped=session.ledger.dropped,
+                    )
+                self._force_disconnect(session)
+
+    # -- runtime config --------------------------------------------------
+    def _cmd_install_filter(self, session: ClientSession, frame: Frame):
+        expression = str(frame.header.get("expression", ""))
+        if not expression:
+            raise ServiceError(ERR_BAD_REQUEST, "install_filter needs an expression")
+        BPFFilter(expression)  # validate before accepting
+        with self._config_lock:
+            filter_id = self._next_filter_id
+            self._next_filter_id += 1
+            self._filters[filter_id] = expression
+        return ({"filter_id": filter_id, "expression": expression}, b"")
+
+    def _cmd_remove_filter(self, session: ClientSession, frame: Frame):
+        filter_id = int(frame.header["filter_id"])
+        with self._config_lock:
+            removed = self._filters.pop(filter_id, None)
+        if removed is None:
+            raise ServiceError(ERR_BAD_REQUEST, f"unknown filter {filter_id}")
+        return ({"filter_id": filter_id, "removed": True}, b"")
+
+    def _cmd_set_cutoff(self, session: ClientSession, frame: Frame):
+        cutoff = frame.header.get("cutoff")
+        with self._config_lock:
+            self._cutoff = None if cutoff is None else int(cutoff)
+        return ({"cutoff": self._cutoff}, b"")
+
+    def _cmd_set_priority(self, session: ClientSession, frame: Frame):
+        expression = str(frame.header.get("expression", ""))
+        priority = int(frame.header.get("priority", 0))
+        if priority < 0:
+            raise ServiceError(ERR_BAD_REQUEST, "priority must be non-negative")
+        BPFFilter(expression)  # validate before accepting
+        with self._config_lock:
+            priority_id = self._next_priority_id
+            self._next_priority_id += 1
+            self._priorities[priority_id] = (expression, priority)
+        return ({"priority_id": priority_id, "priority": priority}, b"")
+
+    def _cmd_remove_priority(self, session: ClientSession, frame: Frame):
+        priority_id = int(frame.header["priority_id"])
+        with self._config_lock:
+            removed = self._priorities.pop(priority_id, None)
+        if removed is None:
+            raise ServiceError(ERR_BAD_REQUEST, f"unknown priority {priority_id}")
+        return ({"priority_id": priority_id, "removed": True}, b"")
+
+    # -- subscriptions ---------------------------------------------------
+    def _cmd_subscribe(self, session: ClientSession, frame: Frame):
+        kinds = frame.header.get("events") or list(EVENT_KINDS)
+        if not isinstance(kinds, list) or not kinds:
+            raise ServiceError(ERR_BAD_REQUEST, "events must be a non-empty list")
+        unknown = [kind for kind in kinds if kind not in EVENT_KINDS]
+        if unknown:
+            raise ServiceError(
+                ERR_BAD_REQUEST,
+                f"unknown event kinds {unknown}; valid: {list(EVENT_KINDS)}",
+            )
+        expression = str(frame.header.get("filter", ""))
+        bpf = BPFFilter(expression) if expression else None
+        subscription = session.add_subscription(tuple(kinds), expression)
+        if subscription is None:
+            raise ServiceError(
+                ERR_QUOTA,
+                f"subscription quota reached "
+                f"(max_subscriptions={session.quotas.max_subscriptions})",
+            )
+        subscription.bpf = bpf
+        return (
+            {"subscription_id": subscription.subscription_id, "events": kinds},
+            b"",
+        )
+
+    def _cmd_unsubscribe(self, session: ClientSession, frame: Frame):
+        subscription_id = int(frame.header["subscription_id"])
+        if not session.remove_subscription(subscription_id):
+            raise ServiceError(
+                ERR_BAD_REQUEST, f"unknown subscription {subscription_id}"
+            )
+        return ({"subscription_id": subscription_id, "removed": True}, b"")
+
+    # -- store queries ---------------------------------------------------
+    def _require_store(self):
+        if self.store is None:
+            raise ServiceError(
+                ERR_BAD_REQUEST, "daemon was started without a stream store"
+            )
+        return self.store
+
+    def _one_query(self, spec: Dict[str, Any]) -> Tuple[Dict[str, Any], bytes]:
+        store = self._require_store()
+        flow = spec.get("flow")
+        five_tuple = FiveTuple(*flow) if flow is not None else None
+        result = store.query(
+            five_tuple,
+            start_ts=spec.get("start"),
+            end_ts=spec.get("end"),
+        )
+        streams = []
+        chunks = []
+        for stream in result.streams:
+            streams.append(
+                {
+                    "flow": list(stream.client_tuple),
+                    "direction": stream.direction,
+                    "len": len(stream.data),
+                    "first_ts": stream.first_ts,
+                    "last_ts": stream.last_ts,
+                    "base_offset": stream.base_offset,
+                    "gap_bytes": stream.gap_bytes,
+                }
+            )
+            chunks.append(stream.data)
+        return (
+            {"streams": streams, "total_bytes": result.total_bytes},
+            b"".join(chunks),
+        )
+
+    def _cmd_query(self, session: ClientSession, frame: Frame):
+        store = self._require_store()
+        store.flush()  # make everything recorded so far queryable
+        header, payload = self._one_query(frame.header)
+        return (header, payload)
+
+    def _cmd_bulk_query(self, session: ClientSession, frame: Frame):
+        store = self._require_store()
+        queries = frame.header.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ServiceError(ERR_BAD_REQUEST, "queries must be a non-empty list")
+        store.flush()
+        results = []
+        chunks = []
+        for spec in queries:
+            header, payload = self._one_query(spec)
+            results.append(header)
+            chunks.append(payload)
+        return ({"results": results}, b"".join(chunks))
+
+    # -- introspection and control --------------------------------------
+    def _cmd_stats(self, session: ClientSession, frame: Frame):
+        with self._state_lock:
+            sessions = list(self._sessions.values())
+            captures = self._captures
+            closing = self._closing
+        store_stats = None
+        if self.store is not None:
+            stats = self.store.stats()
+            store_stats = {
+                "stored_bytes": stats.stored_bytes,
+                "record_count": stats.record_count,
+                "segment_count": stats.segment_count,
+                "evicted_bytes": stats.evicted_bytes,
+            }
+        faults = None
+        if self.fault_injector is not None:
+            with self._fault_lock:
+                faults = {
+                    "total": self.fault_injector.total_injected,
+                    "counts": self.fault_injector.counts_by_key(),
+                }
+        return (
+            {
+                "server": {
+                    "captures": captures,
+                    "active_clients": len(sessions),
+                    "closing": closing,
+                    "sim_now": self._sim_now,
+                },
+                "clients": [s.describe() for s in sessions],
+                "store": store_stats,
+                "faults": faults,
+            },
+            b"",
+        )
+
+    def _cmd_reload(self, session: ClientSession, frame: Frame):
+        if not self.config.allow_control:
+            raise ServiceError(ERR_UNAUTHORIZED, "control commands are disabled")
+        report = self.reload()
+        return ({"reloaded": True, **report}, b"")
+
+    def _cmd_shutdown(self, session: ClientSession, frame: Frame):
+        if not self.config.allow_control:
+            raise ServiceError(ERR_UNAUTHORIZED, "control commands are disabled")
+        # Answer first — synchronously, before the teardown thread can
+        # close this connection — then shut down from a helper thread so
+        # this handler's connection drains like everyone else's.
+        session.send_bytes(
+            encode_frame(MSG_RESPONSE, frame.request_id, {"shutting_down": True})
+        )
+        threading.Thread(target=self.shutdown, name="scapd-shutdown", daemon=True).start()
+        return None
+
+    # ------------------------------------------------------------------
+    # Lifecycle: reload and graceful shutdown
+    # ------------------------------------------------------------------
+    def reload(self) -> Dict[str, Any]:
+        """Drain queues and seal store segments; keep connections open."""
+        with self._state_lock:
+            if self._reloading or self._closing:
+                return {"sealed_segments": 0, "drained_clients": 0}
+            self._reloading = True
+        try:
+            with self._state_lock:
+                sessions = list(self._sessions.values())
+            drained = 0
+            for session in sessions:
+                if session.flush(timeout=5.0):
+                    drained += 1
+            sealed = 0
+            if self.store is not None:
+                before = self.store.stats().segments_sealed
+                with self._capture_lock:
+                    self.store.flush()
+                sealed = self.store.stats().segments_sealed - before
+            return {"sealed_segments": sealed, "drained_clients": drained}
+        finally:
+            with self._state_lock:
+                self._reloading = False
+
+    def shutdown(self, drain_timeout: float = 5.0) -> None:
+        """Graceful stop: refuse new work, drain clients, seal the store."""
+        with self._state_lock:
+            if self._closing:
+                already = True
+            else:
+                already = False
+                self._closing = True
+                listeners = list(self._listeners)
+                self._listeners.clear()
+        if already:
+            # Another caller (e.g. a remote `shutdown` command) is already
+            # tearing down; wait for it so shutdown() is idempotent AND
+            # blocking for every caller.
+            self._shutdown_done.wait(timeout=max(drain_timeout, 5.0) + 10.0)
+            return
+        for sock, label in listeners:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            if label.startswith("unix:"):
+                try:
+                    os.unlink(label[len("unix:"):])
+                except OSError:
+                    pass
+        # Wait out any in-flight capture before sealing the store.
+        with self._capture_lock:
+            pass
+        with self._state_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.begin_close()
+        for session in sessions:
+            session.drain(timeout=drain_timeout)
+            try:
+                session.sock.close()
+            except OSError:
+                pass
+        for thread in list(self._accept_threads):
+            thread.join(timeout=2.0)
+        for thread in list(self._handler_threads):
+            thread.join(timeout=2.0)
+        with self._state_lock:
+            for session in sessions:
+                self.final_ledgers.setdefault(session.client_id, session.describe())
+            remaining = list(self._sessions.keys())
+            for client_id in remaining:
+                self._sessions.pop(client_id, None)
+            if self._obs.enabled:
+                self._m_active.set(0)
+        if self.store is not None:
+            self.store.close()
+        self._shutdown_done.set()
+
+    # ------------------------------------------------------------------
+    def ledgers_balanced(self) -> bool:
+        """True when every retired client's ledger reconciles."""
+        with self._state_lock:
+            ledgers = list(self.final_ledgers.values())
+        for entry in ledgers:
+            ledger = entry["ledger"]
+            if ledger["enqueued"] != ledger["delivered"] + ledger["dropped"]:
+                return False
+        return True
+
+
+def _trace_from_pcap_bytes(payload: bytes, name: str = "remote") -> Trace:
+    """Materialize a Trace from pcap bytes shipped inside one frame."""
+    handle = tempfile.NamedTemporaryFile(suffix=".pcap", delete=False)
+    try:
+        handle.write(payload)
+        handle.close()
+        packets = read_pcap(handle.name)
+    finally:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+    return Trace(packets, name=name)
+
+
+def trace_to_pcap_bytes(trace: Trace) -> bytes:
+    """Serialize a Trace's packets to pcap bytes (the submission form)."""
+    handle = tempfile.NamedTemporaryFile(suffix=".pcap", delete=False)
+    try:
+        handle.close()
+        write_pcap(handle.name, trace.packets)
+        with open(handle.name, "rb") as reader:
+            return reader.read()
+    finally:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass

@@ -1,0 +1,337 @@
+"""The versioned, length-framed wire protocol of the capture daemon.
+
+Every message on a service connection is one **frame**:
+
+====== ======== =====================================================
+offset size     field
+====== ======== =====================================================
+0      4        ``length`` — big-endian u32, bytes after this field
+4      1        ``version`` — :data:`PROTOCOL_VERSION`
+5      1        ``msg_type`` — REQUEST / RESPONSE / EVENT / ERROR
+6      4        ``request_id`` — big-endian u32 (0 for unsolicited)
+10     4        ``header_len`` — big-endian u32
+14     varies   ``header`` — UTF-8 JSON object, ``header_len`` bytes
+14+hl  varies   ``payload`` — raw bytes, the rest of the frame
+====== ======== =====================================================
+
+The JSON header carries the command name and its arguments; bulk data
+(pcap bytes, stream payloads, subscribed chunks) rides in the binary
+payload so it is never base64-inflated.  Commands are also assigned
+stable numeric codes (:data:`COMMAND_CODE_MAP`) so a non-Python client
+can dispatch without string comparisons, mirroring the filter-code map
+idiom of socket service APIs.
+
+Robustness contract (see ``docs/SERVICE.md``): a peer that receives an
+oversized, zero-length, or undecodable frame must *reject the frame*,
+not the connection — :class:`FrameReader` therefore reports malformed
+input as :class:`FrameRejection` records (with the bytes skipped) and
+keeps scanning, so the daemon can answer with a typed error response
+and carry on serving.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "MSG_REQUEST",
+    "MSG_RESPONSE",
+    "MSG_EVENT",
+    "MSG_ERROR",
+    "MSG_NAMES",
+    "COMMAND_CODE_MAP",
+    "IDEMPOTENT_COMMANDS",
+    "ERR_BAD_FRAME",
+    "ERR_BAD_REQUEST",
+    "ERR_UNAUTHORIZED",
+    "ERR_QUOTA",
+    "ERR_UNKNOWN_COMMAND",
+    "ERR_SHUTTING_DOWN",
+    "ERR_TIMEOUT",
+    "ERR_INTERNAL",
+    "ERROR_CODES",
+    "ServiceError",
+    "ProtocolError",
+    "FrameTooLarge",
+    "ZeroLengthFrame",
+    "Frame",
+    "FrameRejection",
+    "FrameReader",
+    "encode_frame",
+    "decode_frame_body",
+]
+
+#: Protocol revision carried in every frame; peers reject mismatches.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on ``length``; larger declarations are rejected
+#: (and skipped) without ever buffering the oversized body.
+MAX_FRAME_BYTES = 16 << 20
+
+# Message types.
+MSG_REQUEST = 1
+MSG_RESPONSE = 2
+MSG_EVENT = 3
+MSG_ERROR = 4
+
+MSG_NAMES = {
+    MSG_REQUEST: "request",
+    MSG_RESPONSE: "response",
+    MSG_EVENT: "event",
+    MSG_ERROR: "error",
+}
+
+#: Stable numeric codes per command (the DarwinApi filter-code idiom):
+#: the JSON header names the command, the code lets non-JSON dispatch
+#: tables and wire traces stay compact and unambiguous across versions.
+COMMAND_CODE_MAP: Dict[str, int] = {
+    "hello": 0x68656C6F,          # "helo"
+    "ping": 0x70696E67,           # "ping"
+    "submit_trace": 0x74726163,   # "trac"
+    "feed_open": 0x666F7065,      # "fope"
+    "feed_append": 0x66617070,    # "fapp"
+    "feed_commit": 0x66636D74,    # "fcmt"
+    "install_filter": 0x66696C74,  # "filt"
+    "remove_filter": 0x7266696C,   # "rfil"
+    "set_cutoff": 0x63757466,     # "cutf"
+    "set_priority": 0x7072696F,   # "prio"
+    "remove_priority": 0x72707269,  # "rpri"
+    "subscribe": 0x73756273,      # "subs"
+    "unsubscribe": 0x75737562,    # "usub"
+    "query": 0x71756572,          # "quer"
+    "bulk_query": 0x62756C6B,     # "bulk"
+    "stats": 0x73746174,          # "stat"
+    "reload": 0x726C6F64,         # "rlod"
+    "shutdown": 0x73687574,       # "shut"
+}
+
+#: Commands safe to retry after a timeout (no server-side state change).
+IDEMPOTENT_COMMANDS = frozenset({"ping", "query", "bulk_query", "stats"})
+
+# Typed error codes (the ``code`` field of MSG_ERROR headers).
+ERR_BAD_FRAME = "bad_frame"
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNAUTHORIZED = "unauthorized"
+ERR_QUOTA = "quota_exceeded"
+ERR_UNKNOWN_COMMAND = "unknown_command"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_TIMEOUT = "timeout"
+ERR_INTERNAL = "internal"
+
+ERROR_CODES = (
+    ERR_BAD_FRAME,
+    ERR_BAD_REQUEST,
+    ERR_UNAUTHORIZED,
+    ERR_QUOTA,
+    ERR_UNKNOWN_COMMAND,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    ERR_INTERNAL,
+)
+
+_FIXED = struct.Struct("!BBII")  # version, msg_type, request_id, header_len
+_LENGTH = struct.Struct("!I")
+
+#: Smallest legal ``length`` value: the fixed fields with an empty header.
+MIN_FRAME_BYTES = _FIXED.size
+
+
+class ServiceError(Exception):
+    """Base class for service-plane failures, carrying a typed code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame or an out-of-contract message."""
+
+    def __init__(self, message: str, code: str = ERR_BAD_FRAME):
+        super().__init__(code, message)
+
+
+class FrameTooLarge(ProtocolError):
+    """Declared frame length exceeds the negotiated maximum."""
+
+
+class ZeroLengthFrame(ProtocolError):
+    """Declared frame length is zero (an empty frame is meaningless)."""
+
+
+@dataclass
+class Frame:
+    """One decoded protocol frame."""
+
+    msg_type: int
+    request_id: int
+    header: Dict[str, object] = field(default_factory=dict)
+    payload: bytes = b""
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def command(self) -> str:
+        """The request's command name ("" when the header names none)."""
+        return str(self.header.get("command", ""))
+
+
+@dataclass
+class FrameRejection:
+    """A malformed frame that was skipped instead of killing the link."""
+
+    reason: str          # an ERR_* code, usually ERR_BAD_FRAME
+    detail: str          # human-readable diagnosis
+    skipped_bytes: int   # wire bytes consumed while resynchronizing
+
+
+def encode_frame(
+    msg_type: int,
+    request_id: int,
+    header: Optional[Dict[str, object]] = None,
+    payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Serialize one frame to wire bytes (length prefix included)."""
+    if msg_type not in MSG_NAMES:
+        raise ValueError(f"unknown msg_type {msg_type!r}")
+    header_bytes = json.dumps(
+        header or {}, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body_len = _FIXED.size + len(header_bytes) + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameTooLarge(
+            f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+        )
+    return b"".join(
+        (
+            _LENGTH.pack(body_len),
+            _FIXED.pack(version & 0xFF, msg_type, request_id & 0xFFFFFFFF,
+                        len(header_bytes)),
+            header_bytes,
+            payload,
+        )
+    )
+
+
+def decode_frame_body(body: bytes) -> Frame:
+    """Decode one frame body (the bytes after the length prefix).
+
+    Raises :class:`ProtocolError` on any structural defect; callers
+    that must survive garbage input go through :class:`FrameReader`,
+    which converts the raise into a :class:`FrameRejection`.
+    """
+    if len(body) < _FIXED.size:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes is shorter than the "
+            f"{_FIXED.size}-byte fixed header"
+        )
+    version, msg_type, request_id, header_len = _FIXED.unpack_from(body)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version} not supported (speaking "
+            f"{PROTOCOL_VERSION})"
+        )
+    if msg_type not in MSG_NAMES:
+        raise ProtocolError(f"unknown message type {msg_type}")
+    header_end = _FIXED.size + header_len
+    if header_end > len(body):
+        raise ProtocolError(
+            f"header length {header_len} overruns the {len(body)}-byte body"
+        )
+    raw_header = body[_FIXED.size:header_end]
+    try:
+        header = json.loads(raw_header.decode("utf-8")) if header_len else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable JSON header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return Frame(
+        msg_type=msg_type,
+        request_id=request_id,
+        header=header,
+        payload=body[header_end:],
+        version=version,
+    )
+
+
+class FrameReader:
+    """Incremental frame scanner over a byte stream.
+
+    Feed it whatever the socket produced; it returns complete
+    :class:`Frame` records plus :class:`FrameRejection` records for
+    malformed input it skipped.  Oversized frames are *drained* — the
+    declared body is discarded as it arrives without ever being
+    buffered — so a peer (or a fault injector) declaring a huge length
+    cannot balloon memory, and the connection resynchronizes at the
+    next frame boundary.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._drain_remaining = 0
+        self._drain_reason: Optional[Tuple[str, str]] = None
+        #: Total wire bytes this reader has consumed.
+        self.consumed = 0
+
+    def feed(self, data: bytes) -> List[Union[Frame, FrameRejection]]:
+        """Consume ``data``; return every frame/rejection it completed."""
+        self.consumed += len(data)
+        self._buffer.extend(data)
+        out: List[Union[Frame, FrameRejection]] = []
+        while True:
+            if self._drain_remaining:
+                drained = min(self._drain_remaining, len(self._buffer))
+                if drained:
+                    del self._buffer[:drained]
+                    self._drain_remaining -= drained
+                if self._drain_remaining:
+                    return out  # still mid-drain; wait for more bytes
+                reason, detail = self._drain_reason or (ERR_BAD_FRAME, "")
+                self._drain_reason = None
+                out.append(FrameRejection(reason, detail, skipped_bytes=drained))
+                continue
+            if len(self._buffer) < _LENGTH.size:
+                return out
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length == 0:
+                del self._buffer[:_LENGTH.size]
+                out.append(
+                    FrameRejection(
+                        ERR_BAD_FRAME,
+                        "zero-length frame",
+                        skipped_bytes=_LENGTH.size,
+                    )
+                )
+                continue
+            if length > self.max_frame_bytes:
+                del self._buffer[:_LENGTH.size]
+                self._drain_remaining = length
+                self._drain_reason = (
+                    ERR_BAD_FRAME,
+                    f"declared length {length} exceeds max {self.max_frame_bytes}",
+                )
+                continue
+            if len(self._buffer) < _LENGTH.size + length:
+                return out
+            body = bytes(self._buffer[_LENGTH.size:_LENGTH.size + length])
+            del self._buffer[:_LENGTH.size + length]
+            try:
+                out.append(decode_frame_body(body))
+            except ProtocolError as exc:
+                out.append(
+                    FrameRejection(
+                        exc.code, exc.message, skipped_bytes=len(body)
+                    )
+                )
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)

@@ -1,0 +1,432 @@
+"""Per-client session state: auth, quotas, subscriptions, event queue.
+
+Each accepted connection gets one :class:`ClientSession`.  The session
+owns the connection's outbound half: responses and subscribed events
+are serialized through a per-session send lock, and events flow
+through a **bounded** queue drained by a dedicated sender thread, so a
+slow client backpressures only itself.
+
+Quota semantics (:class:`ClientQuotas`):
+
+* ``max_subscriptions`` bounds live subscriptions per client;
+* ``max_queued_events`` bounds the per-client event queue — when it is
+  full the *oldest* queued event is dropped to admit the newest,
+  mirroring the PPL discipline of sacrificing the oldest, least
+  valuable unit first;
+* ``eviction_drop_limit`` (optional) disconnects a client whose drop
+  count proves it cannot keep up — the service-plane analogue of PPL
+  evicting the lowest-priority stream under memory pressure;
+* ``max_feed_bytes`` bounds the bytes a client may accumulate into a
+  pending packet feed.
+
+Every enqueue/delivery/drop is ledgered, and the daemon's shutdown
+asserts ``enqueued == delivered + dropped`` per client once queues are
+drained — the balanced-ledger invariant the integration tests and the
+CI soak check.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .protocol import MSG_EVENT, encode_frame
+
+__all__ = ["ClientQuotas", "Subscription", "SessionLedger", "ClientSession"]
+
+#: Stream lifecycle events a subscription can select.
+EVENT_KINDS = ("created", "data", "closed")
+
+
+@dataclass(frozen=True)
+class ClientQuotas:
+    """Per-client resource bounds enforced by the daemon."""
+
+    #: Live subscriptions one client may hold.
+    max_subscriptions: int = 8
+    #: Events queued (not yet written) per client before drop-oldest.
+    max_queued_events: int = 1024
+    #: Disconnect the client once this many of its events were dropped
+    #: (None = never evict, only drop).
+    eviction_drop_limit: Optional[int] = None
+    #: Bytes a client may stage into a pending packet feed.
+    max_feed_bytes: int = 32 << 20
+    #: Concurrent connections per auth token (None = unbounded).
+    max_connections: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise ValueError on nonsensical bounds."""
+        if self.max_subscriptions < 0:
+            raise ValueError("max_subscriptions must be non-negative")
+        if self.max_queued_events < 1:
+            raise ValueError("max_queued_events must be positive")
+        if self.eviction_drop_limit is not None and self.eviction_drop_limit < 1:
+            raise ValueError("eviction_drop_limit must be positive")
+        if self.max_feed_bytes < 1:
+            raise ValueError("max_feed_bytes must be positive")
+
+
+@dataclass
+class Subscription:
+    """One client's standing request for stream events."""
+
+    subscription_id: int
+    kinds: Tuple[str, ...]
+    expression: str = ""
+    #: Monotone per-subscription sequence number (next to assign).
+    next_seq: int = 0
+    #: Compiled BPF filter for ``expression`` (daemon-attached).
+    bpf: Optional[object] = None
+
+    def wants(self, kind: str) -> bool:
+        """True when this subscription selects ``kind`` events."""
+        return kind in self.kinds
+
+
+@dataclass
+class SessionLedger:
+    """The per-client event accounting the daemon must keep balanced."""
+
+    enqueued: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    requests: int = 0
+    errors: int = 0
+    frames_rejected: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def balanced(self, pending: int = 0) -> bool:
+        """True when enqueued == delivered + dropped + pending."""
+        return self.enqueued == self.delivered + self.dropped + pending
+
+    def as_dict(self) -> Dict[str, int]:
+        """The ledger as a JSON-ready mapping."""
+        return {
+            "enqueued": self.enqueued,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "requests": self.requests,
+            "errors": self.errors,
+            "frames_rejected": self.frames_rejected,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+class ClientSession:
+    """One connected client: identity, quotas, queue, and ledger.
+
+    Mutable state is guarded by ``self._lock``; the sender thread and
+    the handler thread are the only writers.  Socket sends go through
+    :meth:`send_bytes` so response frames and event frames never
+    interleave mid-frame.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        sock,
+        quotas: ClientQuotas,
+        peer: str = "",
+        on_send: Optional[Callable[[int], None]] = None,
+    ):
+        self.client_id = client_id
+        self.sock = sock
+        self.quotas = quotas
+        self.peer = peer
+        self.name = f"client-{client_id}"
+        self.authenticated = False
+        self.ledger = SessionLedger()
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._queue: Deque[bytes] = deque()
+        self._queue_cv = threading.Condition(self._lock)
+        self._closing = False
+        self._closed = False
+        self.evicted = False
+        self.subscriptions: Dict[int, Subscription] = {}
+        self._next_subscription_id = 1
+        #: Pending packet-feed buffers, by feed id.
+        self.feeds: Dict[int, bytearray] = {}
+        self._next_feed_id = 1
+        self._on_send = on_send
+        self._sender: Optional[threading.Thread] = None
+        #: Injected delay per delivered event (slow-client fault plane).
+        self.slow_delivery_seconds = 0.0
+        #: Callable returning per-event injected stall (fault plane).
+        self.delivery_stall: Optional[Callable[[], float]] = None
+        #: Called (count) after events are delivered / dropped, outside
+        #: the session lock — the daemon points these at its metrics.
+        self.on_delivered: Optional[Callable[[int], None]] = None
+        self.on_dropped: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Outbound half
+    # ------------------------------------------------------------------
+    def start_sender(self) -> None:
+        """Start the event sender thread (idempotent)."""
+        with self._lock:
+            if self._sender is not None:
+                return
+            self._sender = threading.Thread(
+                target=self._drain_queue,
+                name=f"scapd-send-{self.client_id}",
+                daemon=True,
+            )
+        self._sender.start()
+
+    def send_bytes(self, data: bytes) -> bool:
+        """Write one whole frame to the socket (False on a dead peer)."""
+        try:
+            with self._send_lock:
+                self.sock.sendall(data)
+        except OSError:
+            return False
+        with self._lock:
+            self.ledger.bytes_sent += len(data)
+        if self._on_send is not None:
+            self._on_send(len(data))
+        return True
+
+    # ------------------------------------------------------------------
+    # Ledger accounting (the daemon's only write path into the session)
+    # ------------------------------------------------------------------
+    def note_received(self, nbytes: int) -> None:
+        """Account frame bytes read from this client's socket."""
+        with self._lock:
+            self.ledger.bytes_received += nbytes
+
+    def note_request(self) -> None:
+        """Account one dispatched request frame."""
+        with self._lock:
+            self.ledger.requests += 1
+
+    def note_error(self) -> None:
+        """Account one typed error response sent to this client."""
+        with self._lock:
+            self.ledger.errors += 1
+
+    def note_rejection(self) -> None:
+        """Account one malformed frame rejected on this connection."""
+        with self._lock:
+            self.ledger.frames_rejected += 1
+
+    def mark_evicted(self, drop_limit: int) -> bool:
+        """Flip the evicted flag once drops cross ``drop_limit``.
+
+        Returns True exactly once — on the call that performs the
+        transition — so the daemon counts each eviction a single time.
+        """
+        with self._lock:
+            if self.evicted or self.ledger.dropped < drop_limit:
+                return False
+            self.evicted = True
+            return True
+
+    # ------------------------------------------------------------------
+    # Event queue (bounded, drop-oldest)
+    # ------------------------------------------------------------------
+    def enqueue_event(
+        self, subscription: Subscription, header: Dict[str, object], payload: bytes
+    ) -> Tuple[int, int]:
+        """Queue one event frame; returns (enqueued, dropped) deltas.
+
+        A full queue drops the *oldest* queued event (never the new
+        one), so the client observes the freshest window of the stream
+        — the PPL lowest-priority-oldest discipline applied to the
+        client plane.
+        """
+        header = dict(header)
+        header["sub"] = subscription.subscription_id
+        header["seq"] = subscription.next_seq
+        subscription.next_seq += 1
+        frame = encode_frame(MSG_EVENT, 0, header, payload)
+        dropped = 0
+        with self._lock:
+            if self._closing or self._closed:
+                return (0, 0)
+            if len(self._queue) >= self.quotas.max_queued_events:
+                self._queue.popleft()
+                self.ledger.dropped += 1
+                dropped = 1
+            self._queue.append(frame)
+            self.ledger.enqueued += 1
+            self._queue_cv.notify()
+        if dropped and self.on_dropped is not None:
+            self.on_dropped(dropped)
+        return (1, dropped)
+
+    def drop_oldest(self, count: int = 1) -> int:
+        """Evict up to ``count`` oldest queued events (global pressure)."""
+        with self._lock:
+            evicted = 0
+            while self._queue and evicted < count:
+                self._queue.popleft()
+                self.ledger.dropped += 1
+                evicted += 1
+        if evicted and self.on_dropped is not None:
+            self.on_dropped(evicted)
+        return evicted
+
+    def queue_depth(self) -> int:
+        """Events currently queued and not yet written."""
+        with self._lock:
+            return len(self._queue)
+
+    def _drain_queue(self) -> None:
+        """Sender thread: pop frames in order and write them out."""
+        import time as _time
+
+        while True:
+            with self._lock:
+                while not self._queue and not self._closing:
+                    self._queue_cv.wait(timeout=0.2)
+                if not self._queue and self._closing:
+                    self._closed = True
+                    self._queue_cv.notify_all()
+                    return
+                if not self._queue:
+                    continue
+                frame = self._queue.popleft()
+            stall = self.slow_delivery_seconds
+            if self.delivery_stall is not None:
+                stall += self.delivery_stall()
+            if stall > 0.0:
+                _time.sleep(stall)
+            ok = self.send_bytes(frame)
+            with self._lock:
+                if ok:
+                    self.ledger.delivered += 1
+                else:
+                    # Dead peer: the write failed, the event is gone.
+                    self.ledger.dropped += 1
+                    self._closing = True
+                self._queue_cv.notify_all()
+            if ok and self.on_delivered is not None:
+                self.on_delivered(1)
+            elif not ok and self.on_dropped is not None:
+                self.on_dropped(1)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def add_subscription(
+        self, kinds: Tuple[str, ...], expression: str = ""
+    ) -> Optional[Subscription]:
+        """Register a subscription (None when over quota)."""
+        with self._lock:
+            if len(self.subscriptions) >= self.quotas.max_subscriptions:
+                return None
+            subscription = Subscription(
+                subscription_id=self._next_subscription_id,
+                kinds=kinds,
+                expression=expression,
+            )
+            self._next_subscription_id += 1
+            self.subscriptions[subscription.subscription_id] = subscription
+            return subscription
+
+    def remove_subscription(self, subscription_id: int) -> bool:
+        """Drop a subscription; False when the id is unknown."""
+        with self._lock:
+            return self.subscriptions.pop(subscription_id, None) is not None
+
+    def live_subscriptions(self) -> List[Subscription]:
+        """Snapshot of the session's subscriptions."""
+        with self._lock:
+            return list(self.subscriptions.values())
+
+    # ------------------------------------------------------------------
+    # Packet feeds
+    # ------------------------------------------------------------------
+    def open_feed(self) -> int:
+        """Allocate a pending packet-feed buffer; returns its id."""
+        with self._lock:
+            feed_id = self._next_feed_id
+            self._next_feed_id += 1
+            self.feeds[feed_id] = bytearray()
+            return feed_id
+
+    def append_feed(self, feed_id: int, data: bytes) -> bool:
+        """Append bytes to a pending feed (False over the byte quota)."""
+        with self._lock:
+            buffer = self.feeds.get(feed_id)
+            if buffer is None:
+                raise KeyError(feed_id)
+            if len(buffer) + len(data) > self.quotas.max_feed_bytes:
+                return False
+            buffer.extend(data)
+            return True
+
+    def close_feed(self, feed_id: int) -> bytes:
+        """Remove and return a pending feed's accumulated bytes."""
+        with self._lock:
+            return bytes(self.feeds.pop(feed_id))
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Wait for the queue to empty without closing (reload drain)."""
+        with self._lock:
+            return self._queue_cv.wait_for(
+                lambda: not self._queue or self._closed, timeout=timeout
+            )
+
+    def begin_close(self) -> None:
+        """Stop accepting events; the sender drains what is queued."""
+        with self._lock:
+            self._closing = True
+            self._queue_cv.notify_all()
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait for the sender to flush the queue; True when drained."""
+        abandoned = 0
+        if self._sender is None:
+            with self._lock:
+                # No sender ever ran: whatever is queued will never be
+                # written; account it as dropped so ledgers balance.
+                while self._queue:
+                    self._queue.popleft()
+                    self.ledger.dropped += 1
+                    abandoned += 1
+                self._closed = True
+            if abandoned and self.on_dropped is not None:
+                self.on_dropped(abandoned)
+            return True
+        with self._lock:
+            self._queue_cv.wait_for(lambda: self._closed, timeout=timeout)
+            drained = self._closed
+            if not drained:
+                # Sender is stuck (dead peer mid-write): drop the rest.
+                while self._queue:
+                    self._queue.popleft()
+                    self.ledger.dropped += 1
+                    abandoned += 1
+                self._closed = True
+        if abandoned and self.on_dropped is not None:
+            self.on_dropped(abandoned)
+        return drained
+
+    @property
+    def closed(self) -> bool:
+        """True once the outbound queue is fully drained or abandoned."""
+        with self._lock:
+            return self._closed
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready session summary for the ``stats`` command."""
+        with self._lock:
+            return {
+                "client_id": self.client_id,
+                "name": self.name,
+                "peer": self.peer,
+                "authenticated": self.authenticated,
+                "subscriptions": len(self.subscriptions),
+                "queued": len(self._queue),
+                "evicted": self.evicted,
+                "ledger": self.ledger.as_dict(),
+            }

@@ -311,6 +311,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--schedule", action="store_true",
                        help="print the full injected-fault schedule")
 
+    serve = sub.add_parser(
+        "serve", help="run the capture daemon (service mode; docs/SERVICE.md)"
+    )
+    serve.add_argument("--unix", default=None, metavar="PATH",
+                       help="listen on a Unix stream socket at PATH")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="listen on a TCP socket (port 0 = ephemeral)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="record captured streams into a store at DIR")
+    serve.add_argument("--token", action="append", default=None, metavar="TOKEN",
+                       help="require client auth; repeatable for many tokens")
+    serve.add_argument("--max-subscriptions", type=int, default=8,
+                       help="live subscriptions allowed per client")
+    serve.add_argument("--max-queued-events", type=int, default=1024,
+                       help="per-client event queue bound (drop-oldest beyond)")
+    serve.add_argument("--eviction-drop-limit", type=int, default=None,
+                       help="disconnect a client after this many dropped events")
+    serve.add_argument("--global-event-budget", type=int, default=None,
+                       help="daemon-wide queued-event bound (slowest client pays)")
+    serve.add_argument("--memory-mb", type=int, default=64,
+                       help="capture memory pool size per submitted run")
+    serve.add_argument("--cores", type=int, default=8,
+                       help="simulated cores for submitted captures")
+    serve.add_argument("--no-control", action="store_true",
+                       help="refuse remote shutdown/reload commands")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="enable the client fault plane with this seed")
+    serve.add_argument("--slow-client-rate", type=float, default=0.0)
+    serve.add_argument("--disconnect-rate", type=float, default=0.0)
+    serve.add_argument("--garbage-frame-rate", type=float, default=0.0)
+    serve.add_argument("--observability", action="store_true",
+                       help="enable scap_service_* metrics and trace hooks")
+
     analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
     analyze.add_argument("--rho", type=float, default=0.5)
     analyze.add_argument("--rho-high", type=float, default=None,
@@ -836,6 +869,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..observability import Observability
+    from ..service import ClientQuotas, DaemonConfig, ScapDaemon
+
+    if args.unix is None and args.tcp is None:
+        print("serve: need --unix PATH and/or --tcp HOST:PORT", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_seed is not None:
+        from ..faultinject import ClientFaults, FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=args.fault_seed,
+            client=ClientFaults(
+                slow_client_rate=args.slow_client_rate,
+                disconnect_mid_subscription_rate=args.disconnect_rate,
+                garbage_frame_rate=args.garbage_frame_rate,
+            ),
+        )
+    config = DaemonConfig(
+        store_dir=args.store,
+        auth_tokens=tuple(args.token) if args.token else None,
+        quotas=ClientQuotas(
+            max_subscriptions=args.max_subscriptions,
+            max_queued_events=args.max_queued_events,
+            eviction_drop_limit=args.eviction_drop_limit,
+        ),
+        global_event_budget=args.global_event_budget,
+        memory_size=args.memory_mb << 20,
+        core_count=args.cores,
+        allow_control=not args.no_control,
+    )
+    observability = Observability(enabled=True) if args.observability else None
+    daemon = ScapDaemon(config, observability=observability, fault_plan=fault_plan)
+    if args.unix is not None:
+        daemon.add_unix_listener(args.unix)
+        print(f"listening on unix:{args.unix}")
+    if args.tcp is not None:
+        host, _, port = args.tcp.rpartition(":")
+        bound_host, bound_port = daemon.add_tcp_listener(host or "127.0.0.1",
+                                                         int(port or 0))
+        print(f"listening on tcp:{bound_host}:{bound_port}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.shutdown()
+    print("daemon stopped; ledgers balanced:", daemon.ledgers_balanced())
+    return 0 if daemon.ledgers_balanced() else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -856,6 +939,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "record": _cmd_record,
         "query": _cmd_query,
         "replay": _cmd_replay,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

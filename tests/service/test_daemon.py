@@ -1,0 +1,406 @@
+"""Integration tests: daemon + clients over a Unix socket.
+
+The centerpiece is the end-to-end parity test required by the issue: a
+remote client submits a trace, installs a cutoff and a priority,
+receives subscribed stream events in order, bulk-queries the store,
+and the retrieved bytes match a library-mode run **bit for bit**.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.apps import StreamRecorder
+from repro.core import ScapSocket
+from repro.filters import BPFFilter
+from repro.netstack import read_pcap
+from repro.service import (
+    ClientQuotas,
+    DaemonConfig,
+    FrameReader,
+    RemoteCallError,
+    ScapClient,
+    ScapDaemon,
+    encode_frame,
+    trace_to_pcap_bytes,
+)
+from repro.service.protocol import (
+    ERR_BAD_FRAME,
+    ERR_QUOTA,
+    ERR_UNAUTHORIZED,
+    MSG_ERROR,
+    MSG_REQUEST,
+    MSG_RESPONSE,
+    Frame,
+)
+from repro.store import StreamStore
+from repro.traffic import Trace, campus_mix
+
+RATE = 1e9
+CUTOFF = 50_000
+PRIORITY_EXPR = "tcp and port 80"
+PRIORITY = 3
+
+
+def _start_daemon(tmp_path, config=None, **kwargs):
+    daemon = ScapDaemon(config, **kwargs)
+    path = str(tmp_path / "scapd.sock")
+    daemon.add_unix_listener(path)
+    daemon.start()
+    return daemon, path
+
+
+@pytest.fixture()
+def pcap_bytes():
+    # Round-trip through pcap once so library mode and daemon mode
+    # consume byte-identical input (pcap stores usec timestamps).
+    trace = campus_mix(flow_count=25, seed=5, max_flow_bytes=60_000)
+    return trace_to_pcap_bytes(trace)
+
+
+def _library_run(tmp_path, pcap_bytes):
+    """The same capture through the plain library API."""
+    pcap_path = tmp_path / "lib.pcap"
+    pcap_path.write_bytes(pcap_bytes)
+    trace = Trace(read_pcap(str(pcap_path)), name="lib")
+    store = StreamStore(str(tmp_path / "libstore"), cores=1)
+    scap = ScapSocket(trace, rate_bps=RATE, memory_size=64 << 20, core_count=8)
+    scap.set_cutoff(CUTOFF)
+    rule = BPFFilter(PRIORITY_EXPR)
+
+    def on_creation(stream):
+        if rule.matches_five_tuple(stream.five_tuple):
+            scap.set_stream_priority(stream, PRIORITY)
+
+    scap.dispatch_creation(on_creation)
+    scap.set_store(StreamRecorder(store))
+    scap.start_capture(name="lib")
+    store.flush()
+    result = store.query()
+    by_key = {
+        (tuple(s.client_tuple), s.direction): bytes(s.data) for s in result.streams
+    }
+    store.close()
+    return by_key
+
+
+def test_end_to_end_parity_with_library_mode(tmp_path, pcap_bytes):
+    daemon, path = _start_daemon(
+        tmp_path, DaemonConfig(store_dir=str(tmp_path / "store"))
+    )
+    client = ScapClient(unix_path=path, name="e2e")
+    sub = client.subscribe(events=["created", "data", "closed"])
+    client.set_cutoff(CUTOFF)
+    client.set_priority(PRIORITY_EXPR, PRIORITY)
+    summary = client.submit_trace(pcap_bytes, rate_bps=RATE, name="e2e")
+    assert summary["streams_created"] > 0
+
+    # Subscribed events arrive in order: per-subscription sequence
+    # numbers are contiguous from 0 and per-stream data offsets are
+    # non-decreasing.
+    events = []
+    while True:
+        frame = sub.next_event(timeout=2.0)
+        if frame is None:
+            break
+        events.append(frame)
+        if len(events) >= summary["streams_created"] * 2:
+            last_closed = sum(
+                1 for e in events if e.header["event"] == "closed"
+            ) == summary["streams_created"]
+            if last_closed:
+                break
+    seqs = [e.header["seq"] for e in events]
+    assert seqs == list(range(len(events)))
+    offsets = {}
+    for event in events:
+        if event.header["event"] != "data":
+            continue
+        key = (tuple(event.header["flow"]), event.header["direction"])
+        assert event.header["offset"] >= offsets.get(key, 0)
+        offsets[key] = event.header["offset"] + event.header["len"]
+    kinds = {e.header["event"] for e in events}
+    assert {"created", "data", "closed"} <= kinds
+
+    # Bulk-query the store remotely and compare to library mode.
+    remote = {}
+    for streams in client.bulk_query([{"flow": None}, {"flow": None, "start": 0.0}]):
+        collected = {}
+        for stream in streams:
+            collected[(tuple(stream["flow"]), stream["direction"])] = stream["data"]
+        remote = collected
+    library = _library_run(tmp_path, pcap_bytes)
+    assert set(remote) == set(library)
+    for key in library:
+        assert remote[key] == library[key], f"byte mismatch for {key}"
+
+    client.close()
+    daemon.shutdown()
+    assert daemon.ledgers_balanced()
+
+
+def test_concurrent_clients_capture_subscribe_query(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path, DaemonConfig(store_dir=str(tmp_path / "store"))
+    )
+    clients = [ScapClient(unix_path=path, name=f"c{i}") for i in range(4)]
+    subs = [c.subscribe(events=["closed"]) for c in clients]
+    errors = []
+    summaries = []
+
+    def work(index, client):
+        try:
+            summary = client.submit_campus(
+                flows=8, seed=index, rate_bps=RATE, name=f"run-{index}"
+            )
+            assert summary["streams_created"] > 0
+            summaries.append(summary)
+            assert client.stats()["server"]["captures"] >= 1
+            assert client.query() is not None
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append((index, repr(exc)))
+
+    threads = [
+        threading.Thread(target=work, args=(i, c)) for i, c in enumerate(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, errors
+    # Every client's subscription saw every capture's closed events.
+    # Termination fires once per direction, so two per created stream.
+    expected = 2 * sum(s["streams_created"] for s in summaries)
+    for sub in subs:
+        seen = 0
+        while sub.next_event(timeout=1.0) is not None:
+            seen += 1
+        assert seen == expected
+    for c in clients:
+        c.close()
+    daemon.shutdown()
+    assert daemon.ledgers_balanced()
+    assert len(daemon.final_ledgers) == 4
+
+
+def test_auth_token_required(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path, DaemonConfig(auth_tokens=("sesame",))
+    )
+    with pytest.raises(RemoteCallError) as err:
+        ScapClient(unix_path=path, token="wrong")
+    assert err.value.code == "unauthorized"
+
+    # Unauthenticated requests other than hello are refused.
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(path)
+    raw.sendall(encode_frame(MSG_REQUEST, 7, {"command": "ping"}))
+    reader = FrameReader()
+    reply = None
+    while reply is None:
+        for item in reader.feed(raw.recv(65536)):
+            reply = item
+    assert isinstance(reply, Frame)
+    assert reply.msg_type == MSG_ERROR
+    assert reply.header["code"] == ERR_UNAUTHORIZED
+    raw.close()
+
+    good = ScapClient(unix_path=path, token="sesame")
+    assert good.ping()["pong"] is True
+    good.close()
+    daemon.shutdown()
+
+
+def test_subscription_quota_denied(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path,
+        DaemonConfig(quotas=ClientQuotas(max_subscriptions=2)),
+    )
+    client = ScapClient(unix_path=path)
+    client.subscribe()
+    client.subscribe()
+    with pytest.raises(RemoteCallError) as err:
+        client.subscribe()
+    assert err.value.code == ERR_QUOTA
+    client.close()
+    daemon.shutdown()
+
+
+def test_feed_byte_quota_denied(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path,
+        DaemonConfig(quotas=ClientQuotas(max_feed_bytes=1024)),
+    )
+    client = ScapClient(unix_path=path)
+    feed_id = client.call("feed_open").header["feed_id"]
+    with pytest.raises(RemoteCallError) as err:
+        client.call("feed_append", payload=b"z" * 2048, feed_id=feed_id)
+    assert err.value.code == ERR_QUOTA
+    client.close()
+    daemon.shutdown()
+
+
+def test_unknown_command_and_bad_request(tmp_path):
+    daemon, path = _start_daemon(tmp_path)
+    client = ScapClient(unix_path=path)
+    with pytest.raises(RemoteCallError) as err:
+        client.call("frobnicate")
+    assert err.value.code == "unknown_command"
+    with pytest.raises(RemoteCallError) as err:
+        client.call("install_filter")  # missing expression
+    assert err.value.code == "bad_request"
+    with pytest.raises(RemoteCallError) as err:
+        client.call("query")  # no store configured
+    assert err.value.code == "bad_request"
+    client.close()
+    daemon.shutdown()
+
+
+def test_malformed_frames_get_typed_errors_not_disconnects(tmp_path):
+    daemon, path = _start_daemon(tmp_path)
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(path)
+    reader = FrameReader()
+    replies = []
+
+    def pump(expected):
+        while len(replies) < expected:
+            data = raw.recv(65536)
+            assert data, "daemon dropped the connection"
+            replies.extend(reader.feed(data))
+
+    # Zero-length frame, then a valid ping on the same connection.
+    raw.sendall(b"\x00\x00\x00\x00")
+    raw.sendall(encode_frame(MSG_REQUEST, 1, {"command": "ping"}))
+    pump(2)
+    assert replies[0].msg_type == MSG_ERROR
+    assert replies[0].header["code"] == ERR_BAD_FRAME
+    assert replies[1].msg_type == MSG_RESPONSE and replies[1].request_id == 1
+
+    # A frame body full of garbage (valid length prefix), then ping.
+    raw.sendall(len(b"garbage!").to_bytes(4, "big") + b"garbage!")
+    raw.sendall(encode_frame(MSG_REQUEST, 2, {"command": "ping"}))
+    pump(4)
+    assert replies[2].msg_type == MSG_ERROR
+    assert replies[3].msg_type == MSG_RESPONSE and replies[3].request_id == 2
+
+    # A valid frame delivered byte-by-byte still parses.
+    for byte in encode_frame(MSG_REQUEST, 3, {"command": "ping"}):
+        raw.sendall(bytes([byte]))
+    pump(5)
+    assert replies[4].msg_type == MSG_RESPONSE and replies[4].request_id == 3
+    raw.close()
+
+    # The daemon is still healthy for other clients.
+    client = ScapClient(unix_path=path)
+    assert client.ping()["pong"] is True
+    client.close()
+    daemon.shutdown()
+    ledgers = list(daemon.final_ledgers.values())
+    assert any(entry["ledger"]["frames_rejected"] >= 2 for entry in ledgers)
+
+
+def test_persistent_garbage_closes_the_connection(tmp_path):
+    daemon, path = _start_daemon(tmp_path)
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(path)
+    for _ in range(16):
+        raw.sendall(b"\x00\x00\x00\x00")
+    raw.settimeout(5.0)
+    # Drain error responses until the daemon hangs up.
+    closed = False
+    for _ in range(64):
+        data = raw.recv(65536)
+        if not data:
+            closed = True
+            break
+    assert closed
+    raw.close()
+    daemon.shutdown()
+
+
+def test_client_disconnect_mid_subscription_survives(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path, DaemonConfig(store_dir=str(tmp_path / "store"))
+    )
+    victim = ScapClient(unix_path=path, name="victim")
+    victim.subscribe(events=["created", "data", "closed"])
+    driver = ScapClient(unix_path=path, name="driver")
+
+    done = threading.Event()
+
+    def capture():
+        driver.submit_campus(flows=10, seed=2, rate_bps=RATE, name="mid")
+        done.set()
+
+    thread = threading.Thread(target=capture)
+    thread.start()
+    # Sever the victim's socket while events are (or will be) fanning out.
+    victim.sock.close()
+    assert done.wait(timeout=120)
+    thread.join(timeout=10)
+
+    assert driver.ping()["pong"] is True
+    driver.close()
+    daemon.shutdown()
+    assert daemon.ledgers_balanced()
+
+
+def test_reload_drains_and_seals(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path, DaemonConfig(store_dir=str(tmp_path / "store"))
+    )
+    client = ScapClient(unix_path=path)
+    client.submit_campus(flows=6, seed=1, rate_bps=RATE)
+    report = client.reload()
+    assert report["reloaded"] is True
+    assert client.ping()["pong"] is True  # connection survived the reload
+    client.close()
+    daemon.shutdown()
+
+
+def test_shutdown_refuses_new_work(tmp_path):
+    daemon, path = _start_daemon(tmp_path)
+    client = ScapClient(unix_path=path)
+    assert client.shutdown_server()["shutting_down"] is True
+    daemon.shutdown()  # idempotent with the remote-triggered one
+    assert not os.path.exists(path)
+
+
+def test_control_commands_can_be_disabled(tmp_path):
+    daemon, path = _start_daemon(tmp_path, DaemonConfig(allow_control=False))
+    client = ScapClient(unix_path=path)
+    with pytest.raises(RemoteCallError) as err:
+        client.shutdown_server()
+    assert err.value.code == "unauthorized"
+    client.close()
+    daemon.shutdown()
+
+
+def test_tcp_listener_works(tmp_path):
+    daemon = ScapDaemon(DaemonConfig())
+    host, port = daemon.add_tcp_listener("127.0.0.1", 0)
+    daemon.start()
+    client = ScapClient(host=host, port=port)
+    assert client.ping(echo="tcp")["echo"] == "tcp"
+    client.close()
+    daemon.shutdown()
+
+
+def test_install_and_remove_filter_shapes_captures(tmp_path):
+    daemon, path = _start_daemon(
+        tmp_path, DaemonConfig(store_dir=str(tmp_path / "store"))
+    )
+    client = ScapClient(unix_path=path)
+    filter_id = client.install_filter("port 80")
+    first = client.submit_campus(flows=12, seed=4, rate_bps=RATE, name="filtered")
+    client.remove_filter(filter_id)
+    second = client.submit_campus(flows=12, seed=4, rate_bps=RATE, name="open")
+    # The keep-filter strictly reduces (or keeps equal) created streams.
+    assert first["streams_created"] <= second["streams_created"]
+    client.close()
+    daemon.shutdown()

@@ -1,0 +1,144 @@
+"""Frame codec and robustness tests for the service wire protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.protocol import (
+    COMMAND_CODE_MAP,
+    ERR_BAD_FRAME,
+    MAX_FRAME_BYTES,
+    MSG_ERROR,
+    MSG_EVENT,
+    MSG_REQUEST,
+    MSG_RESPONSE,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameReader,
+    FrameRejection,
+    FrameTooLarge,
+    ProtocolError,
+    decode_frame_body,
+    encode_frame,
+)
+
+
+def test_round_trip_all_message_types():
+    for msg_type in (MSG_REQUEST, MSG_RESPONSE, MSG_EVENT, MSG_ERROR):
+        wire = encode_frame(
+            msg_type, 42, {"command": "ping", "x": [1, 2]}, b"\x00\xffpayload"
+        )
+        frame = decode_frame_body(wire[4:])
+        assert frame.msg_type == msg_type
+        assert frame.request_id == 42
+        assert frame.header == {"command": "ping", "x": [1, 2]}
+        assert frame.payload == b"\x00\xffpayload"
+        assert frame.version == PROTOCOL_VERSION
+
+
+def test_reader_reassembles_across_arbitrary_splits():
+    frames = [
+        encode_frame(MSG_REQUEST, i, {"command": "ping", "i": i}, b"x" * i)
+        for i in range(1, 20)
+    ]
+    wire = b"".join(frames)
+    rng = random.Random(7)
+    for _ in range(20):
+        reader = FrameReader()
+        out = []
+        pos = 0
+        while pos < len(wire):
+            step = rng.randint(1, 37)
+            out.extend(reader.feed(wire[pos:pos + step]))
+            pos += step
+        assert [f.request_id for f in out] == list(range(1, 20))
+        assert all(isinstance(f, Frame) for f in out)
+        assert reader.pending_bytes == 0
+
+
+def test_zero_length_frame_rejected_not_fatal():
+    reader = FrameReader()
+    good = encode_frame(MSG_REQUEST, 1, {"command": "ping"})
+    out = reader.feed(b"\x00\x00\x00\x00" + good)
+    assert isinstance(out[0], FrameRejection)
+    assert out[0].reason == ERR_BAD_FRAME
+    assert isinstance(out[1], Frame)
+    assert out[1].request_id == 1
+
+
+def test_oversized_frame_drained_without_buffering():
+    reader = FrameReader(max_frame_bytes=64)
+    declared = 1000
+    wire = declared.to_bytes(4, "big") + b"z" * declared
+    good = encode_frame(MSG_REQUEST, 9, {"command": "ping"})
+    out = []
+    for i in range(0, len(wire), 100):
+        out.extend(reader.feed(wire[i:i + 100]))
+        # The oversized body must never accumulate in the buffer.
+        assert reader.pending_bytes <= 100
+    out.extend(reader.feed(good))
+    rejections = [o for o in out if isinstance(o, FrameRejection)]
+    frames = [o for o in out if isinstance(o, Frame)]
+    assert len(rejections) == 1 and rejections[0].skipped_bytes > 0
+    assert "exceeds max" in rejections[0].detail
+    assert [f.request_id for f in frames] == [9]
+
+
+def test_encode_rejects_oversized_payload():
+    with pytest.raises(FrameTooLarge):
+        encode_frame(MSG_REQUEST, 1, {}, b"x" * (MAX_FRAME_BYTES + 1))
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda b: b[:6],                          # truncated fixed header
+        lambda b: bytes([99]) + b[1:],            # bad version
+        lambda b: b[:1] + bytes([77]) + b[2:],    # unknown msg type
+        lambda b: b[:13] + b"{broken" + b[13:],   # corrupt JSON header
+    ],
+)
+def test_malformed_bodies_become_rejections(mutate):
+    body = encode_frame(MSG_REQUEST, 5, {"command": "ping"})[4:]
+    bad = mutate(body)
+    with pytest.raises(ProtocolError):
+        decode_frame_body(bad)
+    # Through the reader the same bytes are a rejection, not a raise.
+    reader = FrameReader()
+    wire = len(bad).to_bytes(4, "big") + bad
+    out = reader.feed(wire)
+    assert len(out) == 1 and isinstance(out[0], FrameRejection)
+
+
+def test_garbage_resynchronizes_on_later_valid_frames():
+    rng = random.Random(11)
+    garbage = bytes(rng.randrange(256) for _ in range(64))
+    # Force the garbage to parse as an oversized declared length so the
+    # reader drains and resynchronizes deterministically.
+    garbage = b"\xff\xff\xff\xff" + garbage
+    reader = FrameReader(max_frame_bytes=1 << 16)
+    out = list(reader.feed(garbage))
+    assert all(isinstance(o, FrameRejection) for o in out)
+
+
+def test_header_must_be_json_object():
+    body = encode_frame(MSG_REQUEST, 1, {})[4:]
+    # Splice a JSON array header in place of the object.
+    import struct
+
+    fixed = struct.Struct("!BBII")
+    raw = b"[1,2]"
+    spliced = fixed.pack(PROTOCOL_VERSION, MSG_REQUEST, 1, len(raw)) + raw
+    with pytest.raises(ProtocolError):
+        decode_frame_body(spliced)
+    assert decode_frame_body(body).header == {}
+
+
+def test_command_codes_are_unique_and_stable():
+    codes = list(COMMAND_CODE_MAP.values())
+    assert len(codes) == len(set(codes))
+    # Spot-check stability: these values are wire contract, not free to drift.
+    assert COMMAND_CODE_MAP["ping"] == 0x70696E67
+    assert COMMAND_CODE_MAP["subscribe"] == 0x73756273

@@ -1,0 +1,157 @@
+"""Client-plane fault injection through the daemon's socket layer.
+
+Each fault kind is driven end to end, and the injected counts must
+reconcile with both the injector's schedule and (when observability is
+on) the ``scap_faults_injected_total`` metric.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.faultinject import ClientFaults, FaultPlan
+from repro.observability import Observability, snapshot
+from repro.service import (
+    ClientQuotas,
+    DaemonConfig,
+    FrameReader,
+    ScapClient,
+    ScapDaemon,
+    encode_frame,
+)
+from repro.service.protocol import ERR_BAD_FRAME, MSG_ERROR, MSG_REQUEST, Frame
+
+RATE = 1e9
+
+
+def _start(tmp_path, config, **kwargs):
+    daemon = ScapDaemon(config, **kwargs)
+    path = str(tmp_path / "scapd.sock")
+    daemon.add_unix_listener(path)
+    daemon.start()
+    return daemon, path
+
+
+def _client_fault_total_from_metrics(obs):
+    data = snapshot(obs.registry)
+    total = 0
+    for value in data["metrics"].get("scap_faults_injected_total", {}).get(
+        "values", []
+    ):
+        if value["labels"].get("plane") == "client":
+            total += value["value"]
+    return total
+
+
+def test_slow_client_fault_backpressures_and_balances(tmp_path):
+    plan = FaultPlan(
+        seed=11,
+        client=ClientFaults(slow_client_rate=1.0, slow_client_seconds=0.002),
+    )
+    obs = Observability(enabled=True)
+    daemon, path = _start(
+        tmp_path,
+        DaemonConfig(
+            store_dir=str(tmp_path / "store"),
+            quotas=ClientQuotas(max_queued_events=4),
+        ),
+        observability=obs,
+        fault_plan=plan,
+    )
+    subscriber = ScapClient(unix_path=path, name="slow")
+    sub = subscriber.subscribe(events=["created", "data", "closed"])
+    driver = ScapClient(unix_path=path, name="driver")
+    driver.submit_campus(flows=12, seed=3, rate_bps=RATE, name="pressure")
+
+    # Consume whatever was delivered (the stalls slow this down).
+    while sub.next_event(timeout=1.0) is not None:
+        pass
+
+    injected = daemon.fault_injector.count("client", "slow_client")
+    assert injected > 0
+    assert _client_fault_total_from_metrics(obs) == sum(
+        count
+        for (plane, _kind), count in daemon.fault_injector.counts.items()
+        if plane == "client"
+    )
+
+    subscriber.close()
+    driver.close()
+    daemon.shutdown()
+    assert daemon.ledgers_balanced()
+    ledgers = {
+        entry["name"]: entry["ledger"] for entry in daemon.final_ledgers.values()
+    }
+    slow = ledgers["slow"]
+    assert slow["enqueued"] == slow["delivered"] + slow["dropped"]
+
+
+def test_disconnect_mid_subscription_fault(tmp_path):
+    plan = FaultPlan(
+        seed=5, client=ClientFaults(disconnect_mid_subscription_rate=1.0)
+    )
+    daemon, path = _start(
+        tmp_path,
+        DaemonConfig(store_dir=str(tmp_path / "store")),
+        fault_plan=plan,
+    )
+    victim = ScapClient(unix_path=path, name="victim")
+    victim.subscribe(events=["created"])
+    driver = ScapClient(unix_path=path, name="driver")
+    driver.submit_campus(flows=8, seed=1, rate_bps=RATE, name="sever")
+
+    assert daemon.fault_injector.count("client", "disconnect_mid_subscription") > 0
+    # The daemon survived the severed subscriber.
+    assert driver.ping()["pong"] is True
+    driver.close()
+    victim.close()
+    daemon.shutdown()
+    assert daemon.ledgers_balanced()
+
+
+def test_garbage_frame_fault_answers_typed_errors(tmp_path):
+    plan = FaultPlan(seed=2, client=ClientFaults(garbage_frame_rate=1.0))
+    obs = Observability(enabled=True)
+    daemon, path = _start(tmp_path, DaemonConfig(), observability=obs, fault_plan=plan)
+
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(path)
+    reader = FrameReader()
+    replies = []
+    for request_id in (1, 2, 3):
+        raw.sendall(encode_frame(MSG_REQUEST, request_id, {"command": "ping"}))
+    while len(replies) < 3:
+        data = raw.recv(65536)
+        assert data, "daemon dropped the connection on injected garbage"
+        replies.extend(reader.feed(data))
+    for request_id, reply in zip((1, 2, 3), replies):
+        assert isinstance(reply, Frame)
+        assert reply.msg_type == MSG_ERROR
+        assert reply.header["code"] == ERR_BAD_FRAME
+        assert reply.request_id == request_id
+    raw.close()
+
+    assert daemon.fault_injector.count("client", "garbage_frame") == 3
+    assert _client_fault_total_from_metrics(obs) == 3
+    daemon.shutdown()
+
+
+def test_client_fault_plan_validation():
+    with pytest.raises(ValueError):
+        ClientFaults(slow_client_rate=1.5).validate()
+    with pytest.raises(ValueError):
+        ClientFaults(slow_client_seconds=-1.0).validate()
+    plan = FaultPlan(seed=1, client=ClientFaults(garbage_frame_rate=0.5))
+    assert plan.active()
+    assert "client" in plan.describe()
+    assert "garbage_frame_rate" in plan.describe()
+
+
+def test_randomized_plan_keeps_client_plane_quiet():
+    # FaultPlan.randomized() predates the client plane; its draw order
+    # (and therefore every existing chaos digest) must not change, so
+    # randomized plans leave the client plane inactive.
+    plan = FaultPlan.randomized(seed=99)
+    assert not plan.client.active()

@@ -21,6 +21,7 @@ _EXAMPLES = [
     "multi_app_sharing.py",
     "http_monitoring.py",
     "target_based_reassembly.py",
+    "remote_client.py",
 ]
 
 _EXPECTED_SNIPPET = {
@@ -32,6 +33,7 @@ _EXPECTED_SNIPPET = {
     "multi_app_sharing.py": "kernel reassembly ran once",
     "http_monitoring.py": "status codes",
     "target_based_reassembly.py": "reconstructs",
+    "remote_client.py": "ledgers balanced: True",
 }
 
 
