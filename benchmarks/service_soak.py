@@ -8,8 +8,14 @@ if:
 
 * no client observed a protocol-level failure it didn't provoke,
 * every capture's queried bytes match its reported delivered bytes,
+* a mid-soak scrape of the daemon's HTTP sidecar returns a **healthy**
+  `/healthz` verdict, a ready `/readyz`, and a parseable `/metrics`
+  exposition (the daemon runs with observability + telemetry on),
 * the daemon shuts down gracefully with **balanced ledgers**
   (`enqueued == delivered + dropped` for every client).
+
+The telemetry ring's full JSON history is written next to the report
+(`--telemetry-out`) so CI can upload it as a forensics artifact.
 
 Usage::
 
@@ -26,6 +32,9 @@ import tempfile
 import threading
 import time
 
+from urllib.request import urlopen
+
+from repro.observability import Observability
 from repro.service import ClientQuotas, DaemonConfig, ScapClient, ScapDaemon
 from repro.service.protocol import MSG_REQUEST, encode_frame
 
@@ -69,12 +78,46 @@ def _soak_client(index: int, path: str, rounds: int, report: dict, errors: list)
         errors.append(f"client {index}: {type(exc).__name__}: {exc}")
 
 
+def _scrape_sidecar(daemon, errors: list) -> dict:
+    """Mid-soak HTTP checks: /metrics parses, /healthz healthy, /readyz."""
+    host, port = daemon.http_address
+    base = f"http://{host}:{port}"
+    out: dict = {}
+    with urlopen(f"{base}/metrics", timeout=10) as response:
+        body = response.read()
+        out["metrics_bytes"] = len(body)
+        families = {
+            line.split()[2]
+            for line in body.decode("utf-8").splitlines()
+            if line.startswith("# TYPE ")
+        }
+        for family in ("scap_service_requests_total",
+                       "scap_service_command_seconds",
+                       "scap_service_telemetry_samples_total"):
+            if family not in families:
+                errors.append(f"scrape: {family} missing from /metrics")
+    with urlopen(f"{base}/healthz", timeout=10) as response:
+        health = json.loads(response.read())
+        out["health"] = health
+        if health["verdict"] != "healthy":
+            errors.append(
+                f"mid-soak /healthz verdict {health['verdict']!r}: "
+                f"{health['reasons']}"
+            )
+    with urlopen(f"{base}/readyz", timeout=10) as response:
+        if not json.loads(response.read())["ready"]:
+            errors.append("mid-soak /readyz not ready")
+    return out
+
+
 def main(argv=None) -> int:
     """Run the soak; exit non-zero on any client error or ledger drift."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--out", default=None, help="optional JSON report path")
+    parser.add_argument("--telemetry-out", default=None,
+                        help="write the telemetry ring's JSON history here")
     args = parser.parse_args(argv)
 
     run_dir = tempfile.mkdtemp(prefix="scap-soak-")
@@ -83,7 +126,10 @@ def main(argv=None) -> int:
         DaemonConfig(
             store_dir=os.path.join(run_dir, "store"),
             quotas=ClientQuotas(max_queued_events=2048),
-        )
+            http_host="127.0.0.1",
+            telemetry_cadence=0.2,
+        ),
+        observability=Observability(enabled=True),
     )
     daemon.add_unix_listener(path)
     daemon.start()
@@ -99,9 +145,15 @@ def main(argv=None) -> int:
     ]
     for thread in threads:
         thread.start()
+    # Scrape the sidecar while the clients are mid-flight: the health
+    # verdict must hold *under* the soak's self-inflicted load.
+    time.sleep(1.0)
+    scrape = _scrape_sidecar(daemon, errors)
     for thread in threads:
         thread.join(timeout=600)
     elapsed = time.perf_counter() - start
+
+    telemetry_history = daemon.telemetry.as_dict() if daemon.telemetry else None
 
     daemon.shutdown()
     balanced = daemon.ledgers_balanced()
@@ -117,15 +169,25 @@ def main(argv=None) -> int:
         "errors": errors,
         "ledgers_balanced": balanced,
         "ledgers": ledgers,
+        "scrape": scrape,
+        "telemetry_samples": (
+            telemetry_history["sampled"] if telemetry_history else 0
+        ),
     }
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
+    if args.telemetry_out and telemetry_history is not None:
+        with open(args.telemetry_out, "w") as handle:
+            json.dump(telemetry_history, handle, indent=2)
+            handle.write("\n")
     print(
         f"soak: {args.clients} clients x {args.rounds} rounds in {elapsed:.1f}s; "
         f"{payload['events']} events; {len(errors)} errors; "
-        f"ledgers balanced: {balanced}"
+        f"ledgers balanced: {balanced}; mid-soak verdict: "
+        f"{scrape.get('health', {}).get('verdict', 'unscraped')}; "
+        f"{payload['telemetry_samples']} telemetry samples"
     )
     for line in errors:
         print(f"  ERROR {line}")

@@ -142,6 +142,14 @@ def _service_payload() -> dict:
     return service_run(flows=24, subscribers=2)
 
 
+def _span_overhead_payload() -> dict:
+    """Span-tracing overhead gates (disabled must be free; asserts
+    inside the benchmark: disabled <= 1.02x baseline, enabled <= 2x)."""
+    from bench_span_overhead import run as span_run
+
+    return span_run(chunks=30)
+
+
 def main(argv=None) -> int:
     """Run the smoke sweep and write the JSON artifact."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -156,6 +164,7 @@ def main(argv=None) -> int:
         "observability": _observability_payload(scale),
         "store": _store_payload(scale),
         "service": _service_payload(),
+        "span_overhead": _span_overhead_payload(),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, default=str)
@@ -167,11 +176,14 @@ def main(argv=None) -> int:
         and entry["dropped_packets"] <= 0.005 * entry["offered_packets"]
     ]
     service = payload["service"]["daemon"]
+    spans = payload["span_overhead"]
     print(
         f"smoke: {len(payload['fig04']['results'])} runs, "
         f"scap loss-free up to {max(lossfree) if lossfree else 0} Gbit/s, "
         f"service fanout {service['events_delivered']} events "
         f"(ledgers balanced: {service['ledgers_balanced']}), "
+        f"span overhead {spans['disabled_ratio']:.3f}x off / "
+        f"{spans['enabled_ratio']:.3f}x on, "
         f"wrote {args.out}"
     )
     return 0

@@ -25,7 +25,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faultinject import FaultPlan
     from ..store.store import StoreStats
 
-from ..observability import ProfileReport, StreamTimeline, TimelineReconstructor
+from ..observability import (
+    ProfileReport,
+    SpanRecord,
+    StreamTimeline,
+    TelemetryRing,
+    TimelineReconstructor,
+    span_records,
+)
 
 from ..results import RunResult
 from ..filters.bpf import BPFFilter
@@ -58,6 +65,8 @@ __all__ = [
     "scap_next_stream_packet",
     "scap_get_stats",
     "scap_profile",
+    "scap_spans",
+    "scap_telemetry",
     "scap_stream_timeline",
     "scap_set_store",
     "scap_store_stats",
@@ -443,6 +452,29 @@ class ScapSocket:
         reconstructor = TimelineReconstructor(self.runtime.obs.trace)
         return reconstructor.for_stream(five_tuple)
 
+    def spans(self, trace_id: Optional[str] = None) -> "list[SpanRecord]":
+        """Span records retained in the run's trace ring.
+
+        Any :class:`~repro.observability.SpanRecorder` writing into this
+        run's observability context (for instance a traced
+        :class:`~repro.service.ScapClient` sharing the context) lands
+        here.  ``trace_id`` filters to one causal trace; with
+        observability off the list is empty.
+        """
+        records = span_records(self.runtime.obs.trace.events())
+        if trace_id is not None:
+            records = [r for r in records if r.trace_id == trace_id]
+        return records
+
+    def telemetry(self) -> Optional[TelemetryRing]:
+        """The run's :class:`~repro.observability.TelemetryRing`, if any.
+
+        Present when the socket was created with a ``telemetry=`` ring
+        (forwarded to :class:`~repro.core.runtime.ScapRuntime`, which
+        samples it on *simulated* packet time during the run).
+        """
+        return self.runtime.telemetry
+
     def export_metrics(self, fmt: str = "prometheus", indent: Optional[int] = None) -> str:
         """Serialize the run's metrics registry.
 
@@ -594,6 +626,16 @@ def scap_get_stats(sc: ScapSocket) -> ScapStats:
 def scap_profile(sc: ScapSocket) -> ProfileReport:
     """Read the per-stage breakdown of the run's simulated busy time."""
     return sc.profile()
+
+
+def scap_spans(sc: ScapSocket, trace_id: Optional[str] = None) -> "list[SpanRecord]":
+    """Read the request spans retained in the run's trace ring."""
+    return sc.spans(trace_id=trace_id)
+
+
+def scap_telemetry(sc: ScapSocket) -> Optional[TelemetryRing]:
+    """Read the run's telemetry ring (None unless one was attached)."""
+    return sc.telemetry()
 
 
 def scap_stream_timeline(sc: ScapSocket, five_tuple: Any) -> Optional[StreamTimeline]:

@@ -42,6 +42,7 @@ from ..observability import (
     STAGE_PACKET_RECEIVE,
     Observability,
     ProfileReport,
+    TelemetryRing,
 )
 from ..sanitizers import SanitizerContext, sanitizers_from_env
 from .config import ScapConfig
@@ -124,6 +125,7 @@ class ScapRuntime:
         sanitizers: Optional["SanitizerContext"] = None,
         fault_injector: Optional[object] = None,
         batch_size: Optional[int] = None,
+        telemetry: Optional[TelemetryRing] = None,
     ):
         self.config = config or ScapConfig()
         self.config.validate()
@@ -188,6 +190,11 @@ class ScapRuntime:
         self.bytes_offered = 0
         #: 0 = per-packet path (``SCAP_BATCH=0``); >= 2 = batched path.
         self.batch_size = resolve_batch_size(batch_size)
+        #: Optional cadenced registry snapshots, clocked on *simulated*
+        #: packet time (never the wall clock — SC001 discipline).  Only
+        #: library runs use this; the daemon runs its own wall-clock
+        #: ticker thread.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def _collect_event(self, core: int, event: Event) -> None:
@@ -424,6 +431,9 @@ class ScapRuntime:
         if self.fault_injector is not None:
             workload = self.fault_injector.wrap_workload(workload)
         last_time = 0.0
+        # Pre-resolved guard: the cadence check runs once per batch (or
+        # packet), so the disabled path must stay a single None test.
+        telemetry = self.telemetry
         if self.batch_size >= 2:
             size = self.batch_size
             replay_batches = getattr(workload, "replay_batches", None)
@@ -437,10 +447,18 @@ class ScapRuntime:
             for packets in batches:
                 self.process_batch(PacketBatch(packets))
                 last_time = packets[-1].timestamp
+                if telemetry is not None:
+                    telemetry.maybe_sample(last_time)
         else:
             for packet in workload.replay(rate_bps):
                 self.process_packet(packet)
                 last_time = packet.timestamp
+                if telemetry is not None:
+                    telemetry.maybe_sample(last_time)
+        if telemetry is not None:
+            # Close the run with one unconditional sample so short runs
+            # (shorter than the cadence) still yield a final snapshot.
+            telemetry.sample(last_time)
         self.finalize(last_time + self.config.inactivity_timeout + 1.0)
         return self.result(rate_bps, name=name)
 

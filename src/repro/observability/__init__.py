@@ -56,6 +56,15 @@ from .registry import (
     MetricFamily,
     MetricsRegistry,
 )
+from .spans import (
+    Span,
+    SpanNode,
+    SpanRecord,
+    SpanRecorder,
+    SpanTreeReconstructor,
+    span_records,
+)
+from .telemetry import TelemetryRing, TelemetrySample
 from .tracing import (
     ALL_HOOKS,
     HOOK_CUTOFF_REACHED,
@@ -71,6 +80,7 @@ from .tracing import (
     HOOK_SERVICE_CLIENT_EVICTED,
     HOOK_SERVICE_EVENT_DROPPED,
     HOOK_SERVICE_REQUEST,
+    HOOK_SPAN,
     HOOK_STREAM_CREATED,
     HOOK_STREAM_TERMINATED,
     TraceBuffer,
@@ -106,6 +116,15 @@ __all__ = [
     "HOOK_SERVICE_REQUEST",
     "HOOK_SERVICE_EVENT_DROPPED",
     "HOOK_SERVICE_CLIENT_EVICTED",
+    "HOOK_SPAN",
+    "Span",
+    "SpanRecord",
+    "SpanRecorder",
+    "SpanNode",
+    "SpanTreeReconstructor",
+    "span_records",
+    "TelemetryRing",
+    "TelemetrySample",
     "to_prometheus",
     "to_json",
     "snapshot",

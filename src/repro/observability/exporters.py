@@ -25,8 +25,58 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text format: backslash, newline, quote."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", "n": "\n", '"': '"'}.get(nxt, ch + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_label_body(body: str) -> List[Tuple[str, str]]:
+    """Parse ``k="v",...`` (no braces), honouring value escapes."""
+    pairs: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq]
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {body!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                raw.append(body[j : j + 2])
+                j += 2
+            else:
+                raw.append(body[j])
+                j += 1
+        pairs.append((key, _unescape_label_value("".join(raw))))
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return pairs
+
+
 def _label_str(names, values, extra: str = "") -> str:
-    parts = [f'{name}="{value}"' for name, value in zip(names, values)]
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    ]
     if extra:
         parts.append(extra)
     if not parts:
@@ -122,13 +172,7 @@ def parity_errors(registry: MetricsRegistry) -> List[str]:
         labels: _LabelKey = ()
         if "{" in name_part:
             name, _, body = name_part.partition("{")
-            pairs = []
-            # Label values here are metric-internal tokens (core ids,
-            # stage names, bucket bounds) — never contain ',' or '"'.
-            for item in body[:-1].split(","):
-                key, _, value = item.partition("=")
-                pairs.append((key, value.strip('"')))
-            labels = tuple(sorted(pairs))
+            labels = tuple(sorted(_parse_label_body(body[:-1])))
         value = math.inf if value_text == "+Inf" else float(value_text)
         prometheus[(name, labels)] = value
 

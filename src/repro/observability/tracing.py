@@ -33,6 +33,7 @@ __all__ = [
     "HOOK_SERVICE_REQUEST",
     "HOOK_SERVICE_EVENT_DROPPED",
     "HOOK_SERVICE_CLIENT_EVICTED",
+    "HOOK_SPAN",
     "ALL_HOOKS",
 ]
 
@@ -53,6 +54,8 @@ HOOK_FAULT_INJECTED = "fault_injected"
 HOOK_SERVICE_REQUEST = "service_request"
 HOOK_SERVICE_EVENT_DROPPED = "service_event_dropped"
 HOOK_SERVICE_CLIENT_EVICTED = "service_client_evicted"
+# Causal request spans (see repro.observability.spans).
+HOOK_SPAN = "span"
 
 ALL_HOOKS = (
     HOOK_STREAM_CREATED,
@@ -70,6 +73,7 @@ ALL_HOOKS = (
     HOOK_SERVICE_REQUEST,
     HOOK_SERVICE_EVENT_DROPPED,
     HOOK_SERVICE_CLIENT_EVICTED,
+    HOOK_SPAN,
 )
 
 

@@ -24,9 +24,17 @@ import queue
 import socket as socket_module
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..observability.spans import (
+    KIND_CLIENT,
+    Span,
+    SpanRecord,
+    SpanRecorder,
+    span_records,
+)
 from .protocol import (
     ERR_TIMEOUT,
     IDEMPOTENT_COMMANDS,
@@ -104,6 +112,8 @@ class ScapClient:
         timeout: float = DEFAULT_TIMEOUT,
         retry_idempotent: bool = True,
         retry_backoff: float = 0.05,
+        observability=None,
+        trace_prefix: Optional[str] = None,
     ):
         if unix_path is not None:
             sock = socket_module.socket(
@@ -126,6 +136,19 @@ class ScapClient:
         #: Unsolicited MSG_ERROR frames (request_id 0), newest last.
         self.unsolicited_errors: List[Frame] = []
         self._closed = False
+        #: Optional request tracing: every call opens a root span whose
+        #: context rides the frame header; the daemon links its own
+        #: spans under it.  ``trace_prefix`` keeps ids deterministic in
+        #: tests; by default each connection gets a unique prefix so
+        #: concurrent clients never collide inside the daemon's ring.
+        self.observability = observability
+        self.tracer: Optional[SpanRecorder] = None
+        self.last_trace_id: Optional[str] = None
+        if observability is not None and observability.enabled:
+            prefix = trace_prefix or f"c{uuid.uuid4().hex[:6]}"
+            self.tracer = SpanRecorder(
+                observability.trace, clock=time.monotonic, prefix=prefix
+            )
         self._reader = threading.Thread(
             target=self._read_loop, name="scap-client-read", daemon=True
         )
@@ -198,13 +221,31 @@ class ScapClient:
             self._pending.pop(request_id, None)
 
     def _send_request(
-        self, request_id: int, command: str, header: Dict[str, Any], payload: bytes
+        self,
+        request_id: int,
+        command: str,
+        header: Dict[str, Any],
+        payload: bytes,
+        span: Optional[Span] = None,
     ) -> None:
         header = dict(header)
         header["command"] = command
+        if span is not None:
+            # Optional context (protocol minor 1); old daemons ignore it.
+            header["trace"] = {"id": span.trace_id, "span": span.span_id}
         frame = encode_frame(MSG_REQUEST, request_id, header, payload)
         with self._write_lock:
             self.sock.sendall(frame)
+
+    def _start_call_span(self, command: str) -> Optional[Span]:
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        span = tracer.start_span(
+            f"client:{command}", kind=KIND_CLIENT, command=command
+        )
+        self.last_trace_id = span.trace_id
+        return span
 
     def low_level_call(
         self,
@@ -215,22 +256,28 @@ class ScapClient:
     ) -> CallResult:
         """One request/response exchange without retry logic."""
         request_id, waiter = self._allocate_request()
+        span = self._start_call_span(command)
+        status = "ok"
         try:
-            self._send_request(request_id, command, header or {}, payload)
+            self._send_request(request_id, command, header or {}, payload, span)
             try:
                 frame = waiter.get(timeout=self.timeout if timeout is None else timeout)
             except queue.Empty:
+                status = "timeout"
                 raise CallTimeout(
                     f"no response to {command!r} (request {request_id})"
                 ) from None
+            if frame.msg_type == MSG_ERROR:
+                status = str(frame.header.get("code", "internal"))
+                raise RemoteCallError(
+                    status,
+                    str(frame.header.get("message", "remote error")),
+                )
+            return CallResult(header=frame.header, payload=frame.payload)
         finally:
             self._release_request(request_id)
-        if frame.msg_type == MSG_ERROR:
-            raise RemoteCallError(
-                str(frame.header.get("code", "internal")),
-                str(frame.header.get("message", "remote error")),
-            )
-        return CallResult(header=frame.header, payload=frame.payload)
+            if span is not None:
+                span.end(status=status)
 
     def call(
         self,
@@ -264,28 +311,37 @@ class ScapClient:
         failed call raises after the whole batch was sent, so earlier
         results are not lost to a later error.
         """
-        issued: List[Tuple[int, "queue.Queue[Frame]", str]] = []
+        issued: List[Tuple[int, "queue.Queue[Frame]", str, Optional[Span]]] = []
         for command, header, payload in calls:
             request_id, waiter = self._allocate_request()
-            self._send_request(request_id, command, header, payload)
-            issued.append((request_id, waiter, command))
+            span = self._start_call_span(command)
+            self._send_request(request_id, command, header, payload, span)
+            issued.append((request_id, waiter, command, span))
         results: List[CallResult] = []
         failure: Optional[Exception] = None
-        for request_id, waiter, command in issued:
+        for request_id, waiter, command, span in issued:
+            status = "ok"
             try:
                 frame = waiter.get(timeout=self.timeout)
             except queue.Empty:
+                status = "timeout"
                 failure = failure or CallTimeout(
                     f"no response to {command!r} (request {request_id})"
                 )
                 continue
             finally:
                 self._release_request(request_id)
+                if span is not None and status != "ok":
+                    span.end(status=status)
             if frame.msg_type == MSG_ERROR:
+                status = str(frame.header.get("code", "internal"))
                 failure = failure or RemoteCallError(
-                    str(frame.header.get("code", "internal")),
+                    status,
                     str(frame.header.get("message", "remote error")),
                 )
+            if span is not None:
+                span.end(status=status)
+            if frame.msg_type == MSG_ERROR:
                 continue
             results.append(CallResult(header=frame.header, payload=frame.payload))
         if failure is not None:
@@ -421,6 +477,32 @@ class ScapClient:
     def stats(self) -> Dict[str, Any]:
         """The daemon's server/client/store/fault statistics snapshot."""
         return self.call("stats").header
+
+    def spans(
+        self,
+        trace_id: Optional[str] = None,
+        slowest: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Span records retained by the daemon (optionally one trace)."""
+        header = self.call(
+            "spans", trace_id=trace_id, slowest=slowest, limit=limit
+        ).header
+        return list(header.get("spans", []))
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The daemon's telemetry-ring history (cadenced samples)."""
+        return self.call("telemetry").header["telemetry"]
+
+    def health(self) -> Dict[str, Any]:
+        """The daemon's health verdict (same shape as ``/healthz``)."""
+        return self.call("health").header["health"]
+
+    def local_spans(self) -> List[SpanRecord]:
+        """Client-side span records from this connection's trace ring."""
+        if self.observability is None:
+            return []
+        return span_records(self.observability.trace.events())
 
     def reload(self) -> Dict[str, Any]:
         """Ask the daemon to drain queues and seal store segments."""

@@ -34,6 +34,7 @@ import os
 import socket as socket_module
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -47,8 +48,19 @@ from ..observability import (
     HOOK_SERVICE_REQUEST,
     NULL_OBSERVABILITY,
     Observability,
+    SpanRecorder,
+    SpanTreeReconstructor,
+    TelemetryRing,
+    span_records,
+)
+from ..observability.spans import (
+    KIND_INTERNAL,
+    KIND_SERVER,
+    KIND_STORE,
+    Span,
 )
 from ..traffic import Trace, campus_mix
+from .health import DEFAULT_HEALTH_RULES, HealthReport, HealthServer, evaluate_health
 from .protocol import (
     COMMAND_CODE_MAP,
     ERR_BAD_FRAME,
@@ -63,6 +75,8 @@ from .protocol import (
     MSG_ERROR,
     MSG_REQUEST,
     MSG_RESPONSE,
+    PROTOCOL_MINOR,
+    REJECT_CATEGORIES,
     Frame,
     FrameReader,
     FrameRejection,
@@ -71,7 +85,10 @@ from .protocol import (
 )
 from .session import EVENT_KINDS, ClientQuotas, ClientSession
 
-__all__ = ["DaemonConfig", "ScapDaemon"]
+__all__ = ["DaemonConfig", "ScapDaemon", "register_service_metrics"]
+
+#: ``category`` of fault-injected garbage frames (not a wire category).
+REJECT_INJECTED = "injected"
 
 GBIT = 1e9
 
@@ -104,6 +121,14 @@ class DaemonConfig:
     store_cores: int = 1
     #: Compress store record bodies.
     store_compress: bool = False
+    #: Wall-clock seconds between telemetry-ring samples.
+    telemetry_cadence: float = 1.0
+    #: Retained telemetry samples (the forensics window).
+    telemetry_capacity: int = 512
+    #: Bind the HTTP health sidecar here (None = no sidecar).
+    #: Port 0 picks a free port; read it back from ``http_address``.
+    http_host: Optional[str] = None
+    http_port: int = 0
 
     def validate(self) -> None:
         """Raise ValueError on out-of-range settings."""
@@ -112,6 +137,101 @@ class DaemonConfig:
             raise ValueError("memory_size must be positive")
         if self.global_event_budget is not None and self.global_event_budget < 1:
             raise ValueError("global_event_budget must be positive")
+        if self.telemetry_cadence <= 0:
+            raise ValueError("telemetry_cadence must be positive")
+        if self.telemetry_capacity < 2:
+            raise ValueError("telemetry_capacity must be at least 2")
+
+
+def register_service_metrics(registry) -> Dict[str, Any]:
+    """Register every ``scap_service_*`` family, children pre-created.
+
+    Shared by :class:`ScapDaemon` (which binds the returned
+    instruments) and by the exporter parity check (``repro-scap stats
+    --check-parity``), so parity is verified for the whole service
+    registry — span and telemetry families included — without needing
+    a live daemon.  Pre-creating the labeled children here means
+    handler threads only ever ``.inc()``/``.observe()`` existing
+    instruments, which keeps SCAP_RACE quiet.
+    """
+    metrics: Dict[str, Any] = {
+        "connections": registry.counter(
+            "scap_service_connections_total", "client connections accepted"
+        ),
+        "active": registry.gauge(
+            "scap_service_active_clients", "currently connected clients"
+        ),
+        "requests": registry.counter(
+            "scap_service_requests_total", "requests processed",
+            labels=("command",),
+        ),
+        "errors": registry.counter(
+            "scap_service_errors_total", "typed error responses",
+            labels=("code",),
+        ),
+        "rejected": registry.counter(
+            "scap_service_frames_rejected_total",
+            "malformed frames rejected without dropping the connection",
+            labels=("reason",),
+        ),
+        "bad_frames": registry.counter(
+            "scap_service_bad_frames_total",
+            "rejected frames by structural category",
+            labels=("reason",),
+        ),
+        "command_seconds": registry.histogram(
+            "scap_service_command_seconds",
+            "request handling wall seconds by command",
+            labels=("command",),
+        ),
+        "enqueued": registry.counter(
+            "scap_service_events_enqueued_total", "events queued for delivery"
+        ),
+        "delivered": registry.counter(
+            "scap_service_events_delivered_total", "events written to clients"
+        ),
+        "dropped": registry.counter(
+            "scap_service_events_dropped_total", "events dropped by backpressure"
+        ),
+        "bytes_sent": registry.counter(
+            "scap_service_bytes_sent_total", "frame bytes written to clients"
+        ),
+        "bytes_received": registry.counter(
+            "scap_service_bytes_received_total", "frame bytes read from clients"
+        ),
+        "captures": registry.counter(
+            "scap_service_captures_total", "capture runs executed for clients"
+        ),
+        "capture_dropped": registry.counter(
+            "scap_service_capture_dropped_packets_total",
+            "packets dropped unintentionally during client captures",
+        ),
+        "evictions": registry.counter(
+            "scap_service_client_evictions_total",
+            "clients disconnected for falling too far behind",
+        ),
+        "queued_events": registry.gauge(
+            "scap_service_queued_events",
+            "events currently queued across all clients",
+        ),
+        "queue_saturation": registry.gauge(
+            "scap_service_queue_saturation",
+            "deepest client event queue as a fraction of its quota",
+        ),
+        "telemetry_samples": registry.counter(
+            "scap_service_telemetry_samples_total",
+            "telemetry-ring snapshots taken",
+        ),
+    }
+    for command in tuple(COMMAND_CODE_MAP) + ("?",):
+        metrics["requests"].labels(command)
+        metrics["command_seconds"].labels(command)
+    for code in ERROR_CODES:
+        metrics["errors"].labels(code)
+    metrics["rejected"].labels(ERR_BAD_FRAME)
+    for category in REJECT_CATEGORIES + (REJECT_INJECTED,):
+        metrics["bad_frames"].labels(category)
+    return metrics
 
 
 class ScapDaemon:
@@ -166,54 +286,48 @@ class ScapDaemon:
         #: Ledger snapshots of sessions that finished (id -> dict).
         self.final_ledgers: Dict[int, Dict[str, object]] = {}
         # Service metrics: families are registered here, on the owning
-        # thread, so session threads only ever increment instruments.
+        # thread (children pre-created inside the helper), so session
+        # threads only ever increment existing instruments.
         registry = self._obs.registry
-        self._m_connections = registry.counter(
-            "scap_service_connections_total", "client connections accepted"
-        )
-        self._m_active = registry.gauge(
-            "scap_service_active_clients", "currently connected clients"
-        )
-        self._m_requests = registry.counter(
-            "scap_service_requests_total", "requests processed", labels=("command",)
-        )
-        self._m_errors = registry.counter(
-            "scap_service_errors_total", "typed error responses", labels=("code",)
-        )
-        self._m_rejected = registry.counter(
-            "scap_service_frames_rejected_total",
-            "malformed frames rejected without dropping the connection",
-            labels=("reason",),
-        )
-        self._m_enqueued = registry.counter(
-            "scap_service_events_enqueued_total", "events queued for delivery"
-        )
-        self._m_delivered = registry.counter(
-            "scap_service_events_delivered_total", "events written to clients"
-        )
-        self._m_dropped = registry.counter(
-            "scap_service_events_dropped_total", "events dropped by backpressure"
-        )
-        self._m_bytes_sent = registry.counter(
-            "scap_service_bytes_sent_total", "frame bytes written to clients"
-        )
-        self._m_bytes_received = registry.counter(
-            "scap_service_bytes_received_total", "frame bytes read from clients"
-        )
-        self._m_captures = registry.counter(
-            "scap_service_captures_total", "capture runs executed for clients"
-        )
-        self._m_evictions = registry.counter(
-            "scap_service_client_evictions_total",
-            "clients disconnected for falling too far behind",
-        )
-        # Pre-create every labeled child on the constructing thread so
-        # handler threads only ever .inc() existing instruments.
-        for command in tuple(COMMAND_CODE_MAP) + ("?",):
-            self._m_requests.labels(command)
-        for code in ERROR_CODES:
-            self._m_errors.labels(code)
-        self._m_rejected.labels(ERR_BAD_FRAME)
+        metrics = register_service_metrics(registry)
+        self._m_connections = metrics["connections"]
+        self._m_active = metrics["active"]
+        self._m_requests = metrics["requests"]
+        self._m_errors = metrics["errors"]
+        self._m_rejected = metrics["rejected"]
+        self._m_bad_frames = metrics["bad_frames"]
+        self._m_command_seconds = metrics["command_seconds"]
+        self._m_enqueued = metrics["enqueued"]
+        self._m_delivered = metrics["delivered"]
+        self._m_dropped = metrics["dropped"]
+        self._m_bytes_sent = metrics["bytes_sent"]
+        self._m_bytes_received = metrics["bytes_received"]
+        self._m_captures = metrics["captures"]
+        self._m_capture_dropped = metrics["capture_dropped"]
+        self._m_evictions = metrics["evictions"]
+        self._m_queued_events = metrics["queued_events"]
+        self._m_queue_saturation = metrics["queue_saturation"]
+        self._m_telemetry_samples = metrics["telemetry_samples"]
+        # Causal request tracing and cadenced telemetry; both exist
+        # only when observability is enabled, so every hot call site
+        # guards on ``is not None`` (one pointer check when disabled).
+        self._spans: Optional[SpanRecorder] = None
+        self.telemetry: Optional[TelemetryRing] = None
+        if self._obs.enabled:
+            self._spans = SpanRecorder(
+                self._obs.trace, clock=time.monotonic, prefix="d"
+            )
+            self.telemetry = TelemetryRing(
+                registry,
+                cadence=self.config.telemetry_cadence,
+                capacity=self.config.telemetry_capacity,
+            )
+        self._telemetry_stop = threading.Event()
+        self._telemetry_thread: Optional[threading.Thread] = None
+        #: The HTTP sidecar (started by :meth:`start` when configured).
+        self.health_server: Optional[HealthServer] = None
+        #: Bound ``(host, port)`` of the sidecar once it is listening.
+        self.http_address: Optional[Tuple[str, int]] = None
         _Handler = Callable[
             [ClientSession, Frame], Optional[Tuple[Dict[str, Any], bytes]]
         ]
@@ -234,6 +348,9 @@ class ScapDaemon:
             "query": self._cmd_query,
             "bulk_query": self._cmd_bulk_query,
             "stats": self._cmd_stats,
+            "spans": self._cmd_spans,
+            "telemetry": self._cmd_telemetry,
+            "health": self._cmd_health,
             "reload": self._cmd_reload,
             "shutdown": self._cmd_shutdown,
         }
@@ -264,7 +381,7 @@ class ScapDaemon:
         return bound[0], bound[1]
 
     def start(self) -> None:
-        """Start one accept thread per registered listener."""
+        """Start accept threads, the telemetry ticker, and the sidecar."""
         with self._state_lock:
             listeners = list(self._listeners)
             for sock, label in listeners[len(self._accept_threads):]:
@@ -276,6 +393,79 @@ class ScapDaemon:
                 )
                 self._accept_threads.append(thread)
                 thread.start()
+        if self.telemetry is not None and self._telemetry_thread is None:
+            self._telemetry_thread = threading.Thread(
+                target=self._telemetry_loop,
+                name="scapd-telemetry",
+                daemon=True,
+            )
+            self._telemetry_thread.start()
+        if self.config.http_host is not None and self.health_server is None:
+            self.health_server = HealthServer(
+                self._obs.registry,
+                self.telemetry,
+                self.health_structural,
+                host=self.config.http_host,
+                port=self.config.http_port,
+            )
+            self.http_address = self.health_server.start()
+
+    # ------------------------------------------------------------------
+    # Telemetry ticker and health surface
+    # ------------------------------------------------------------------
+    def _telemetry_loop(self) -> None:
+        """Wall-clock ticker: one ring sample per configured cadence."""
+        while not self._telemetry_stop.wait(self.config.telemetry_cadence):
+            self.sample_telemetry(time.monotonic())
+
+    def sample_telemetry(self, now: float):
+        """Refresh derived queue gauges, then snapshot the registry.
+
+        ``now`` is injected (the ticker passes ``time.monotonic()``),
+        matching the observability layer's clock discipline.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None
+        with self._state_lock:
+            sessions = list(self._sessions.values())
+        queued = 0
+        saturation = 0.0
+        for session in sessions:
+            depth = session.queue_depth()
+            queued += depth
+            limit = session.quotas.max_queued_events
+            if limit > 0:
+                saturation = max(saturation, depth / limit)
+        if self._obs.enabled:
+            self._m_queued_events.set(queued)
+            self._m_queue_saturation.set(saturation)
+            self._m_telemetry_samples.inc()
+        return telemetry.sample(now)
+
+    def health_structural(self) -> Dict[str, object]:
+        """Non-rate facts the health verdict folds in.
+
+        Ledger balance is judged over *retired* sessions only: a live
+        session's counters move between reads, so a mid-soak scrape
+        must not flap on transient enqueue/deliver races.
+        """
+        with self._state_lock:
+            closing = self._closing
+            reloading = self._reloading
+        started = bool(self._accept_threads)
+        return {
+            "ledgers_balanced": self.ledgers_balanced(),
+            "ready": started and not closing and not reloading,
+        }
+
+    def health_report(self) -> HealthReport:
+        """Evaluate the default rule set right now (command + sidecar)."""
+        if self.health_server is not None:
+            return self.health_server.report()
+        return evaluate_health(
+            self.telemetry, DEFAULT_HEALTH_RULES, self.health_structural()
+        )
 
     def serve_forever(self, poll_seconds: float = 0.2) -> None:
         """Blocking serve loop; returns once :meth:`shutdown` ran."""
@@ -418,7 +608,8 @@ class ScapDaemon:
                             self._reject_frame(
                                 session,
                                 FrameRejection(
-                                    "bad_frame", "injected garbage frame", 0
+                                    "bad_frame", "injected garbage frame", 0,
+                                    category=REJECT_INJECTED,
                                 ),
                                 request_id=item.request_id,
                             )
@@ -435,6 +626,7 @@ class ScapDaemon:
         session.note_rejection()
         if self._obs.enabled:
             self._m_rejected.labels(rejection.reason).inc()
+            self._m_bad_frames.labels(rejection.category).inc()
         self._send_error(
             session,
             request_id,
@@ -465,6 +657,44 @@ class ScapDaemon:
                 client=session.client_id,
                 command=command,
             )
+        tracer = self._spans
+        if tracer is None:
+            self._dispatch_inner(session, frame, command, None)
+            return
+        # Adopt the caller's trace context (protocol minor 1) when the
+        # frame carries one; otherwise this dispatch roots a new trace.
+        context = frame.header.get("trace")
+        trace_id = parent_id = None
+        if isinstance(context, dict):
+            raw_trace = context.get("id")
+            raw_parent = context.get("span")
+            trace_id = str(raw_trace) if raw_trace is not None else None
+            parent_id = str(raw_parent) if raw_parent is not None else None
+        span = tracer.start_span(
+            f"daemon:{command or '?'}",
+            kind=KIND_SERVER,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            command=command or "?",
+            client=session.client_id,
+        )
+        status = ERR_INTERNAL
+        try:
+            status = self._dispatch_inner(session, frame, command, span)
+        finally:
+            record = span.end(status=status)
+            if self._obs.enabled:
+                label = command if command in self._handlers else "?"
+                self._m_command_seconds.labels(label).observe(record.duration)
+
+    def _dispatch_inner(
+        self,
+        session: ClientSession,
+        frame: Frame,
+        command: str,
+        span: Optional[Span],
+    ) -> str:
+        """Route one request; returns the outcome ("ok" or an ERR code)."""
         with self._state_lock:
             draining = self._closing or self._reloading
         if draining and command not in ("stats", "ping"):
@@ -472,43 +702,65 @@ class ScapDaemon:
                 session, frame.request_id, ERR_SHUTTING_DOWN,
                 "daemon is shutting down or reloading",
             )
-            return
+            return ERR_SHUTTING_DOWN
         handler = self._handlers.get(command)
         if handler is None:
             self._send_error(
                 session, frame.request_id, ERR_UNKNOWN_COMMAND,
                 f"unknown command {command!r}",
             )
-            return
+            return ERR_UNKNOWN_COMMAND
         if not session.authenticated and command != "hello":
             self._send_error(
                 session, frame.request_id, ERR_UNAUTHORIZED,
                 "authenticate with hello first",
             )
-            return
+            return ERR_UNAUTHORIZED
+        handler_span = None
+        tracer = self._spans
+        if tracer is not None and span is not None:
+            handler_span = tracer.start_span(
+                f"handler:{command}",
+                kind=KIND_INTERNAL,
+                trace_id=span.trace_id,
+                parent_id=span.span_id,
+            )
+            # Handlers run on this session's reader thread only, so the
+            # active span can ride the session without a lock; store
+            # and capture paths parent their child spans under it.
+            session.active_span = handler_span
+        status = "ok"
         try:
             result = handler(session, frame)
         except ServiceError as exc:
             self._send_error(session, frame.request_id, exc.code, exc.message)
-            return
+            status = exc.code
+            return status
         except (KeyError, ValueError, TypeError) as exc:
             self._send_error(
                 session, frame.request_id, ERR_BAD_REQUEST,
                 f"{type(exc).__name__}: {exc}",
             )
-            return
+            status = ERR_BAD_REQUEST
+            return status
         except Exception as exc:  # noqa: BLE001 — the daemon must survive
             self._send_error(
                 session, frame.request_id, ERR_INTERNAL,
                 f"{type(exc).__name__}: {exc}",
             )
-            return
+            status = ERR_INTERNAL
+            return status
+        finally:
+            if handler_span is not None:
+                session.active_span = None
+                handler_span.end(status=status)
         if result is None:
-            return  # the handler already answered (e.g. shutdown)
+            return status  # the handler already answered (e.g. shutdown)
         header, payload = result
         session.send_bytes(
             encode_frame(MSG_RESPONSE, frame.request_id, header, payload)
         )
+        return status
 
     def _retire_client(self, session: ClientSession) -> None:
         session.begin_close()
@@ -542,6 +794,7 @@ class ScapDaemon:
                 "client_id": session.client_id,
                 "server_version": __version__,
                 "protocol_version": frame.version,
+                "protocol_minor": PROTOCOL_MINOR,
                 "auth": tokens is not None,
             },
             b"",
@@ -656,7 +909,24 @@ class ScapDaemon:
             scap.dispatch_creation(on_creation)
             scap.dispatch_data(on_data)
             scap.dispatch_termination(on_termination)
+            capture_span = None
+            tracer = self._spans
+            parent = session.active_span
+            if tracer is not None and parent is not None:
+                capture_span = tracer.start_span(
+                    "capture:run",
+                    kind=KIND_INTERNAL,
+                    trace_id=parent.trace_id,
+                    parent_id=parent.span_id,
+                    capture=name,
+                )
             result = scap.start_capture(name=name)
+            if capture_span is not None:
+                capture_span.annotate(
+                    offered_packets=result.offered_packets,
+                    dropped_packets=result.dropped_packets,
+                )
+                capture_span.end()
             if self.store is not None:
                 self.store.flush()
             with self._state_lock:
@@ -664,6 +934,8 @@ class ScapDaemon:
                 self._sim_now = max(self._sim_now, result.duration)
             if self._obs.enabled:
                 self._m_captures.inc()
+                if result.dropped_packets:
+                    self._m_capture_dropped.inc(result.dropped_packets)
             return {
                 "name": name,
                 "capture": capture_number,
@@ -854,39 +1126,58 @@ class ScapDaemon:
             )
         return self.store
 
-    def _one_query(self, spec: Dict[str, Any]) -> Tuple[Dict[str, Any], bytes]:
+    def _one_query(
+        self, spec: Dict[str, Any], parent: Optional[Span] = None
+    ) -> Tuple[Dict[str, Any], bytes]:
         store = self._require_store()
-        flow = spec.get("flow")
-        five_tuple = FiveTuple(*flow) if flow is not None else None
-        result = store.query(
-            five_tuple,
-            start_ts=spec.get("start"),
-            end_ts=spec.get("end"),
-        )
-        streams = []
-        chunks = []
-        for stream in result.streams:
-            streams.append(
-                {
-                    "flow": list(stream.client_tuple),
-                    "direction": stream.direction,
-                    "len": len(stream.data),
-                    "first_ts": stream.first_ts,
-                    "last_ts": stream.last_ts,
-                    "base_offset": stream.base_offset,
-                    "gap_bytes": stream.gap_bytes,
-                }
+        query_span = None
+        tracer = self._spans
+        if tracer is not None and parent is not None:
+            query_span = tracer.start_span(
+                "store:query",
+                kind=KIND_STORE,
+                trace_id=parent.trace_id,
+                parent_id=parent.span_id,
             )
-            chunks.append(stream.data)
-        return (
-            {"streams": streams, "total_bytes": result.total_bytes},
-            b"".join(chunks),
-        )
+        try:
+            flow = spec.get("flow")
+            five_tuple = FiveTuple(*flow) if flow is not None else None
+            result = store.query(
+                five_tuple,
+                start_ts=spec.get("start"),
+                end_ts=spec.get("end"),
+            )
+            streams = []
+            chunks = []
+            for stream in result.streams:
+                streams.append(
+                    {
+                        "flow": list(stream.client_tuple),
+                        "direction": stream.direction,
+                        "len": len(stream.data),
+                        "first_ts": stream.first_ts,
+                        "last_ts": stream.last_ts,
+                        "base_offset": stream.base_offset,
+                        "gap_bytes": stream.gap_bytes,
+                    }
+                )
+                chunks.append(stream.data)
+            if query_span is not None:
+                query_span.annotate(
+                    streams=len(streams), bytes=result.total_bytes
+                )
+            return (
+                {"streams": streams, "total_bytes": result.total_bytes},
+                b"".join(chunks),
+            )
+        finally:
+            if query_span is not None:
+                query_span.end()
 
     def _cmd_query(self, session: ClientSession, frame: Frame):
         store = self._require_store()
         store.flush()  # make everything recorded so far queryable
-        header, payload = self._one_query(frame.header)
+        header, payload = self._one_query(frame.header, parent=session.active_span)
         return (header, payload)
 
     def _cmd_bulk_query(self, session: ClientSession, frame: Frame):
@@ -898,7 +1189,7 @@ class ScapDaemon:
         results = []
         chunks = []
         for spec in queries:
-            header, payload = self._one_query(spec)
+            header, payload = self._one_query(spec, parent=session.active_span)
             results.append(header)
             chunks.append(payload)
         return ({"results": results}, b"".join(chunks))
@@ -939,6 +1230,48 @@ class ScapDaemon:
             },
             b"",
         )
+
+    def _cmd_spans(self, session: ClientSession, frame: Frame):
+        """Retained span records — all, one trace, or the slowest N traces."""
+        records = span_records(self._obs.trace.events())
+        reconstructor = SpanTreeReconstructor(records)
+        trace_id = frame.header.get("trace_id")
+        slowest = frame.header.get("slowest")
+        if trace_id is not None:
+            records = reconstructor.records(str(trace_id))
+        elif slowest is not None:
+            wanted = {pair[0] for pair in reconstructor.slowest(int(slowest))}
+            records = [r for r in reconstructor.records() if r.trace_id in wanted]
+        else:
+            records = reconstructor.records()
+        limit = frame.header.get("limit")
+        if limit is not None:
+            records = records[-int(limit):]
+        return (
+            {
+                "spans": [record.as_fields() for record in records],
+                "tracing": self._spans is not None,
+            },
+            b"",
+        )
+
+    def _cmd_telemetry(self, session: ClientSession, frame: Frame):
+        """The telemetry ring's history (optionally forcing a sample)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return (
+                {"telemetry": {"enabled": False, "cadence": None, "samples": []}},
+                b"",
+            )
+        if frame.header.get("sample"):
+            self.sample_telemetry(time.monotonic())
+        payload = telemetry.as_dict()
+        payload["enabled"] = True
+        return ({"telemetry": payload}, b"")
+
+    def _cmd_health(self, session: ClientSession, frame: Frame):
+        """The health verdict, same shape the sidecar's /healthz serves."""
+        return ({"health": self.health_report().as_dict()}, b"")
 
     def _cmd_reload(self, session: ClientSession, frame: Frame):
         if not self.config.allow_control:
@@ -1028,6 +1361,13 @@ class ScapDaemon:
             thread.join(timeout=2.0)
         for thread in list(self._handler_threads):
             thread.join(timeout=2.0)
+        self._telemetry_stop.set()
+        if self._telemetry_thread is not None:
+            self._telemetry_thread.join(timeout=2.0)
+            self._telemetry_thread = None
+        if self.health_server is not None:
+            self.health_server.stop()
+            self.health_server = None
         with self._state_lock:
             for session in sessions:
                 self.final_ledgers.setdefault(session.client_id, session.describe())

@@ -38,7 +38,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_MINOR",
     "MAX_FRAME_BYTES",
+    "REJECT_ZERO_LENGTH",
+    "REJECT_OVERSIZED",
+    "REJECT_UNDECODABLE",
+    "REJECT_CATEGORIES",
     "MSG_REQUEST",
     "MSG_RESPONSE",
     "MSG_EVENT",
@@ -68,6 +73,13 @@ __all__ = [
 
 #: Protocol revision carried in every frame; peers reject mismatches.
 PROTOCOL_VERSION = 1
+
+#: Minor revision, advertised in ``hello`` but *not* on the wire byte:
+#: minor bumps only add optional header keys (which old peers ignore —
+#: every header read goes through ``.get``).  Minor 1 added the
+#: ``trace`` header key carrying span context (see
+#: ``repro.observability.spans``).
+PROTOCOL_MINOR = 1
 
 #: Hard upper bound on ``length``; larger declarations are rejected
 #: (and skipped) without ever buffering the oversized body.
@@ -106,12 +118,17 @@ COMMAND_CODE_MAP: Dict[str, int] = {
     "query": 0x71756572,          # "quer"
     "bulk_query": 0x62756C6B,     # "bulk"
     "stats": 0x73746174,          # "stat"
+    "spans": 0x73706E73,          # "spns"
+    "telemetry": 0x746C6D74,      # "tlmt"
+    "health": 0x686C7468,         # "hlth"
     "reload": 0x726C6F64,         # "rlod"
     "shutdown": 0x73687574,       # "shut"
 }
 
 #: Commands safe to retry after a timeout (no server-side state change).
-IDEMPOTENT_COMMANDS = frozenset({"ping", "query", "bulk_query", "stats"})
+IDEMPOTENT_COMMANDS = frozenset(
+    {"ping", "query", "bulk_query", "stats", "spans", "telemetry", "health"}
+)
 
 # Typed error codes (the ``code`` field of MSG_ERROR headers).
 ERR_BAD_FRAME = "bad_frame"
@@ -132,6 +149,19 @@ ERROR_CODES = (
     ERR_SHUTTING_DOWN,
     ERR_TIMEOUT,
     ERR_INTERNAL,
+)
+
+# Structural categories of rejected frames (the ``category`` of a
+# :class:`FrameRejection`, and the ``reason`` label of the daemon's
+# ``scap_service_bad_frames_total`` counter).
+REJECT_ZERO_LENGTH = "zero_length"
+REJECT_OVERSIZED = "oversized"
+REJECT_UNDECODABLE = "undecodable"
+
+REJECT_CATEGORIES = (
+    REJECT_ZERO_LENGTH,
+    REJECT_OVERSIZED,
+    REJECT_UNDECODABLE,
 )
 
 _FIXED = struct.Struct("!BBII")  # version, msg_type, request_id, header_len
@@ -188,6 +218,7 @@ class FrameRejection:
     reason: str          # an ERR_* code, usually ERR_BAD_FRAME
     detail: str          # human-readable diagnosis
     skipped_bytes: int   # wire bytes consumed while resynchronizing
+    category: str = REJECT_UNDECODABLE  # a REJECT_* structural category
 
 
 def encode_frame(
@@ -295,7 +326,12 @@ class FrameReader:
                     return out  # still mid-drain; wait for more bytes
                 reason, detail = self._drain_reason or (ERR_BAD_FRAME, "")
                 self._drain_reason = None
-                out.append(FrameRejection(reason, detail, skipped_bytes=drained))
+                out.append(
+                    FrameRejection(
+                        reason, detail, skipped_bytes=drained,
+                        category=REJECT_OVERSIZED,
+                    )
+                )
                 continue
             if len(self._buffer) < _LENGTH.size:
                 return out
@@ -307,6 +343,7 @@ class FrameReader:
                         ERR_BAD_FRAME,
                         "zero-length frame",
                         skipped_bytes=_LENGTH.size,
+                        category=REJECT_ZERO_LENGTH,
                     )
                 )
                 continue
@@ -327,7 +364,8 @@ class FrameReader:
             except ProtocolError as exc:
                 out.append(
                     FrameRejection(
-                        exc.code, exc.message, skipped_bytes=len(body)
+                        exc.code, exc.message, skipped_bytes=len(body),
+                        category=REJECT_UNDECODABLE,
                     )
                 )
 

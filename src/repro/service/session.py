@@ -162,6 +162,10 @@ class ClientSession:
         #: the session lock — the daemon points these at its metrics.
         self.on_delivered: Optional[Callable[[int], None]] = None
         self.on_dropped: Optional[Callable[[int], None]] = None
+        #: The in-flight request's handler span (set by the daemon's
+        #: dispatch).  Only this session's reader thread touches it —
+        #: handlers run serially per connection — so no lock is needed.
+        self.active_span = None
 
     # ------------------------------------------------------------------
     # Outbound half

@@ -230,7 +230,15 @@ class GuardedHooksRule(Rule):
         "observability hook calls (metric .inc/.observe/.set, trace .emit) "
         "must be inside an `if <obs>.enabled:` fast-path guard"
     )
-    packages = HOT_PATH_PACKAGES
+    # Beyond the simulated hot path, the service layer and the span /
+    # telemetry recorders emit into the same registry and trace ring, so
+    # their call sites carry the same guarded-fast-path contract.  (SC001
+    # stays scoped to HOT_PATH_PACKAGES: the daemon legitimately reads
+    # the wall clock.)
+    packages = HOT_PATH_PACKAGES | frozenset(
+        {"repro/service", "repro/observability/spans",
+         "repro/observability/telemetry"}
+    )
 
     def check(self, source: SourceFile) -> List[Violation]:
         self._findings: List[Violation] = []

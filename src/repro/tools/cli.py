@@ -30,6 +30,13 @@ Subcommands:
 * ``chaos``    — run the deterministic chaos soak: the full pipeline
   under a seeded fault plan with sanitizers on, asserting the
   degradation invariants (docs/FAULT_INJECTION.md).
+* ``serve``    — run the capture daemon (service mode; docs/SERVICE.md);
+  ``--http`` adds the /metrics //healthz //readyz sidecar.
+* ``spans``    — fetch request-span records from a daemon and render
+  causal client→daemon→store trees with per-hop timings.
+* ``top``      — live terminal view of a daemon's telemetry ring and
+  health verdict (throughput, drop rates, queue depths, per-client
+  feeds).
 
 Examples::
 
@@ -343,6 +350,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--garbage-frame-rate", type=float, default=0.0)
     serve.add_argument("--observability", action="store_true",
                        help="enable scap_service_* metrics and trace hooks")
+    serve.add_argument("--http", default=None, metavar="HOST:PORT",
+                       help="serve /metrics, /healthz, /readyz on this "
+                            "address (implies --observability; port 0 = "
+                            "ephemeral)")
+    serve.add_argument("--telemetry-cadence", type=float, default=1.0,
+                       help="seconds between telemetry-ring samples")
+
+    spans_cmd = sub.add_parser(
+        "spans", help="fetch and render request span trees from a daemon"
+    )
+    spans_endpoint = spans_cmd.add_mutually_exclusive_group(required=True)
+    spans_endpoint.add_argument("--unix", metavar="PATH",
+                                help="daemon Unix socket path")
+    spans_endpoint.add_argument("--tcp", metavar="HOST:PORT",
+                                help="daemon TCP address")
+    spans_cmd.add_argument("--token", default=None, help="auth token")
+    spans_cmd.add_argument("--trace-id", default=None,
+                           help="render one causal trace by id")
+    spans_cmd.add_argument("--slowest", type=int, default=None, metavar="N",
+                           help="render the N slowest retained traces")
+    spans_cmd.add_argument("--limit", type=int, default=None,
+                           help="fetch at most the last N span records")
+
+    top = sub.add_parser(
+        "top", help="live daemon telemetry and health view"
+    )
+    top_endpoint = top.add_mutually_exclusive_group(required=True)
+    top_endpoint.add_argument("--unix", metavar="PATH",
+                              help="daemon Unix socket path")
+    top_endpoint.add_argument("--tcp", metavar="HOST:PORT",
+                              help="daemon TCP address")
+    top.add_argument("--token", default=None, help="auth token")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--count", type=int, default=0,
+                     help="stop after N frames (0 = until interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (same as --count 1)")
+    top.add_argument("--json", action="store_true",
+                     help="emit each frame as one JSON object")
 
     analyze = sub.add_parser("analyze", help="evaluate the §7 loss models")
     analyze.add_argument("--rho", type=float, default=0.5)
@@ -555,7 +602,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(text, end="" if text.endswith("\n") else "\n")
     if args.check_parity:
         from ..observability import parity_errors
+        from ..service.daemon import register_service_metrics
 
+        # Parity must hold for the whole registry, service families
+        # included: register them here (idempotent, pre-created label
+        # children) so scap_service_* and the telemetry counters are
+        # part of the sample-for-sample comparison too.
+        register_service_metrics(socket.observability.registry)
         errors = parity_errors(socket.observability.registry)
         if errors:
             for error in errors[:20]:
@@ -869,6 +922,147 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _connect_client(args: argparse.Namespace, **kwargs):
+    """Open a ScapClient from the shared --unix/--tcp/--token options."""
+    from ..service import ScapClient
+
+    if args.unix is not None:
+        return ScapClient(unix_path=args.unix, token=args.token, **kwargs)
+    host, _, port = args.tcp.rpartition(":")
+    return ScapClient(
+        host=host or "127.0.0.1", port=int(port), token=args.token, **kwargs
+    )
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from ..observability import Observability, SpanTreeReconstructor
+
+    obs = Observability(enabled=True)
+    client = _connect_client(
+        args, observability=obs, trace_prefix="cli", name="repro-scap-spans"
+    )
+    try:
+        if args.trace_id is not None or args.slowest is not None:
+            remote = client.spans(
+                trace_id=args.trace_id, slowest=args.slowest, limit=args.limit
+            )
+            sources = list(remote)
+        else:
+            # No selector: exercise one traced round trip and render it,
+            # merging our local client spans with the daemon's server
+            # side of the same trace.
+            client.ping()
+            trace_id = client.last_trace_id
+            remote = client.spans(trace_id=trace_id, limit=args.limit)
+            sources = list(client.local_spans()) + list(remote)
+            args.trace_id = trace_id
+    finally:
+        client.close()
+    reconstructor = SpanTreeReconstructor(sources)
+    if not reconstructor.trace_ids():
+        print("no span records retained (daemon running without "
+              "--observability?)")
+        return 1
+    if args.trace_id is not None:
+        wanted = [args.trace_id]
+    elif args.slowest is not None:
+        wanted = [pair[0] for pair in reconstructor.slowest(args.slowest)]
+    else:
+        wanted = reconstructor.trace_ids()
+    for trace_id in wanted:
+        print(reconstructor.format_trace(trace_id))
+    print(f"# {len(wanted)} trace(s), {len(reconstructor.records())} spans")
+    return 0
+
+
+def _top_frame(client) -> dict:
+    """One `top` refresh: forced telemetry sample + health + stats."""
+    telemetry = client.call("telemetry", sample=True).header["telemetry"]
+    health = client.health()
+    stats = client.stats()
+    samples = telemetry.get("samples", [])
+    rates: dict = {}
+    if len(samples) >= 2:
+        previous, latest = samples[-2], samples[-1]
+        dt = latest["time"] - previous["time"]
+        if dt > 0:
+            for key, value in latest["values"].items():
+                delta = value - previous["values"].get(key, 0)
+                if delta <= 0:
+                    continue
+                # Aggregate label children under their family name.
+                family = key.split("{", 1)[0]
+                rates[family] = rates.get(family, 0.0) + delta / dt
+    return {
+        "verdict": health.get("verdict"),
+        "ready": health.get("ready"),
+        "reasons": health.get("reasons", []),
+        "server": stats.get("server", {}),
+        "clients": stats.get("clients", []),
+        "rates": rates,
+        "samples": len(samples),
+    }
+
+
+def _print_top_frame(frame: dict) -> None:
+    server = frame["server"]
+    print(
+        f"scap-top  verdict={frame['verdict']}"
+        f"{' (ready)' if frame['ready'] else ' (NOT ready)'}  "
+        f"clients={server.get('active_clients', '?')}  "
+        f"captures={server.get('captures', '?')}  "
+        f"samples={frame['samples']}"
+    )
+    for reason in frame["reasons"]:
+        print(f"  ! {reason}")
+    rates = frame["rates"]
+
+    def rate(family: str) -> float:
+        return rates.get(family, 0.0)
+
+    print(
+        f"  tx {rate('scap_service_bytes_sent_total') / 1e6:8.2f} MB/s   "
+        f"rx {rate('scap_service_bytes_received_total') / 1e6:8.2f} MB/s   "
+        f"events {rate('scap_service_events_delivered_total'):9.1f}/s   "
+        f"drops {rate('scap_service_events_dropped_total'):7.1f}/s   "
+        f"bad frames {rate('scap_service_bad_frames_total'):6.1f}/s"
+    )
+    for entry in frame["clients"]:
+        ledger = entry.get("ledger", {})
+        print(
+            f"  client {entry.get('name') or entry.get('client_id')}: "
+            f"queued={entry.get('queued', 0)} "
+            f"delivered={ledger.get('delivered', 0)} "
+            f"dropped={ledger.get('dropped', 0)} "
+            f"fed={ledger.get('bytes_sent', 0)} B"
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    client = _connect_client(args, name="repro-scap-top")
+    count = 1 if args.once else args.count
+    shown = 0
+    try:
+        while True:
+            frame = _top_frame(client)
+            if args.json:
+                print(_json.dumps(frame))
+            else:
+                _print_top_frame(frame)
+            shown += 1
+            if count and shown >= count:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..observability import Observability
     from ..service import ClientQuotas, DaemonConfig, ScapDaemon
@@ -888,6 +1082,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 garbage_frame_rate=args.garbage_frame_rate,
             ),
         )
+    http_host, http_port = None, 0
+    if args.http is not None:
+        host_part, _, port_part = args.http.rpartition(":")
+        http_host = host_part or "127.0.0.1"
+        http_port = int(port_part or 0)
     config = DaemonConfig(
         store_dir=args.store,
         auth_tokens=tuple(args.token) if args.token else None,
@@ -900,8 +1099,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         memory_size=args.memory_mb << 20,
         core_count=args.cores,
         allow_control=not args.no_control,
+        http_host=http_host,
+        http_port=http_port,
+        telemetry_cadence=args.telemetry_cadence,
     )
-    observability = Observability(enabled=True) if args.observability else None
+    # The sidecar serves the metrics registry, so it needs one.
+    enable_obs = args.observability or args.http is not None
+    observability = Observability(enabled=True) if enable_obs else None
     daemon = ScapDaemon(config, observability=observability, fault_plan=fault_plan)
     if args.unix is not None:
         daemon.add_unix_listener(args.unix)
@@ -912,6 +1116,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                                          int(port or 0))
         print(f"listening on tcp:{bound_host}:{bound_port}", flush=True)
     try:
+        daemon.start()
+        if daemon.http_address is not None:
+            print(
+                f"health sidecar on "
+                f"http://{daemon.http_address[0]}:{daemon.http_address[1]} "
+                f"(/metrics /healthz /readyz)",
+                flush=True,
+            )
         daemon.serve_forever()
     except KeyboardInterrupt:
         daemon.shutdown()
@@ -940,6 +1152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _cmd_query,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "spans": _cmd_spans,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

@@ -81,6 +81,56 @@ def test_parity_errors_empty_on_agreeing_exporters():
     assert parity_errors(obs.registry) == []
 
 
+def test_label_values_escape_and_round_trip():
+    from repro.observability.exporters import (
+        _escape_label_value,
+        _parse_label_body,
+        _unescape_label_value,
+    )
+
+    hostile = 'C:\\traces\n"quoted" \\n literal'
+    escaped = _escape_label_value(hostile)
+    # Escaped text is one physical line with no bare quotes.
+    assert "\n" not in escaped
+    assert _unescape_label_value(escaped) == hostile
+    body = f'path="{escaped}",core="0"'
+    assert _parse_label_body(body) == [("path", hostile), ("core", "0")]
+
+
+def test_prometheus_emits_escaped_hostile_labels():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("files_total", "files", labels=("path",))
+    counter.labels('a\\b\n"c"').inc(1)
+    text = to_prometheus(registry)
+    line = next(
+        line for line in text.splitlines() if line.startswith("files_total{")
+    )
+    # One physical line, escapes intact per the text-format spec.
+    assert line == 'files_total{path="a\\\\b\\n\\"c\\""} 1'
+    from repro.observability import parity_errors
+
+    assert parity_errors(registry) == []
+
+
+def test_histogram_inf_bucket_and_sum_count_consistency():
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram(
+        "lat_seconds", "latency", bounds=(0.001,), labels=("op",)
+    )
+    histogram.labels("q").observe(5.0)
+    histogram.labels("q").observe(0.0005)
+    text = to_prometheus(registry)
+    assert 'lat_seconds_bucket{op="q",le="0.001"} 1' in text
+    assert 'lat_seconds_bucket{op="q",le="+Inf"} 2' in text
+    assert 'lat_seconds_count{op="q"} 2' in text
+    assert 'lat_seconds_sum{op="q"} 5.0005' in text
+    data = snapshot(registry)["metrics"]["lat_seconds"]["values"][0]
+    # The JSON view and the text view must agree: +Inf bucket == count.
+    assert data["count"] == 2
+    assert data["buckets"][-1] == {"le": "+Inf", "count": 2}
+    assert data["sum"] == 5.0005
+
+
 def test_parity_errors_reports_a_seeded_divergence(monkeypatch):
     from repro.observability import exporters
 

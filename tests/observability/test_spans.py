@@ -1,0 +1,168 @@
+"""Span recording and tree reconstruction over the trace ring."""
+
+from __future__ import annotations
+
+from repro.observability.spans import (
+    KIND_CLIENT,
+    KIND_INTERNAL,
+    KIND_SERVER,
+    SpanRecord,
+    SpanRecorder,
+    SpanTreeReconstructor,
+    span_records,
+)
+from repro.observability.tracing import HOOK_SPAN, TraceBuffer
+
+
+class _Clock:
+    """Injected clock the tests advance by hand."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _recorder(prefix="p", enabled=True):
+    clock = _Clock()
+    trace = TraceBuffer(enabled=enabled)
+    return SpanRecorder(trace, clock, prefix=prefix), clock, trace
+
+
+def test_ids_are_deterministic_per_prefix():
+    recorder, _, _ = _recorder(prefix="c1")
+    assert recorder.new_trace_id() == "t-c11"
+    span = recorder.start_span("client:ping", kind=KIND_CLIENT)
+    # Counter is shared between trace ids and span ids, so the next
+    # allocation after one trace id is suffix 2 (and 3 for the span).
+    assert span.trace_id == "t-c12"
+    assert span.span_id == "c13"
+    # A rootless start allocates the trace id first, then the span id.
+    other, _, _ = _recorder(prefix="d")
+    root = other.start_span("x")
+    assert root.trace_id == "t-d1"
+    assert root.span_id == "d2"
+
+
+def test_end_emits_one_trace_event_with_flattened_fields():
+    recorder, clock, trace = _recorder()
+    span = recorder.start_span("handler:ping", kind=KIND_INTERNAL, client="a")
+    clock.now = 0.25
+    span.annotate(streams=3)
+    record = span.end()
+    assert record.duration == 0.25
+    events = trace.events(hook=HOOK_SPAN)
+    assert len(events) == 1
+    assert events[0].fields["name"] == "handler:ping"
+    assert events[0].fields["streams"] == 3
+    assert events[0].fields["client"] == "a"
+    assert recorder.recorded == 1
+
+
+def test_double_end_records_once():
+    recorder, _, trace = _recorder()
+    span = recorder.start_span("once")
+    span.end()
+    span.end(status="error")
+    assert recorder.recorded == 1
+    assert len(trace.events(hook=HOOK_SPAN)) == 1
+    # The retained record keeps the first end's status.
+    assert span_records(trace.events())[0].status == "ok"
+
+
+def test_disabled_ring_skips_emission_but_still_counts():
+    recorder, _, trace = _recorder(enabled=False)
+    recorder.start_span("quiet").end()
+    assert trace.events(hook=HOOK_SPAN) == []
+    assert recorder.recorded == 1
+
+
+def test_record_round_trips_through_fields_with_extras():
+    original = SpanRecord(
+        trace_id="t-x1",
+        span_id="x2",
+        parent_id=None,
+        name="store:query",
+        kind="store",
+        start=1.5,
+        duration=0.125,
+        status="error",
+        fields={"streams": 7},
+    )
+    rebuilt = SpanRecord.from_fields(original.as_fields())
+    assert rebuilt == original
+    # Wire dicts may stringify parent ids; None must survive as None.
+    assert rebuilt.parent_id is None
+
+
+def test_tree_nests_children_under_parents_in_time_order():
+    recorder, clock, trace = _recorder()
+    root = recorder.start_span("client:call", kind=KIND_CLIENT)
+    late = recorder.start_span(
+        "second", trace_id=root.trace_id, parent_id=root.span_id
+    )
+    clock.now = 1.0
+    early = recorder.start_span(
+        "first", trace_id=root.trace_id, parent_id=root.span_id
+    )
+    # "late" started first but we end/emit it after "early" starts; the
+    # tree must sort children by start time, not emission order.
+    early.end()   # 0 seconds
+    late.end()    # 1 second
+    clock.now = 2.0
+    root.end()    # 2 seconds
+    tree = SpanTreeReconstructor(trace.events())
+    roots = tree.tree(root.trace_id)
+    assert [node.record.name for node in roots] == ["client:call"]
+    assert [c.record.name for c in roots[0].children] == ["second", "first"]
+    # Structural time attribution: self time is duration minus children.
+    assert roots[0].record.duration == 2.0
+    assert roots[0].child_seconds == 1.0
+    assert roots[0].self_seconds == 1.0
+
+
+def test_orphaned_children_become_roots():
+    records = [
+        {
+            "trace_id": "t-1", "span_id": "a", "parent_id": "gone",
+            "name": "daemon:ping", "kind": KIND_SERVER,
+            "start": 0.0, "duration": 0.5,
+        },
+    ]
+    roots = SpanTreeReconstructor(records).tree("t-1")
+    assert len(roots) == 1
+    assert roots[0].record.name == "daemon:ping"
+
+
+def test_duplicate_span_ids_last_write_wins():
+    first = SpanRecord("t-1", "s", None, "n", "client", 0.0, 0.1)
+    second = SpanRecord("t-1", "s", None, "n", "client", 0.0, 0.9)
+    tree = SpanTreeReconstructor([first, second])
+    assert tree.records("t-1")[0].duration == 0.9
+
+
+def test_slowest_ranks_traces_by_root_seconds():
+    records = [
+        SpanRecord("t-slow", "a", None, "x", "client", 0.0, 3.0),
+        SpanRecord("t-slow", "b", "a", "y", "server", 0.0, 2.0),  # child: excluded
+        SpanRecord("t-fast", "c", None, "x", "client", 0.0, 1.0),
+    ]
+    tree = SpanTreeReconstructor(records)
+    assert tree.slowest(5) == [("t-slow", 3.0), ("t-fast", 1.0)]
+    assert tree.slowest(1) == [("t-slow", 3.0)]
+
+
+def test_format_trace_indents_the_hops():
+    records = [
+        SpanRecord("t-1", "a", None, "client:ping", "client", 0.0, 0.004),
+        SpanRecord("t-1", "b", "a", "daemon:ping", "server", 0.0, 0.002),
+    ]
+    text = SpanTreeReconstructor(records).format_trace("t-1")
+    lines = text.splitlines()
+    assert lines[0] == "trace t-1"
+    assert lines[1].startswith("  client:ping [client]")
+    assert lines[2].startswith("    daemon:ping [server]")
+    assert "4.000ms" in lines[1] and "2.000ms" in lines[2]
+    # Parent self time excludes the nested hop.
+    assert "(self 2.000ms)" in lines[1]

@@ -1,0 +1,135 @@
+"""Telemetry ring: cadenced registry snapshots and derived rates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import MetricsRegistry, TelemetryRing
+
+
+def _instrumented():
+    registry = MetricsRegistry(enabled=True)
+    packets = registry.counter("pkts_total", "packets", labels=("core",))
+    depth = registry.gauge("depth", "queue depth")
+    seconds = registry.histogram("svc_seconds", "service", bounds=(0.1, 1.0))
+    return registry, packets, depth, seconds
+
+
+def test_constructor_rejects_degenerate_parameters():
+    registry = MetricsRegistry(enabled=True)
+    with pytest.raises(ValueError):
+        TelemetryRing(registry, cadence=0.0)
+    with pytest.raises(ValueError):
+        TelemetryRing(registry, capacity=1)
+
+
+def test_sample_flattens_every_child_to_keyed_values():
+    registry, packets, depth, seconds = _instrumented()
+    packets.labels(0).inc(5)
+    packets.labels(1).inc(7)
+    depth.set(3)
+    seconds.observe(0.5)
+    ring = TelemetryRing(registry)
+    entry = ring.sample(now=10.0)
+    assert entry.values['pkts_total{core="0"}'] == 5
+    assert entry.values['pkts_total{core="1"}'] == 7
+    assert entry.values["depth"] == 3
+    # Histograms contribute _sum and _count series, both counters.
+    assert entry.values["svc_seconds_sum"] == 0.5
+    assert entry.values["svc_seconds_count"] == 1
+
+
+def test_maybe_sample_applies_the_cadence():
+    registry, *_ = _instrumented()
+    ring = TelemetryRing(registry, cadence=1.0)
+    assert ring.maybe_sample(0.0) is not None
+    assert ring.maybe_sample(0.5) is None   # inside the interval
+    assert ring.maybe_sample(0.999) is None
+    assert ring.maybe_sample(1.0) is not None
+    assert ring.sampled == 2
+    assert ring.skipped == 2
+    assert len(ring) == 2
+
+
+def test_rates_derive_from_counter_deltas_only():
+    registry, packets, depth, _ = _instrumented()
+    ring = TelemetryRing(registry)
+    packets.labels(0).inc(10)
+    depth.set(5)
+    ring.sample(0.0)
+    packets.labels(0).inc(20)
+    depth.set(9)
+    ring.sample(2.0)
+    rates = ring.rates()
+    assert rates['pkts_total{core="0"}'] == 10.0  # 20 over 2s
+    assert "depth" not in rates  # gauges have no rate
+
+
+def test_counter_reset_clamps_to_zero():
+    registry, packets, *_ = _instrumented()
+    ring = TelemetryRing(registry)
+    packets.labels(0).inc(100)
+    ring.sample(0.0)
+    # Simulate a restart: the later sample reads a *smaller* total.
+    packets.labels(0).value = 40
+    ring.sample(1.0)
+    assert ring.rates()['pkts_total{core="0"}'] == 0.0
+
+
+def test_rates_empty_until_a_real_interval_exists():
+    registry, packets, *_ = _instrumented()
+    ring = TelemetryRing(registry)
+    assert ring.rates() == {}
+    ring.sample(1.0)
+    assert ring.rates() == {}
+    ring.sample(1.0)  # zero-width interval
+    assert ring.rates() == {}
+    assert ring.window()[0] is not None
+
+
+def test_family_rate_sums_children_and_signals_no_interval():
+    registry, packets, *_ = _instrumented()
+    ring = TelemetryRing(registry)
+    assert ring.rate("pkts_total") is None  # no interval yet
+    packets.labels(0).inc(4)
+    packets.labels(1).inc(6)
+    ring.sample(0.0)
+    packets.labels(0).inc(4)
+    packets.labels(1).inc(6)
+    ring.sample(1.0)
+    assert ring.rate("pkts_total") == 10.0
+    assert ring.rate("absent_total") == 0.0  # present ring, idle family
+
+
+def test_gauge_value_reads_the_latest_sample():
+    registry, _, depth, _ = _instrumented()
+    ring = TelemetryRing(registry)
+    assert ring.gauge_value("depth") == 0.0  # no samples yet
+    depth.set(7)
+    ring.sample(0.0)
+    assert ring.gauge_value("depth") == 7.0
+
+
+def test_capacity_bounds_the_history():
+    registry, *_ = _instrumented()
+    ring = TelemetryRing(registry, capacity=3)
+    for tick in range(10):
+        ring.sample(float(tick))
+    assert len(ring) == 3
+    assert [entry.time for entry in ring.history()] == [7.0, 8.0, 9.0]
+    assert ring.sampled == 10  # the counter keeps the true total
+    assert ring.latest().time == 9.0
+
+
+def test_as_dict_round_trips_through_json():
+    registry, packets, *_ = _instrumented()
+    packets.labels(0).inc(2)
+    ring = TelemetryRing(registry, cadence=0.5, capacity=4)
+    ring.sample(1.0)
+    payload = json.loads(ring.to_json())
+    assert payload == ring.as_dict()
+    assert payload["cadence"] == 0.5
+    assert payload["samples"][0]["time"] == 1.0
+    assert payload["samples"][0]["values"]['pkts_total{core="0"}'] == 2
