@@ -868,6 +868,11 @@ class ScapDaemon:
                 for expression, priority in self._priorities.values()
             ]
         with self._capture_lock:
+            if self.store is not None:
+                # This thread drives every store touch until the lock
+                # is released — declare the ownership handoff so
+                # SCAP_RACE knows serialized captures are not a race.
+                self.store.adopt_obs_owner()
             capture_number = self._captures
             scap = ScapSocket(
                 trace,
@@ -1176,7 +1181,12 @@ class ScapDaemon:
 
     def _cmd_query(self, session: ClientSession, frame: Frame):
         store = self._require_store()
-        store.flush()  # make everything recorded so far queryable
+        # Flush mutates the writer's metric counters, which captures
+        # own under _capture_lock — the query path must take the same
+        # lock (flushing mid-capture would also race the enqueues).
+        with self._capture_lock:
+            store.adopt_obs_owner()
+            store.flush()  # make everything recorded so far queryable
         header, payload = self._one_query(frame.header, parent=session.active_span)
         return (header, payload)
 
@@ -1185,7 +1195,9 @@ class ScapDaemon:
         queries = frame.header.get("queries")
         if not isinstance(queries, list) or not queries:
             raise ServiceError(ERR_BAD_REQUEST, "queries must be a non-empty list")
-        store.flush()
+        with self._capture_lock:  # same discipline as _cmd_query
+            store.adopt_obs_owner()
+            store.flush()
         results = []
         chunks = []
         for spec in queries:
@@ -1311,6 +1323,7 @@ class ScapDaemon:
             if self.store is not None:
                 before = self.store.stats().segments_sealed
                 with self._capture_lock:
+                    self.store.adopt_obs_owner()
                     self.store.flush()
                 sealed = self.store.stats().segments_sealed - before
             return {"sealed_segments": sealed, "drained_clients": drained}
@@ -1377,7 +1390,11 @@ class ScapDaemon:
             if self._obs.enabled:
                 self._m_active.set(0)
         if self.store is not None:
-            self.store.close()
+            # close() seals segments (metric emission) — serialize with
+            # any capture still in flight, and adopt the owner role.
+            with self._capture_lock:
+                self.store.adopt_obs_owner()
+                self.store.close()
         self._shutdown_done.set()
 
     # ------------------------------------------------------------------
